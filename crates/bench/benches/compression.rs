@@ -1,0 +1,45 @@
+//! Compression micro-benchmarks: what Compresschain pays per batch flush and
+//! per batch delivery, for the two collector sizes of the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use setchain_compress::{compress, decompress};
+use setchain_crypto::{KeyRegistry, ProcessId};
+use setchain_workload::ArbitrumWorkload;
+
+fn batch_bytes(collector: usize) -> Vec<u8> {
+    let registry = KeyRegistry::bootstrap(3, 1, 1);
+    let mut workload = ArbitrumWorkload::for_client(&registry, ProcessId::client(0), 7);
+    let mut raw = Vec::new();
+    for e in workload.take(collector) {
+        raw.extend_from_slice(&e.materialize());
+    }
+    raw
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compresschain_batch");
+    for collector in [100usize, 500] {
+        let raw = batch_bytes(collector);
+        let compressed = compress(&raw);
+        let ratio = raw.len() as f64 / compressed.len() as f64;
+        println!(
+            "collector={collector}: batch {} B -> {} B (ratio {:.2}, paper reports 2.5-3.5)",
+            raw.len(),
+            compressed.len(),
+            ratio
+        );
+        group.throughput(Throughput::Bytes(raw.len() as u64));
+        group.bench_with_input(BenchmarkId::new("compress", collector), &raw, |b, d| {
+            b.iter(|| compress(d))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("decompress", collector),
+            &compressed,
+            |b, d| b.iter(|| decompress(d).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

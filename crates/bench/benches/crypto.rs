@@ -1,0 +1,52 @@
+//! Micro-benchmarks of the cryptographic substrate: hashing, signing,
+//! verification and Merkle tree construction. These are the per-operation
+//! costs behind the `CostModel` used by the simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use setchain_crypto::{sha256, sha512, sign, verify, KeyRegistry, MerkleTree, ProcessId};
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashing");
+    for size in [439usize, 4 * 1024, 64 * 1024, 1024 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| sha256(d))
+        });
+        group.bench_with_input(BenchmarkId::new("sha512", size), &data, |b, d| {
+            b.iter(|| sha512(d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let registry = KeyRegistry::bootstrap(1, 4, 1);
+    let keys = registry.lookup(ProcessId::server(0)).unwrap();
+    let msg = vec![0x42u8; 64];
+    let sig = sign(&keys, &msg);
+    let mut group = c.benchmark_group("signatures");
+    group.bench_function("sign_64B", |b| b.iter(|| sign(&keys, &msg)));
+    group.bench_function("verify_64B", |b| b.iter(|| verify(&registry, &msg, &sig)));
+    group.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle");
+    for leaves in [128usize, 1024] {
+        let items: Vec<Vec<u8>> = (0..leaves).map(|i| format!("tx-{i}").into_bytes()).collect();
+        group.bench_with_input(BenchmarkId::new("build", leaves), &items, |b, items| {
+            b.iter(|| MerkleTree::build(items))
+        });
+        let tree = MerkleTree::build(&items);
+        let proof = tree.prove(leaves / 2);
+        let root = tree.root();
+        group.bench_with_input(BenchmarkId::new("verify_proof", leaves), &items, |b, items| {
+            b.iter(|| proof.verify(&items[leaves / 2], &root))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashing, bench_signatures, bench_merkle);
+criterion_main!(benches);

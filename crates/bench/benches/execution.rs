@@ -1,0 +1,108 @@
+//! Execution-layer micro-benchmarks (Appendix G ablation): the cost of the
+//! optimistic validation phase with and without data parallelism, and of the
+//! sequential apply phase, for realistic epoch sizes.
+//!
+//! Appendix G's trade-off is that execution is sequential within an epoch, so
+//! epoch size directly bounds how much the validation parallelism can hide.
+//! These benches quantify both halves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use setchain::{Element, ElementId};
+use setchain_crypto::{KeyRegistry, ProcessId};
+use setchain_exec::{
+    execute_epoch, validate_epoch, ExecutedChain, ExecutionConfig, Transaction,
+};
+
+/// Decoded transfers for one epoch of `count` elements spread over 32 clients.
+fn epoch_txs(count: usize) -> Vec<Transaction> {
+    let registry = KeyRegistry::bootstrap(5, 4, 32);
+    (0..count)
+        .map(|i| {
+            let client = (i % 32) as u32;
+            let keys = registry.lookup(ProcessId::client(client as usize)).unwrap();
+            let e = Element::new(
+                &keys,
+                ElementId::new(client, (i / 32) as u64),
+                438,
+                (i as u64).wrapping_mul(0x9E37_79B9) + 7,
+            );
+            Transaction::from_element(&e)
+        })
+        .collect()
+}
+
+fn bench_optimistic_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch_validation");
+    group.sample_size(20);
+    for size in [1_000usize, 10_000, 50_000] {
+        let txs = epoch_txs(size);
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::new("sequential", size), &txs, |b, txs| {
+            let config = ExecutionConfig::sequential();
+            b.iter(|| validate_epoch(txs, &config))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", size), &txs, |b, txs| {
+            let config = ExecutionConfig::default();
+            b.iter(|| validate_epoch(txs, &config))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequential_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch_apply");
+    group.sample_size(20);
+    for size in [1_000usize, 10_000, 50_000] {
+        let txs = epoch_txs(size);
+        let config = ExecutionConfig::sequential();
+        let verdicts = validate_epoch(&txs, &config);
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(
+            BenchmarkId::new("apply", size),
+            &(txs, verdicts),
+            |b, (txs, verdicts)| {
+                b.iter(|| {
+                    let mut state = setchain_exec::WorldState::with_genesis(
+                        (0..64u32).map(|i| (setchain_exec::Address::for_client(i), 10_000_000)),
+                    );
+                    execute_epoch(&mut state, txs, verdicts, &config)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_end_to_end_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch_end_to_end");
+    group.sample_size(15);
+    for size in [1_000usize, 10_000] {
+        let txs = epoch_txs(size);
+        group.throughput(Throughput::Elements(size as u64));
+        for (label, config) in [
+            ("sequential", ExecutionConfig::sequential()),
+            ("parallel_validation", ExecutionConfig::default()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, size),
+                &txs,
+                |b, txs| {
+                    b.iter(|| {
+                        let mut chain = ExecutedChain::for_clients(config, 64, 10_000_000);
+                        chain.execute_epoch(1, txs);
+                        chain.state_root()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_optimistic_validation,
+    bench_sequential_apply,
+    bench_end_to_end_epoch
+);
+criterion_main!(benches);

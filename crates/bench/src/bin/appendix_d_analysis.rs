@@ -1,0 +1,5 @@
+//! Prints the Appendix D.1 analytical throughput values.
+fn main() {
+    let ctx = setchain_bench::ExperimentCtx::from_env();
+    setchain_bench::figures::appendix_d(&ctx);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 1 (throughput over time) and Table 2.
+fn main() {
+    let ctx = setchain_bench::ExperimentCtx::from_env();
+    println!("scale = {} (SETCHAIN_SCALE)", ctx.scale);
+    setchain_bench::figures::fig1_throughput(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 2 (right): analytical throughput vs block size.
+fn main() {
+    let ctx = setchain_bench::ExperimentCtx::from_env();
+    setchain_bench::figures::fig2_analytical(&ctx);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 2 (left): Hashchain limits with/without hash-reversal.
+fn main() {
+    let ctx = setchain_bench::ExperimentCtx::from_env();
+    println!("scale = {} (SETCHAIN_SCALE)", ctx.scale);
+    setchain_bench::figures::fig2_limits(&ctx);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 3 (efficiency under varying rate / servers / delay).
+fn main() {
+    let ctx = setchain_bench::ExperimentCtx::from_env();
+    println!("scale = {} (SETCHAIN_SCALE)", ctx.scale);
+    let _ = setchain_bench::figures::fig3_efficiency(&ctx);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 4 (latency CDF per stage).
+fn main() {
+    let ctx = setchain_bench::ExperimentCtx::from_env();
+    println!("scale = {} (SETCHAIN_SCALE)", ctx.scale);
+    setchain_bench::figures::fig4_latency_cdf(&ctx);
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig. 5 (commit-time milestones). Runs the Fig. 3 scenario
+//! grid and reports commit times for each run.
+fn main() {
+    let ctx = setchain_bench::ExperimentCtx::from_env();
+    println!("scale = {} (SETCHAIN_SCALE)", ctx.scale);
+    let results = setchain_bench::figures::fig3_efficiency(&ctx);
+    setchain_bench::figures::fig5_commit_times(&ctx, &results);
+}

@@ -1,0 +1,5 @@
+//! Prints Table 1 (the evaluated parameter space).
+fn main() {
+    let ctx = setchain_bench::ExperimentCtx::from_env();
+    setchain_bench::figures::table1(&ctx);
+}

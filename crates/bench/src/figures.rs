@@ -1,0 +1,440 @@
+//! One function per table/figure of the paper. The `src/bin/*` binaries are
+//! thin wrappers so that `all_experiments` can run everything in sequence.
+
+use setchain::Algorithm;
+use setchain_workload::{
+    analysis::AnalysisParams, metrics::CommitTimes, metrics::StageLatencies, run_scenario,
+    RunResult, Scenario, ThroughputSeries,
+};
+
+use crate::{banner, fmt_els, print_summary_table, summarize, summary_csv_rows, ExperimentCtx,
+    RunSummary, SUMMARY_CSV_HEADER};
+
+fn labelled(scenario: Scenario, label: String) -> Scenario {
+    scenario.with_label(label)
+}
+
+fn run_and_summarize(ctx: &ExperimentCtx, scenario: Scenario) -> (RunResult, RunSummary) {
+    println!("  running: {} …", scenario.label);
+    let result = run_scenario(&scenario);
+    let summary = summarize(ctx, &result);
+    (result, summary)
+}
+
+/// Table 1: the evaluated parameter space.
+pub fn table1(_ctx: &ExperimentCtx) {
+    banner("Table 1: Parameters for Setchain evaluation");
+    println!("{:<18} {:<38} {}", "Name", "Description", "Values");
+    println!("{:<18} {:<38} {:?}", "sending_rate", "Adding rate (el/s)",
+        setchain_workload::scenario::table1::SENDING_RATES);
+    println!("{:<18} {:<38} {:?}", "collector_limit", "Collector size (el)",
+        setchain_workload::scenario::table1::COLLECTOR_LIMITS);
+    println!("{:<18} {:<38} {:?}", "server_count", "Number of servers",
+        setchain_workload::scenario::table1::SERVER_COUNTS);
+    println!("{:<18} {:<38} {:?}", "network_delay", "Delay increase (ms)",
+        setchain_workload::scenario::table1::NETWORK_DELAYS_MS);
+}
+
+/// Fig. 1 (three panels) and Table 2: throughput over time of the three
+/// algorithms for the paper's sending-rate / collector-size combinations,
+/// with the analytical bound for reference.
+pub fn fig1_throughput(ctx: &ExperimentCtx) {
+    banner("Figure 1 + Table 2: throughput over time (10 servers, no added delay)");
+    let panels: [(&str, f64, usize, Vec<Algorithm>); 3] = [
+        ("left: 5000 el/s, c=100", 5_000.0, 100,
+            vec![Algorithm::Vanilla, Algorithm::Compresschain, Algorithm::Hashchain]),
+        ("center: 10000 el/s, c=100", 10_000.0, 100,
+            vec![Algorithm::Compresschain, Algorithm::Hashchain]),
+        ("right: 10000 el/s, c=500", 10_000.0, 500,
+            vec![Algorithm::Compresschain, Algorithm::Hashchain]),
+    ];
+    let mut table2_rows: Vec<String> = Vec::new();
+    for (panel, rate, collector, algorithms) in panels {
+        println!("\n-- Fig. 1 {panel} --");
+        let mut csv_rows = Vec::new();
+        let mut summaries = Vec::new();
+        for algorithm in algorithms {
+            let analytical = AnalysisParams::default()
+                .with_collector(collector)
+                .throughput(algorithm);
+            let bound = analytical.min(rate);
+            let scenario = labelled(
+                ctx.scale_scenario(
+                    Scenario::base(algorithm)
+                        .with_rate(rate)
+                        .with_collector(collector),
+                ),
+                format!("{algorithm} {rate} el/s c={collector}"),
+            );
+            let (result, summary) = run_and_summarize(ctx, scenario);
+            let series = ThroughputSeries::compute(&result.trace, 9, result.finished_at);
+            for (t, v) in &series.samples {
+                csv_rows.push(format!("{algorithm},{t},{v:.1}"));
+            }
+            println!(
+                "    {:<14} analytical bound = {:<14} (min with sending rate: {})",
+                algorithm.name(),
+                fmt_els(analytical),
+                fmt_els(bound)
+            );
+            table2_rows.push(format!(
+                "{},{},{:.0}",
+                panel.replace(',', ";"),
+                algorithm.name(),
+                summary.avg_throughput
+            ));
+            summaries.push(summary);
+        }
+        print_summary_table(ctx, &summaries);
+        let name = format!(
+            "fig1_{}.csv",
+            panel.split(':').next().unwrap_or("panel").trim()
+        );
+        ctx.write_csv(&name, "algorithm,time_s,committed_el_per_s", &csv_rows);
+    }
+    println!("\n-- Table 2: average throughput up to the injection end --");
+    for row in &table2_rows {
+        let mut parts = row.split(',');
+        let (panel, alg, tput) = (
+            parts.next().unwrap_or(""),
+            parts.next().unwrap_or(""),
+            parts.next().unwrap_or(""),
+        );
+        println!("  {:<28} {:<14} {:>10} el/s", panel, alg, tput);
+    }
+    ctx.write_csv("table2.csv", "panel,algorithm,avg_el_per_s", &table2_rows);
+}
+
+/// Fig. 2 (left): pushing the Hashchain limits — with and without
+/// hash-reversal — compared with Compresschain (full and light) and Vanilla.
+pub fn fig2_limits(ctx: &ExperimentCtx) {
+    banner("Figure 2 (left): highest throughput, collector size 500");
+    let runs: Vec<Scenario> = vec![
+        labelled(
+            ctx.scale_scenario(Scenario::base(Algorithm::Vanilla).with_rate(5_000.0)),
+            "Vanilla 5k el/s".into(),
+        ),
+        labelled(
+            ctx.scale_scenario(
+                Scenario::base(Algorithm::Compresschain)
+                    .with_rate(10_000.0)
+                    .with_collector(500),
+            ),
+            "Compresschain 10k c=500".into(),
+        ),
+        labelled(
+            ctx.scale_scenario(
+                Scenario::base(Algorithm::Compresschain)
+                    .with_rate(10_000.0)
+                    .with_collector(500)
+                    .light(),
+            ),
+            "Compresschain light 10k c=500".into(),
+        ),
+        labelled(
+            ctx.scale_scenario(
+                Scenario::base(Algorithm::Hashchain)
+                    .with_rate(25_000.0)
+                    .with_collector(500),
+            ),
+            "Hashchain 25k c=500".into(),
+        ),
+        labelled(
+            ctx.scale_scenario(
+                Scenario::base(Algorithm::Hashchain)
+                    .with_rate(50_000.0)
+                    .with_collector(500),
+            ),
+            "Hashchain 50k c=500".into(),
+        ),
+        labelled(
+            ctx.scale_scenario(
+                Scenario::base(Algorithm::Hashchain)
+                    .with_rate(150_000.0)
+                    .with_collector(500)
+                    .light(),
+            ),
+            "Hashchain light 150k c=500".into(),
+        ),
+    ];
+    let mut summaries = Vec::new();
+    let mut csv_rows = Vec::new();
+    for scenario in runs {
+        let (result, summary) = run_and_summarize(ctx, scenario);
+        let series = ThroughputSeries::compute(&result.trace, 9, result.finished_at);
+        for (t, v) in &series.samples {
+            csv_rows.push(format!("{},{t},{v:.1}", summary.label.replace(',', ";")));
+        }
+        summaries.push(summary);
+    }
+    print_summary_table(ctx, &summaries);
+    let analytical = AnalysisParams::default().with_collector(500);
+    println!(
+        "\n  analytical bounds (c=500): Vanilla {}, Compresschain {}, Hashchain {}",
+        fmt_els(analytical.vanilla()),
+        fmt_els(analytical.compresschain()),
+        fmt_els(analytical.hashchain())
+    );
+    ctx.write_csv("fig2_left_series.csv", "label,time_s,committed_el_per_s", &csv_rows);
+    ctx.write_csv("fig2_left_summary.csv", SUMMARY_CSV_HEADER, &summary_csv_rows(&summaries));
+}
+
+/// Fig. 2 (right): analytical throughput for block sizes from 0.5 to 128 MB
+/// (collector size 500).
+pub fn fig2_analytical(ctx: &ExperimentCtx) {
+    banner("Figure 2 (right): analytical throughput vs block size (c=500)");
+    println!(
+        "{:>10} {:>16} {:>16} {:>16}",
+        "block", "Vanilla", "Compresschain", "Hashchain"
+    );
+    let mut rows = Vec::new();
+    for mb in [0.5f64, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0] {
+        let p = AnalysisParams::default()
+            .with_collector(500)
+            .with_block_capacity(mb * 1024.0 * 1024.0);
+        println!(
+            "{:>8}MB {:>16} {:>16} {:>16}",
+            mb,
+            fmt_els(p.vanilla()),
+            fmt_els(p.compresschain()),
+            fmt_els(p.hashchain())
+        );
+        rows.push(format!(
+            "{mb},{:.0},{:.0},{:.0}",
+            p.vanilla(),
+            p.compresschain(),
+            p.hashchain()
+        ));
+    }
+    ctx.write_csv(
+        "fig2_right_analytical.csv",
+        "block_mb,vanilla,compresschain,hashchain",
+        &rows,
+    );
+}
+
+/// The five configurations compared throughout Figs. 3 and 5.
+fn fig3_configs() -> Vec<(String, Algorithm, usize)> {
+    vec![
+        ("Vanilla".into(), Algorithm::Vanilla, 100),
+        ("Compresschain c=100".into(), Algorithm::Compresschain, 100),
+        ("Compresschain c=500".into(), Algorithm::Compresschain, 500),
+        ("Hashchain c=100".into(), Algorithm::Hashchain, 100),
+        ("Hashchain c=500".into(), Algorithm::Hashchain, 500),
+    ]
+}
+
+/// Fig. 3: efficiency under different sending rates (a), server counts (b)
+/// and network delays (c). Returns the run results so `fig5` can reuse them.
+pub fn fig3_efficiency(ctx: &ExperimentCtx) -> Vec<RunResult> {
+    banner("Figure 3: efficiency (base: 10 servers, 10000 el/s, 0 delay)");
+    let mut all_results = Vec::new();
+
+    let panels: Vec<(&str, Vec<Scenario>)> = vec![
+        (
+            "a: impact of sending rate",
+            setchain_workload::scenario::table1::SENDING_RATES
+                .iter()
+                .flat_map(|&rate| {
+                    fig3_configs().into_iter().map(move |(label, alg, c)| {
+                        labelled(
+                            Scenario::base(alg).with_rate(rate).with_collector(c),
+                            format!("{label} @{rate} el/s"),
+                        )
+                    })
+                })
+                .collect(),
+        ),
+        (
+            "b: impact of number of servers",
+            setchain_workload::scenario::table1::SERVER_COUNTS
+                .iter()
+                .flat_map(|&n| {
+                    fig3_configs().into_iter().map(move |(label, alg, c)| {
+                        labelled(
+                            Scenario::base(alg).with_servers(n).with_collector(c),
+                            format!("{label} n={n}"),
+                        )
+                    })
+                })
+                .collect(),
+        ),
+        (
+            "c: impact of network delay",
+            setchain_workload::scenario::table1::NETWORK_DELAYS_MS
+                .iter()
+                .flat_map(|&ms| {
+                    fig3_configs().into_iter().map(move |(label, alg, c)| {
+                        labelled(
+                            Scenario::base(alg).with_delay_ms(ms).with_collector(c),
+                            format!("{label} delay={ms}ms"),
+                        )
+                    })
+                })
+                .collect(),
+        ),
+    ];
+
+    for (panel, scenarios) in panels {
+        println!("\n-- Fig. 3{panel} --");
+        let mut summaries = Vec::new();
+        for scenario in scenarios {
+            let scenario = ctx.scale_scenario(scenario);
+            let (result, summary) = run_and_summarize(ctx, scenario);
+            summaries.push(summary);
+            all_results.push(result);
+        }
+        print_summary_table(ctx, &summaries);
+        let name = format!("fig3{}.csv", panel.chars().next().unwrap_or('x'));
+        ctx.write_csv(&name, SUMMARY_CSV_HEADER, &summary_csv_rows(&summaries));
+    }
+    all_results
+}
+
+/// Fig. 5 (Appendix F): commit-time milestones (first element, 10%…50%)
+/// computed from the Fig. 3 runs.
+pub fn fig5_commit_times(ctx: &ExperimentCtx, results: &[RunResult]) {
+    banner("Figure 5: commit times (first element, 10%-50% of elements)");
+    println!(
+        "{:<36} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "scenario", "first", "10%", "20%", "30%", "40%", "50%"
+    );
+    let fmt = |v: Option<f64>| v.map(|x| format!("{x:.1}s")).unwrap_or_else(|| "-".into());
+    let mut rows = Vec::new();
+    for result in results {
+        let ct = CommitTimes::compute(&result.trace);
+        println!(
+            "{:<36} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            result.scenario.label,
+            fmt(ct.first),
+            fmt(ct.fractions[0].1),
+            fmt(ct.fractions[1].1),
+            fmt(ct.fractions[2].1),
+            fmt(ct.fractions[3].1),
+            fmt(ct.fractions[4].1),
+        );
+        rows.push(format!(
+            "{},{},{},{},{},{},{}",
+            result.scenario.label.replace(',', ";"),
+            ct.first.unwrap_or(f64::NAN),
+            ct.fractions[0].1.unwrap_or(f64::NAN),
+            ct.fractions[1].1.unwrap_or(f64::NAN),
+            ct.fractions[2].1.unwrap_or(f64::NAN),
+            ct.fractions[3].1.unwrap_or(f64::NAN),
+            ct.fractions[4].1.unwrap_or(f64::NAN),
+        ));
+    }
+    ctx.write_csv(
+        "fig5_commit_times.csv",
+        "label,first_s,p10_s,p20_s,p30_s,p40_s,p50_s",
+        &rows,
+    );
+}
+
+/// Fig. 4: cumulative distribution of the latency to reach each stage
+/// (first mempool, f+1 mempools, all mempools, ledger, f+1 epoch-proofs)
+/// for the three algorithms at 1 250 el/s with 10 servers.
+pub fn fig4_latency_cdf(ctx: &ExperimentCtx) {
+    banner("Figure 4: latency CDF per stage (10 servers, 1250 el/s, c=100)");
+    let quantiles = [0.10, 0.25, 0.50, 0.75, 0.90, 0.99];
+    let mut rows = Vec::new();
+    for algorithm in Algorithm::ALL {
+        let scenario = labelled(
+            ctx.scale_scenario(
+                Scenario::base(algorithm)
+                    .with_rate(1_250.0)
+                    .with_collector(100)
+                    .detailed(),
+            ),
+            format!("{algorithm} 1250 el/s"),
+        );
+        println!("  running: {} …", scenario.label);
+        let result = run_scenario(&scenario);
+        let stages = StageLatencies::compute(
+            &result.trace,
+            &result.ledger_trace,
+            scenario.setchain_f(),
+            scenario.servers,
+        );
+        let stage_list: [(&str, fn(&setchain_workload::metrics::StageSample) -> Option<f64>); 5] = [
+            ("first mempool", |s| s.first_mempool),
+            ("f+1 mempools", |s| s.quorum_mempools),
+            ("all mempools", |s| s.all_mempools),
+            ("ledger", |s| s.ledger),
+            ("f+1 epoch-proofs", |s| s.committed),
+        ];
+        println!(
+            "    {:<18} {}",
+            "stage",
+            quantiles
+                .iter()
+                .map(|q| format!("{:>8}", format!("p{:.0}", q * 100.0)))
+                .collect::<String>()
+        );
+        for (name, f) in stage_list {
+            let mut line = format!("    {name:<18} ");
+            for &q in &quantiles {
+                let v = stages.quantile(f, q);
+                line.push_str(&format!(
+                    "{:>8}",
+                    v.map(|x| format!("{x:.2}s")).unwrap_or_else(|| "-".into())
+                ));
+                rows.push(format!(
+                    "{algorithm},{name},{q},{}",
+                    v.map(|x| format!("{x:.4}")).unwrap_or_else(|| "".into())
+                ));
+            }
+            println!("{line}");
+        }
+        let committed_p99 = stages.quantile(|s| s.committed, 0.99);
+        if let Some(p99) = committed_p99 {
+            println!("    commit latency p99 = {p99:.2}s (paper: finality below 4 s)");
+        }
+    }
+    ctx.write_csv(
+        "fig4_latency_quantiles.csv",
+        "algorithm,stage,quantile,latency_s",
+        &rows,
+    );
+}
+
+/// Appendix D.1: the analytical model evaluated with the paper's constants.
+pub fn appendix_d(ctx: &ExperimentCtx) {
+    banner("Appendix D.1: analytical throughput with the evaluation constants");
+    let rows: Vec<(String, f64, f64)> = vec![
+        ("Vanilla".into(), AnalysisParams::default().vanilla(), 955.0),
+        (
+            "Compresschain c=100 (r=2.7)".into(),
+            AnalysisParams::default().with_collector(100).compresschain(),
+            2_497.0,
+        ),
+        (
+            "Compresschain c=500 (r=3.5)".into(),
+            AnalysisParams::default().with_collector(500).compresschain(),
+            3_330.0,
+        ),
+        (
+            "Hashchain c=100".into(),
+            AnalysisParams::default().with_collector(100).hashchain(),
+            27_157.0,
+        ),
+        (
+            "Hashchain c=500".into(),
+            AnalysisParams::default().with_collector(500).hashchain(),
+            147_857.0,
+        ),
+    ];
+    println!("{:<30} {:>16} {:>16}", "configuration", "computed", "paper");
+    let mut csv = Vec::new();
+    for (label, computed, paper) in &rows {
+        println!("{:<30} {:>12.0} el/s {:>12.0} el/s", label, computed, paper);
+        csv.push(format!("{label},{computed:.0},{paper:.0}"));
+    }
+    let p = AnalysisParams::default().with_collector(500);
+    println!(
+        "  ratio Hashchain/Vanilla = {:.0} (paper ≈ 155); Hashchain/Compresschain = {:.0} (paper ≈ 44)",
+        p.hashchain() / p.vanilla(),
+        p.hashchain() / p.compresschain()
+    );
+    ctx.write_csv("appendix_d.csv", "configuration,computed_el_s,paper_el_s", &csv);
+}

@@ -1,0 +1,438 @@
+//! LZ77 compressor with a hash-chain match finder.
+//!
+//! Stream format (all integers are LEB128 varints, see [`crate::varint`]):
+//!
+//! ```text
+//! stream   := original_len token*
+//! token    := 0x00 lit_len  byte{lit_len}        (literal run)
+//!           | 0x01 match_len distance            (back-reference)
+//! ```
+//!
+//! Matches must have `match_len >= MIN_MATCH` and `distance <= WINDOW`.
+//! Decompression validates every distance/length against the bytes produced
+//! so far and fails with [`DecompressError`] rather than panicking, because
+//! Compresschain servers decompress batches appended by possibly Byzantine
+//! peers (Algorithm Compresschain, line 20).
+
+use crate::varint::{read_u64, write_u64};
+
+/// Minimum match length worth encoding as a back-reference.
+const MIN_MATCH: usize = 4;
+/// Maximum match length (keeps token sizes bounded).
+const MAX_MATCH: usize = 1 << 15;
+/// Sliding-window size for back-references.
+const WINDOW: usize = 1 << 16;
+/// Number of hash-chain buckets (power of two).
+const HASH_BUCKETS: usize = 1 << 15;
+/// Maximum chain positions examined per match attempt; bounds worst-case
+/// compressor time on adversarial input.
+const MAX_CHAIN: usize = 32;
+
+const TOKEN_LITERAL: u8 = 0x00;
+const TOKEN_MATCH: u8 = 0x01;
+
+/// Error returned when a compressed stream is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompressError {
+    /// The stream ended in the middle of a token.
+    Truncated,
+    /// A token had an unknown tag byte.
+    BadToken(u8),
+    /// A back-reference pointed before the start of the output.
+    BadDistance {
+        /// Offset in the output where the reference occurred.
+        at: usize,
+        /// The invalid distance.
+        distance: usize,
+    },
+    /// The decoded output did not match the length declared in the header.
+    LengthMismatch {
+        /// Length declared in the stream header.
+        declared: usize,
+        /// Length actually produced.
+        actual: usize,
+    },
+    /// The declared length is unreasonably large (defence against memory
+    /// exhaustion from Byzantine input).
+    DeclaredTooLarge(u64),
+}
+
+impl std::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompressError::Truncated => write!(f, "compressed stream truncated"),
+            DecompressError::BadToken(t) => write!(f, "unknown token tag {t:#x}"),
+            DecompressError::BadDistance { at, distance } => {
+                write!(f, "invalid back-reference distance {distance} at output offset {at}")
+            }
+            DecompressError::LengthMismatch { declared, actual } => {
+                write!(f, "declared length {declared} but produced {actual}")
+            }
+            DecompressError::DeclaredTooLarge(n) => write!(f, "declared length {n} too large"),
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+/// Upper bound accepted for the declared decompressed size (64 MiB), far
+/// above any batch the Setchain algorithms produce.
+const MAX_DECLARED: u64 = 64 * 1024 * 1024;
+
+fn hash4(data: &[u8]) -> usize {
+    // Multiplicative hash over the next 4 bytes.
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    (v.wrapping_mul(2654435761) >> 17) as usize & (HASH_BUCKETS - 1)
+}
+
+/// Compresses `data`. The output always starts with the original length so
+/// decompression can pre-allocate and validate.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    write_u64(&mut out, data.len() as u64);
+    if data.is_empty() {
+        return out;
+    }
+
+    // head[h] = most recent position with hash h; prev[i % WINDOW] = previous
+    // position in the same chain.
+    let mut head = vec![usize::MAX; HASH_BUCKETS];
+    let mut prev = vec![usize::MAX; WINDOW];
+
+    let mut literal_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, start: usize, end: usize| {
+        if end > start {
+            out.push(TOKEN_LITERAL);
+            write_u64(out, (end - start) as u64);
+            out.extend_from_slice(&data[start..end]);
+        }
+    };
+
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+
+        if i + MIN_MATCH <= data.len() {
+            let h = hash4(&data[i..]);
+            let mut candidate = head[h];
+            let mut steps = 0;
+            while candidate != usize::MAX && steps < MAX_CHAIN {
+                let dist = i - candidate;
+                if dist > WINDOW {
+                    break;
+                }
+                // Compare forward from candidate.
+                let max_len = (data.len() - i).min(MAX_MATCH);
+                let mut len = 0usize;
+                while len < max_len && data[candidate + len] == data[i + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = dist;
+                    if len >= MAX_MATCH {
+                        break;
+                    }
+                }
+                candidate = prev[candidate % WINDOW];
+                steps += 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            flush_literals(&mut out, literal_start, i);
+            out.push(TOKEN_MATCH);
+            write_u64(&mut out, best_len as u64);
+            write_u64(&mut out, best_dist as u64);
+            // Insert hash entries for every position covered by the match so
+            // later data can reference into it.
+            let end = i + best_len;
+            while i < end && i + MIN_MATCH <= data.len() {
+                let h = hash4(&data[i..]);
+                prev[i % WINDOW] = head[h];
+                head[h] = i;
+                i += 1;
+            }
+            i = end;
+            literal_start = i;
+        } else {
+            if i + MIN_MATCH <= data.len() {
+                let h = hash4(&data[i..]);
+                prev[i % WINDOW] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, literal_start, data.len());
+    out
+}
+
+/// Decompresses a stream produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    let mut pos = 0usize;
+    let declared = read_u64(data, &mut pos).ok_or(DecompressError::Truncated)?;
+    if declared > MAX_DECLARED {
+        return Err(DecompressError::DeclaredTooLarge(declared));
+    }
+    let declared = declared as usize;
+    let mut out = Vec::with_capacity(declared);
+
+    while pos < data.len() {
+        let tag = data[pos];
+        pos += 1;
+        match tag {
+            TOKEN_LITERAL => {
+                let len = read_u64(data, &mut pos).ok_or(DecompressError::Truncated)? as usize;
+                if pos + len > data.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                out.extend_from_slice(&data[pos..pos + len]);
+                pos += len;
+            }
+            TOKEN_MATCH => {
+                let len = read_u64(data, &mut pos).ok_or(DecompressError::Truncated)? as usize;
+                let dist = read_u64(data, &mut pos).ok_or(DecompressError::Truncated)? as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(DecompressError::BadDistance {
+                        at: out.len(),
+                        distance: dist,
+                    });
+                }
+                if out.len() + len > MAX_DECLARED as usize {
+                    return Err(DecompressError::DeclaredTooLarge((out.len() + len) as u64));
+                }
+                let start = out.len() - dist;
+                // Overlapping copies (dist < len) are legal and must be done
+                // byte by byte.
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+            other => return Err(DecompressError::BadToken(other)),
+        }
+    }
+
+    if out.len() != declared {
+        return Err(DecompressError::LengthMismatch {
+            declared,
+            actual: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// Summary of a compression operation, used by experiment reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompressionStats {
+    /// Size of the input in bytes.
+    pub original: usize,
+    /// Size of the compressed output in bytes.
+    pub compressed: usize,
+}
+
+impl CompressionStats {
+    /// Compresses `data` and records sizes (the output itself is discarded).
+    pub fn measure(data: &[u8]) -> Self {
+        let compressed = compress(data);
+        CompressionStats {
+            original: data.len(),
+            compressed: compressed.len(),
+        }
+    }
+
+    /// Compression ratio `original / compressed`.
+    pub fn ratio(&self) -> f64 {
+        if self.compressed == 0 {
+            return 1.0;
+        }
+        self.original as f64 / self.compressed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn empty_roundtrip() {
+        let c = compress(b"");
+        assert_eq!(decompress(&c).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn short_literal_roundtrip() {
+        let data = b"abc";
+        assert_eq!(decompress(&compress(data)).unwrap(), data);
+    }
+
+    #[test]
+    fn repetitive_roundtrip_and_shrinks() {
+        let data: Vec<u8> = std::iter::repeat(b"the quick brown fox ".as_slice())
+            .take(200)
+            .flatten()
+            .copied()
+            .collect();
+        let c = compress(&data);
+        assert!(c.len() * 4 < data.len(), "compressed {} vs {}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn random_data_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut data = vec![0u8; 50_000];
+        rng.fill_bytes(&mut data);
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+        // Random data should not blow up much.
+        assert!(c.len() < data.len() + data.len() / 8 + 64);
+    }
+
+    #[test]
+    fn structured_transactions_reach_paper_ratio_range() {
+        // Hex-ish payloads with shared prefixes, similar to what the workload
+        // generator produces; the paper reports ratios of 2.5-3.5.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut batch = Vec::new();
+        for i in 0..100 {
+            let to = rng.gen_range(0..40u32);
+            batch.extend_from_slice(
+                format!(
+                    "{{\"chainId\":42161,\"from\":\"0x{:040x}\",\"to\":\"0x{:040x}\",\"value\":\"{}\",\
+                     \"gas\":\"{}\",\"data\":\"0x{}\"}}",
+                    i, to, rng.gen_range(0u64..1_000_000), rng.gen_range(21000u64..900_000),
+                    "a3b1c2".repeat(rng.gen_range(10..120))
+                )
+                .as_bytes(),
+            );
+        }
+        let stats = CompressionStats::measure(&batch);
+        assert!(
+            stats.ratio() > 2.0,
+            "expected ratio above 2, got {:.2}",
+            stats.ratio()
+        );
+        assert_eq!(decompress(&compress(&batch)).unwrap(), batch);
+    }
+
+    #[test]
+    fn overlapping_match_roundtrip() {
+        // "aaaa..." forces dist=1, len>1 overlapping copies.
+        let data = vec![b'a'; 1000];
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let data = vec![b'x'; 500];
+        let mut c = compress(&data);
+        c.truncate(c.len() - 3);
+        assert!(decompress(&c).is_err());
+    }
+
+    #[test]
+    fn bad_token_detected() {
+        let mut c = compress(b"hello world hello world");
+        // Corrupt the first token tag after the header varint.
+        let mut pos = 0;
+        read_u64(&c, &mut pos).unwrap();
+        c[pos] = 0x7E;
+        assert!(matches!(decompress(&c), Err(DecompressError::BadToken(0x7E))));
+    }
+
+    #[test]
+    fn bad_distance_detected() {
+        let mut out = Vec::new();
+        write_u64(&mut out, 10);
+        out.push(TOKEN_MATCH);
+        write_u64(&mut out, 5);
+        write_u64(&mut out, 3); // distance 3 with empty output so far
+        assert!(matches!(
+            decompress(&out),
+            Err(DecompressError::BadDistance { .. })
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let mut c = compress(b"abcdef");
+        // Tamper with the declared length (first varint byte).
+        c[0] = c[0].wrapping_add(1);
+        assert!(matches!(
+            decompress(&c),
+            Err(DecompressError::LengthMismatch { .. }) | Err(DecompressError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn declared_too_large_rejected() {
+        let mut out = Vec::new();
+        write_u64(&mut out, MAX_DECLARED + 1);
+        assert!(matches!(
+            decompress(&out),
+            Err(DecompressError::DeclaredTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn stats_ratio() {
+        let stats = CompressionStats {
+            original: 100,
+            compressed: 40,
+        };
+        assert!((stats.ratio() - 2.5).abs() < 1e-9);
+        let degenerate = CompressionStats {
+            original: 0,
+            compressed: 0,
+        };
+        assert_eq!(degenerate.ratio(), 1.0);
+    }
+
+    #[test]
+    fn error_display_strings() {
+        assert!(DecompressError::Truncated.to_string().contains("truncated"));
+        assert!(DecompressError::BadToken(9).to_string().contains("token"));
+        assert!(DecompressError::BadDistance { at: 1, distance: 2 }
+            .to_string()
+            .contains("distance"));
+        assert!(DecompressError::LengthMismatch {
+            declared: 1,
+            actual: 2
+        }
+        .to_string()
+        .contains("declared"));
+        assert!(DecompressError::DeclaredTooLarge(5).to_string().contains("large"));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+                prop_assert_eq!(decompress(&compress(&data)).unwrap(), data);
+            }
+
+            #[test]
+            fn roundtrip_low_entropy(data in proptest::collection::vec(0u8..4, 0..4096)) {
+                let c = compress(&data);
+                prop_assert_eq!(decompress(&c).unwrap(), data);
+            }
+
+            #[test]
+            fn decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+                // Arbitrary bytes fed to the decoder must return, not panic.
+                let _ = decompress(&data);
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! LEB128-style variable-length integer encoding used by the LZ77 stream.
+
+/// Appends `value` to `out` as an unsigned LEB128 varint.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a varint from `data` starting at `*pos`, advancing `*pos`.
+/// Returns `None` on truncated or overlong (>10 byte) input.
+pub fn read_u64(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_edge_values() {
+        for v in [0u64, 1, 127, 128, 255, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn truncated_input_returns_none() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 1 << 40);
+        buf.pop();
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn overlong_input_rejected() {
+        let buf = vec![0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn sequence_of_varints() {
+        let values = [3u64, 70_000, 0, 42, 9_999_999_999];
+        let mut buf = Vec::new();
+        for v in values {
+            write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for v in values {
+            assert_eq!(read_u64(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn roundtrip(v in any::<u64>()) {
+                let mut buf = Vec::new();
+                write_u64(&mut buf, v);
+                let mut pos = 0;
+                prop_assert_eq!(read_u64(&buf, &mut pos), Some(v));
+                prop_assert_eq!(pos, buf.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! HMAC (RFC 2104) over the in-repo SHA-2 hashers.
+//!
+//! HMAC is used by the signature substitute ([`crate::signature`]) and is
+//! also exposed directly for tests and for deriving deterministic per-process
+//! key material in the simulator.
+
+use crate::hash::{Digest256, Digest512, Sha256, Sha512};
+
+const BLOCK_256: usize = 64;
+const BLOCK_512: usize = 128;
+
+/// HMAC-SHA-256 of `message` under `key`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest256 {
+    let mut key_block = [0u8; BLOCK_256];
+    if key.len() > BLOCK_256 {
+        let d = {
+            let mut h = Sha256::new();
+            h.update(key);
+            h.finalize()
+        };
+        key_block[..32].copy_from_slice(d.as_bytes());
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0u8; BLOCK_256];
+    let mut opad = [0u8; BLOCK_256];
+    for i in 0..BLOCK_256 {
+        ipad[i] = key_block[i] ^ 0x36;
+        opad[i] = key_block[i] ^ 0x5c;
+    }
+    let inner = {
+        let mut h = Sha256::new();
+        h.update(&ipad);
+        h.update(message);
+        h.finalize()
+    };
+    let mut h = Sha256::new();
+    h.update(&opad);
+    h.update(inner.as_bytes());
+    h.finalize()
+}
+
+/// HMAC-SHA-512 of `message` under `key`.
+pub fn hmac_sha512(key: &[u8], message: &[u8]) -> Digest512 {
+    let mut key_block = [0u8; BLOCK_512];
+    if key.len() > BLOCK_512 {
+        let d = {
+            let mut h = Sha512::new();
+            h.update(key);
+            h.finalize()
+        };
+        key_block[..64].copy_from_slice(d.as_bytes());
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0u8; BLOCK_512];
+    let mut opad = [0u8; BLOCK_512];
+    for i in 0..BLOCK_512 {
+        ipad[i] = key_block[i] ^ 0x36;
+        opad[i] = key_block[i] ^ 0x5c;
+    }
+    let inner = {
+        let mut h = Sha512::new();
+        h.update(&ipad);
+        h.update(message);
+        h.finalize()
+    };
+    let mut h = Sha512::new();
+    h.update(&opad);
+    h.update(inner.as_bytes());
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let msg = b"Hi There";
+        assert_eq!(
+            hmac_sha256(&key, msg).to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        assert_eq!(
+            hmac_sha512(&key, msg).to_hex(),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde\
+             daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854"
+                .replace(char::is_whitespace, "")
+        );
+    }
+
+    // RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case2() {
+        let key = b"Jefe";
+        let msg = b"what do ya want for nothing?";
+        assert_eq!(
+            hmac_sha256(key, msg).to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+        assert_eq!(
+            hmac_sha512(key, msg).to_hex(),
+            "164b7a7bfcf819e2e395fbe73b56e0a387bd64222e831fd610270cd7ea250554\
+             9758bf75c05a994a6d034f65f8f0e6fdcaeab1a34d4a6b4b636e070a38bce737"
+                .replace(char::is_whitespace, "")
+        );
+    }
+
+    // RFC 4231 test case 3 (0xaa key, 0xdd data).
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        assert_eq!(
+            hmac_sha256(&key, &msg).to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    // RFC 4231 test case 6: key longer than the block size.
+    #[test]
+    fn rfc4231_long_key() {
+        let key = [0xaau8; 131];
+        let msg = b"Test Using Larger Than Block-Size Key - Hash Key First";
+        assert_eq!(
+            hmac_sha256(&key, msg).to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+        assert_ne!(hmac_sha512(b"k1", b"m"), hmac_sha512(b"k2", b"m"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Process identities, key pairs and the PKI key registry.
+//!
+//! The paper assumes a deployed PKI: every process (server or client) owns a
+//! private/public key pair and knows everyone else's public key. In this
+//! reproduction the PKI is the [`KeyRegistry`]: key pairs are generated
+//! deterministically from a seed, registered once at system construction
+//! time, and the registry is shared (cheaply, it is an `Arc`) by every
+//! simulated process that needs to verify signatures.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::hash::sha256;
+
+/// Identifier of a process (server or client) in the system.
+///
+/// Servers and clients draw from disjoint ranges by convention (see
+/// [`ProcessId::server`] / [`ProcessId::client`]) so that logs and assertions
+/// can distinguish them, but nothing in the protocol depends on the split.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProcessId(pub u64);
+
+const CLIENT_BASE: u64 = 1 << 32;
+
+impl ProcessId {
+    /// The id of the `i`-th server.
+    pub fn server(i: usize) -> Self {
+        ProcessId(i as u64)
+    }
+
+    /// The id of the `i`-th client.
+    pub fn client(i: usize) -> Self {
+        ProcessId(CLIENT_BASE + i as u64)
+    }
+
+    /// True if this id is in the server range.
+    pub fn is_server(&self) -> bool {
+        self.0 < CLIENT_BASE
+    }
+
+    /// For server ids, the server index; panics for client ids.
+    pub fn server_index(&self) -> usize {
+        assert!(self.is_server(), "not a server id: {self:?}");
+        self.0 as usize
+    }
+
+    /// For client ids, the client index; panics for server ids.
+    pub fn client_index(&self) -> usize {
+        assert!(!self.is_server(), "not a client id: {self:?}");
+        (self.0 - CLIENT_BASE) as usize
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_server() {
+            write!(f, "server#{}", self.0)
+        } else {
+            write!(f, "client#{}", self.0 - CLIENT_BASE)
+        }
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Secret signing key (a 32-byte seed, as in ed25519).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SecretKey(pub [u8; 32]);
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print secret material.
+        write!(f, "SecretKey(…)")
+    }
+}
+
+/// Public verification key (32 bytes, derived as SHA-256 of the seed).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PublicKey(pub [u8; 32]);
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PublicKey({:02x}{:02x}{:02x}{:02x}…)", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+/// A process key pair.
+#[derive(Clone, Copy, Debug)]
+pub struct KeyPair {
+    /// Owner of the pair.
+    pub id: ProcessId,
+    /// Private seed.
+    pub secret: SecretKey,
+    /// Public key derived from the seed.
+    pub public: PublicKey,
+}
+
+impl KeyPair {
+    /// Generates a key pair for `id` from an RNG.
+    pub fn generate<R: RngCore>(id: ProcessId, rng: &mut R) -> Self {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        Self::from_seed(id, seed)
+    }
+
+    /// Builds a key pair deterministically from a 32-byte seed.
+    pub fn from_seed(id: ProcessId, seed: [u8; 32]) -> Self {
+        let secret = SecretKey(seed);
+        let public = PublicKey(sha256(&seed).0);
+        KeyPair { id, secret, public }
+    }
+
+    /// Derives a key pair deterministically from a process id and a system
+    /// seed, which is how the simulator provisions the PKI.
+    pub fn derive(id: ProcessId, system_seed: u64) -> Self {
+        let mut material = [0u8; 16];
+        material[..8].copy_from_slice(&system_seed.to_le_bytes());
+        material[8..].copy_from_slice(&id.0.to_le_bytes());
+        Self::from_seed(id, sha256(&material).0)
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    by_id: HashMap<ProcessId, KeyPair>,
+    by_public: HashMap<PublicKey, ProcessId>,
+}
+
+/// The PKI: a shared directory mapping process ids to key pairs.
+///
+/// In a real deployment verification would only need the *public* key; our
+/// keyed-hash signature substitute needs the registry to resolve the signer's
+/// verification material (see `DESIGN.md` §3). The registry is therefore the
+/// trust anchor of the simulation: processes that are not registered cannot
+/// produce signatures that verify.
+#[derive(Clone, Default)]
+pub struct KeyRegistry {
+    inner: Arc<RwLock<RegistryInner>>,
+}
+
+impl KeyRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a registry pre-populated with `servers` server keys and
+    /// `clients` client keys, all derived from `system_seed`.
+    pub fn bootstrap(system_seed: u64, servers: usize, clients: usize) -> Self {
+        let reg = Self::new();
+        for i in 0..servers {
+            reg.register(KeyPair::derive(ProcessId::server(i), system_seed));
+        }
+        for i in 0..clients {
+            reg.register(KeyPair::derive(ProcessId::client(i), system_seed));
+        }
+        reg
+    }
+
+    /// Registers a key pair. Re-registering the same id replaces the entry.
+    pub fn register(&self, pair: KeyPair) {
+        let mut inner = self.inner.write();
+        inner.by_public.insert(pair.public, pair.id);
+        inner.by_id.insert(pair.id, pair);
+    }
+
+    /// Looks up the key pair of `id`.
+    pub fn lookup(&self, id: ProcessId) -> Option<KeyPair> {
+        self.inner.read().by_id.get(&id).copied()
+    }
+
+    /// Looks up the public key of `id`.
+    pub fn public_key(&self, id: ProcessId) -> Option<PublicKey> {
+        self.lookup(id).map(|p| p.public)
+    }
+
+    /// Resolves a public key back to the owning process.
+    pub fn owner(&self, public: &PublicKey) -> Option<ProcessId> {
+        self.inner.read().by_public.get(public).copied()
+    }
+
+    /// Number of registered processes.
+    pub fn len(&self) -> usize {
+        self.inner.read().by_id.len()
+    }
+
+    /// True if no process is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn process_id_ranges() {
+        let s = ProcessId::server(3);
+        let c = ProcessId::client(3);
+        assert!(s.is_server());
+        assert!(!c.is_server());
+        assert_eq!(s.server_index(), 3);
+        assert_eq!(c.client_index(), 3);
+        assert_ne!(s, c);
+        assert_eq!(format!("{s:?}"), "server#3");
+        assert_eq!(format!("{c:?}"), "client#3");
+    }
+
+    #[test]
+    fn keypair_derivation_is_deterministic() {
+        let a = KeyPair::derive(ProcessId::server(1), 42);
+        let b = KeyPair::derive(ProcessId::server(1), 42);
+        let c = KeyPair::derive(ProcessId::server(2), 42);
+        let d = KeyPair::derive(ProcessId::server(1), 43);
+        assert_eq!(a.secret.0, b.secret.0);
+        assert_eq!(a.public, b.public);
+        assert_ne!(a.public, c.public);
+        assert_ne!(a.public, d.public);
+    }
+
+    #[test]
+    fn generate_uses_rng() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = KeyPair::generate(ProcessId::client(0), &mut rng);
+        let b = KeyPair::generate(ProcessId::client(1), &mut rng);
+        assert_ne!(a.public, b.public);
+    }
+
+    #[test]
+    fn registry_bootstrap_and_lookup() {
+        let reg = KeyRegistry::bootstrap(123, 4, 2);
+        assert_eq!(reg.len(), 6);
+        assert!(!reg.is_empty());
+        let pair = reg.lookup(ProcessId::server(2)).expect("registered");
+        assert_eq!(reg.owner(&pair.public), Some(ProcessId::server(2)));
+        assert_eq!(reg.public_key(ProcessId::server(2)), Some(pair.public));
+        assert!(reg.lookup(ProcessId::server(10)).is_none());
+    }
+
+    #[test]
+    fn secret_key_debug_is_redacted() {
+        let pair = KeyPair::derive(ProcessId::server(0), 1);
+        assert_eq!(format!("{:?}", pair.secret), "SecretKey(…)");
+    }
+}

@@ -1,0 +1,147 @@
+//! Deterministic signature scheme standing in for ed25519.
+//!
+//! A signature over `msg` by process `p` is `HMAC-SHA-512(secret_p, msg)`
+//! (64 bytes, the same length as an ed25519 signature) together with the
+//! signer's id. Verification resolves the signer's key material through the
+//! PKI [`KeyRegistry`] and recomputes the MAC. This provides exactly the
+//! guarantee the Setchain algorithms rely on: a process that does not own the
+//! registered secret cannot produce a signature that correct processes accept,
+//! and signatures bind the signer identity to the signed bytes.
+
+use std::fmt;
+
+use crate::hash::Digest512;
+use crate::hmac::hmac_sha512;
+use crate::keys::{KeyPair, KeyRegistry, ProcessId};
+
+/// Byte length of a signature (matches ed25519).
+pub const SIGNATURE_LEN: usize = 64;
+
+/// A signature: signer identity plus 64 bytes of MAC output.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// The claimed signer.
+    pub signer: ProcessId,
+    /// MAC bytes.
+    pub bytes: [u8; SIGNATURE_LEN],
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Signature({} {:02x}{:02x}{:02x}{:02x}…)",
+            self.signer, self.bytes[0], self.bytes[1], self.bytes[2], self.bytes[3]
+        )
+    }
+}
+
+impl Signature {
+    /// A structurally valid but cryptographically bogus signature, used by
+    /// Byzantine behaviours in tests and fault-injection experiments.
+    pub fn forged(signer: ProcessId) -> Self {
+        Signature {
+            signer,
+            bytes: [0xBD; SIGNATURE_LEN],
+        }
+    }
+
+    /// Size of the signature on the wire, in bytes (identity + MAC).
+    pub fn wire_len(&self) -> usize {
+        SIGNATURE_LEN + 8
+    }
+}
+
+/// Signs `msg` with the given key pair.
+pub fn sign(pair: &KeyPair, msg: &[u8]) -> Signature {
+    let mac: Digest512 = hmac_sha512(&pair.secret.0, msg);
+    Signature {
+        signer: pair.id,
+        bytes: mac.0,
+    }
+}
+
+/// Verifies that `sig` is a valid signature over `msg` by `sig.signer`,
+/// resolving the signer's key through the PKI `registry`.
+///
+/// Returns `false` for unknown signers, forged MACs, or messages that do not
+/// match the signed bytes.
+pub fn verify(registry: &KeyRegistry, msg: &[u8], sig: &Signature) -> bool {
+    match registry.lookup(sig.signer) {
+        Some(pair) => {
+            let expected = hmac_sha512(&pair.secret.0, msg);
+            // Constant-time-ish comparison; not security critical in the
+            // simulation but cheap to do properly.
+            let mut diff = 0u8;
+            for (a, b) in expected.0.iter().zip(sig.bytes.iter()) {
+                diff |= a ^ b;
+            }
+            diff == 0
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyRegistry;
+
+    fn setup() -> (KeyRegistry, KeyPair, KeyPair) {
+        let reg = KeyRegistry::bootstrap(99, 3, 1);
+        let s0 = reg.lookup(ProcessId::server(0)).unwrap();
+        let s1 = reg.lookup(ProcessId::server(1)).unwrap();
+        (reg, s0, s1)
+    }
+
+    #[test]
+    fn sign_and_verify_roundtrip() {
+        let (reg, s0, _) = setup();
+        let sig = sign(&s0, b"epoch 1 contents");
+        assert!(verify(&reg, b"epoch 1 contents", &sig));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let (reg, s0, _) = setup();
+        let sig = sign(&s0, b"epoch 1 contents");
+        assert!(!verify(&reg, b"epoch 2 contents", &sig));
+    }
+
+    #[test]
+    fn wrong_claimed_signer_rejected() {
+        let (reg, s0, s1) = setup();
+        let mut sig = sign(&s0, b"msg");
+        sig.signer = s1.id;
+        assert!(!verify(&reg, b"msg", &sig));
+    }
+
+    #[test]
+    fn unknown_signer_rejected() {
+        let (reg, s0, _) = setup();
+        let mut sig = sign(&s0, b"msg");
+        sig.signer = ProcessId::server(50);
+        assert!(!verify(&reg, b"msg", &sig));
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let (reg, s0, _) = setup();
+        let sig = Signature::forged(s0.id);
+        assert!(!verify(&reg, b"msg", &sig));
+    }
+
+    #[test]
+    fn signatures_are_deterministic() {
+        let (_, s0, _) = setup();
+        assert_eq!(sign(&s0, b"m"), sign(&s0, b"m"));
+        assert_ne!(sign(&s0, b"m").bytes, sign(&s0, b"n").bytes);
+    }
+
+    #[test]
+    fn signature_wire_len() {
+        let (_, s0, _) = setup();
+        let sig = sign(&s0, b"m");
+        assert_eq!(sig.wire_len(), 72);
+    }
+}

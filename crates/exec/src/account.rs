@@ -1,0 +1,227 @@
+//! Account-based world state for the blockchain extension.
+//!
+//! Appendix G of the paper sketches how a Setchain becomes a full blockchain:
+//! after an epoch is consolidated and its transactions ordered, their effects
+//! are computed sequentially against a replicated state. This module provides
+//! that state: a map from [`Address`] to [`Account`] with a Merkle commitment
+//! ([`WorldState::state_root`]) so correct servers can cross-check that they
+//! computed the same effects for the same epochs.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use setchain_crypto::{Digest256, MerkleTree};
+
+/// An account address.
+///
+/// The reproduction derives addresses deterministically from Setchain
+/// elements (see [`crate::transaction::Transaction::from_element`]), so a
+/// 64-bit identifier is sufficient; a production chain would use a hash of a
+/// public key instead.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Address(pub u64);
+
+impl Address {
+    /// The address credited with transaction fees (the "validator" account
+    /// in the paper's framing; a single sink keeps conservation checkable).
+    pub const FEE_SINK: Address = Address(u64::MAX);
+
+    /// Derives the address owned by injection client `index`.
+    pub fn for_client(index: u32) -> Self {
+        Address(0x1000_0000_0000 | index as u64)
+    }
+}
+
+/// The balance/nonce pair stored per account.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Account {
+    /// Spendable balance.
+    pub balance: u128,
+    /// Number of transactions this account has successfully sent. A transfer
+    /// is void unless its nonce equals the sender's current nonce.
+    pub nonce: u64,
+}
+
+/// The replicated account state.
+///
+/// A `BTreeMap` keeps iteration order deterministic so that the Merkle root
+/// is identical on every correct server regardless of insertion order.
+#[derive(Clone, Debug, Default)]
+pub struct WorldState {
+    accounts: BTreeMap<Address, Account>,
+    /// Fees collected by executed transactions and credited to
+    /// [`Address::FEE_SINK`] lazily at root computation time. Kept separate
+    /// so [`WorldState::total_supply`] stays a pure sum over accounts.
+    fees_collected: u128,
+}
+
+impl WorldState {
+    /// Creates an empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a state in which every address in `genesis` starts with the
+    /// given balance and nonce 0.
+    pub fn with_genesis(genesis: impl IntoIterator<Item = (Address, u128)>) -> Self {
+        let mut state = Self::new();
+        for (addr, balance) in genesis {
+            state.accounts.insert(addr, Account { balance, nonce: 0 });
+        }
+        state
+    }
+
+    /// Number of accounts with state (including zero-balance accounts that
+    /// have sent transactions).
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// True if no account has any state.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    /// The account stored for `addr` (default account if never touched).
+    pub fn account(&self, addr: Address) -> Account {
+        self.accounts.get(&addr).copied().unwrap_or_default()
+    }
+
+    /// The balance of `addr`.
+    pub fn balance(&self, addr: Address) -> u128 {
+        self.account(addr).balance
+    }
+
+    /// The nonce of `addr`.
+    pub fn nonce(&self, addr: Address) -> u64 {
+        self.account(addr).nonce
+    }
+
+    /// Mutable access to the account of `addr`, creating it if needed.
+    pub fn account_mut(&mut self, addr: Address) -> &mut Account {
+        self.accounts.entry(addr).or_default()
+    }
+
+    /// Credits `amount` to `addr`.
+    pub fn credit(&mut self, addr: Address, amount: u128) {
+        self.account_mut(addr).balance += amount;
+    }
+
+    /// Debits `amount` from `addr`; returns false (and leaves the account
+    /// untouched) if the balance is insufficient.
+    pub fn debit(&mut self, addr: Address, amount: u128) -> bool {
+        let account = self.account_mut(addr);
+        if account.balance < amount {
+            return false;
+        }
+        account.balance -= amount;
+        true
+    }
+
+    /// Records `fee` as collected (credited to [`Address::FEE_SINK`]).
+    pub fn collect_fee(&mut self, fee: u128) {
+        self.fees_collected += fee;
+        self.credit(Address::FEE_SINK, fee);
+    }
+
+    /// Total fees collected so far.
+    pub fn fees_collected(&self) -> u128 {
+        self.fees_collected
+    }
+
+    /// Sum of all account balances (including the fee sink). Execution never
+    /// creates or destroys value, so this is invariant under
+    /// [`crate::executor::execute_epoch`].
+    pub fn total_supply(&self) -> u128 {
+        self.accounts.values().map(|a| a.balance).sum()
+    }
+
+    /// Iterates over all accounts in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Address, &Account)> {
+        self.accounts.iter()
+    }
+
+    /// Merkle root over the (address, balance, nonce) triples in address
+    /// order: the state commitment correct servers compare after executing an
+    /// epoch.
+    pub fn state_root(&self) -> Digest256 {
+        let leaves: Vec<[u8; 32]> = self
+            .accounts
+            .iter()
+            .map(|(addr, acct)| {
+                let mut leaf = [0u8; 32];
+                leaf[..8].copy_from_slice(&addr.0.to_le_bytes());
+                leaf[8..24].copy_from_slice(&acct.balance.to_le_bytes());
+                leaf[24..32].copy_from_slice(&acct.nonce.to_le_bytes());
+                leaf
+            })
+            .collect();
+        MerkleTree::build(&leaves).root()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genesis_funds_accounts() {
+        let state = WorldState::with_genesis([(Address(1), 100), (Address(2), 50)]);
+        assert_eq!(state.len(), 2);
+        assert_eq!(state.balance(Address(1)), 100);
+        assert_eq!(state.balance(Address(2)), 50);
+        assert_eq!(state.balance(Address(3)), 0);
+        assert_eq!(state.nonce(Address(1)), 0);
+        assert_eq!(state.total_supply(), 150);
+    }
+
+    #[test]
+    fn credit_and_debit() {
+        let mut state = WorldState::new();
+        state.credit(Address(7), 10);
+        assert_eq!(state.balance(Address(7)), 10);
+        assert!(state.debit(Address(7), 4));
+        assert_eq!(state.balance(Address(7)), 6);
+        assert!(!state.debit(Address(7), 7), "overdraft refused");
+        assert_eq!(state.balance(Address(7)), 6, "failed debit leaves balance");
+        assert!(!state.debit(Address(99), 1), "unknown account has nothing");
+    }
+
+    #[test]
+    fn fee_collection_goes_to_the_sink() {
+        let mut state = WorldState::with_genesis([(Address(1), 100)]);
+        state.collect_fee(3);
+        state.collect_fee(2);
+        assert_eq!(state.fees_collected(), 5);
+        assert_eq!(state.balance(Address::FEE_SINK), 5);
+        assert_eq!(state.total_supply(), 105);
+    }
+
+    #[test]
+    fn state_root_is_order_independent_and_content_sensitive() {
+        let a = WorldState::with_genesis([(Address(1), 10), (Address(2), 20)]);
+        let b = WorldState::with_genesis([(Address(2), 20), (Address(1), 10)]);
+        assert_eq!(a.state_root(), b.state_root());
+        let c = WorldState::with_genesis([(Address(1), 10), (Address(2), 21)]);
+        assert_ne!(a.state_root(), c.state_root());
+        let mut d = a.clone();
+        d.account_mut(Address(1)).nonce = 1;
+        assert_ne!(a.state_root(), d.state_root());
+    }
+
+    #[test]
+    fn empty_state_has_a_well_defined_root() {
+        let a = WorldState::new();
+        let b = WorldState::new();
+        assert_eq!(a.state_root(), b.state_root());
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn client_addresses_are_distinct_from_fee_sink() {
+        for i in 0..1000 {
+            assert_ne!(Address::for_client(i), Address::FEE_SINK);
+        }
+        assert_ne!(Address::for_client(0), Address::for_client(1));
+    }
+}

@@ -1,0 +1,383 @@
+//! Two-phase epoch execution (Appendix G).
+//!
+//! 1. **Optimistic validation** — every transaction of the epoch is checked
+//!    independently (format, authentication), in parallel across worker
+//!    threads ([`validate_epoch`]).
+//! 2. **Sequential execution** — transactions are applied one by one in their
+//!    final position against the [`WorldState`]; a transaction whose stateful
+//!    checks fail (nonce mismatch, insufficient balance) is marked **void**
+//!    and has no effect ([`execute_epoch`]).
+//!
+//! Appendix G also notes the trade-off between decentralisation and
+//! scalability: since execution is sequential within an epoch, very large
+//! epochs may require limiting. [`ExecutionConfig::max_epoch_txs`] models
+//! that limit; transactions past it are voided with
+//! [`VoidReason::EpochLimitExceeded`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::account::WorldState;
+use crate::parallel::{default_threads, parallel_map};
+use crate::transaction::{Transaction, VoidReason};
+
+/// Execution parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ExecutionConfig {
+    /// Worker threads used by the optimistic validation phase.
+    pub threads: usize,
+    /// Maximum number of transactions executed per epoch; `None` means
+    /// unlimited (the default — the limit is an explicit opt-in, as in the
+    /// paper's discussion of Ethereum-style block limits).
+    pub max_epoch_txs: Option<usize>,
+}
+
+impl Default for ExecutionConfig {
+    fn default() -> Self {
+        ExecutionConfig {
+            threads: default_threads(),
+            max_epoch_txs: None,
+        }
+    }
+}
+
+impl ExecutionConfig {
+    /// Single-threaded configuration (the sequential baseline used by the
+    /// validation ablation bench).
+    pub fn sequential() -> Self {
+        ExecutionConfig {
+            threads: 1,
+            max_epoch_txs: None,
+        }
+    }
+
+    /// Sets the per-epoch execution limit.
+    pub fn with_epoch_limit(mut self, limit: usize) -> Self {
+        self.max_epoch_txs = Some(limit);
+        self
+    }
+
+    /// Sets the validation thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "at least one thread required");
+        self.threads = threads;
+        self
+    }
+}
+
+/// Outcome of one transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TxStatus {
+    /// The transfer was applied to the state.
+    Applied,
+    /// The transaction was marked void and had no effect.
+    Void(VoidReason),
+}
+
+impl TxStatus {
+    /// True if the transaction was applied.
+    pub fn is_applied(&self) -> bool {
+        matches!(self, TxStatus::Applied)
+    }
+}
+
+/// Per-transaction execution record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Receipt {
+    /// The transaction's position within its epoch.
+    pub index: usize,
+    /// Outcome.
+    pub status: TxStatus,
+}
+
+/// Summary of executing one epoch.
+#[derive(Clone, Debug, Default)]
+pub struct EpochReceipts {
+    /// One receipt per transaction, in execution order.
+    pub receipts: Vec<Receipt>,
+    /// Number of applied transactions.
+    pub applied: usize,
+    /// Number of void transactions.
+    pub void: usize,
+    /// Total value moved by applied transfers.
+    pub value_moved: u128,
+    /// Total fees collected from applied transfers.
+    pub fees: u128,
+}
+
+impl EpochReceipts {
+    /// Receipt of the transaction at `index`.
+    pub fn receipt(&self, index: usize) -> Option<&Receipt> {
+        self.receipts.get(index)
+    }
+}
+
+/// Phase 1: optimistic, stateless validation of every transaction in
+/// parallel. Returns one entry per transaction: `Ok(())` or the reason the
+/// transaction is already known to be void.
+pub fn validate_epoch(txs: &[Transaction], config: &ExecutionConfig) -> Vec<Result<(), VoidReason>> {
+    parallel_map(txs, config.threads, Transaction::check_stateless)
+}
+
+/// Phase 2: sequential execution against `state`, consuming the phase-1
+/// verdicts. Transactions are applied in slice order (their "actual final
+/// position"); void transactions leave the state untouched.
+pub fn execute_epoch(
+    state: &mut WorldState,
+    txs: &[Transaction],
+    stateless: &[Result<(), VoidReason>],
+    config: &ExecutionConfig,
+) -> EpochReceipts {
+    assert_eq!(
+        txs.len(),
+        stateless.len(),
+        "one stateless verdict required per transaction"
+    );
+    let mut out = EpochReceipts::default();
+    let limit = config.max_epoch_txs.unwrap_or(usize::MAX);
+    for (index, (tx, verdict)) in txs.iter().zip(stateless).enumerate() {
+        let status = if index >= limit {
+            TxStatus::Void(VoidReason::EpochLimitExceeded)
+        } else if let Err(reason) = verdict {
+            TxStatus::Void(*reason)
+        } else {
+            apply_transfer(state, tx)
+        };
+        match status {
+            TxStatus::Applied => {
+                out.applied += 1;
+                out.value_moved += tx.amount as u128;
+                out.fees += tx.fee as u128;
+            }
+            TxStatus::Void(_) => out.void += 1,
+        }
+        out.receipts.push(Receipt { index, status });
+    }
+    out
+}
+
+/// Convenience wrapper running both phases.
+pub fn validate_and_execute(
+    state: &mut WorldState,
+    txs: &[Transaction],
+    config: &ExecutionConfig,
+) -> EpochReceipts {
+    let stateless = validate_epoch(txs, config);
+    execute_epoch(state, txs, &stateless, config)
+}
+
+/// Applies a single transfer whose stateless checks already passed.
+fn apply_transfer(state: &mut WorldState, tx: &Transaction) -> TxStatus {
+    // Nonce-sequenced transactions get Ethereum-style replay protection;
+    // element-decoded transactions carry no nonce (the Setchain layer already
+    // guarantees single inclusion) and skip the check.
+    if let Some(nonce) = tx.nonce {
+        if state.nonce(tx.from) != nonce {
+            return TxStatus::Void(VoidReason::BadNonce);
+        }
+    }
+    if state.balance(tx.from) < tx.cost() {
+        return TxStatus::Void(VoidReason::InsufficientBalance);
+    }
+    let debited = state.debit(tx.from, tx.cost());
+    debug_assert!(debited, "balance checked above");
+    state.credit(tx.to, tx.amount as u128);
+    state.collect_fee(tx.fee as u128);
+    state.account_mut(tx.from).nonce += 1;
+    TxStatus::Applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::Address;
+    use proptest::prelude::*;
+
+    fn funded(addresses: &[u64], balance: u128) -> WorldState {
+        WorldState::with_genesis(addresses.iter().map(|a| (Address(*a), balance)))
+    }
+
+    #[test]
+    fn simple_transfer_moves_value_and_fee() {
+        let mut state = funded(&[1, 2], 100);
+        let tx = Transaction::transfer(Address(1), Address(2), 30, 2, 0);
+        let receipts = validate_and_execute(&mut state, &[tx], &ExecutionConfig::sequential());
+        assert_eq!(receipts.applied, 1);
+        assert_eq!(receipts.void, 0);
+        assert_eq!(state.balance(Address(1)), 68);
+        assert_eq!(state.balance(Address(2)), 130);
+        assert_eq!(state.balance(Address::FEE_SINK), 2);
+        assert_eq!(state.nonce(Address(1)), 1);
+        assert_eq!(receipts.value_moved, 30);
+        assert_eq!(receipts.fees, 2);
+    }
+
+    #[test]
+    fn bad_nonce_and_overdraft_are_void_without_effect() {
+        let mut state = funded(&[1, 2], 10);
+        let root_before = state.state_root();
+        let txs = [
+            Transaction::transfer(Address(1), Address(2), 5, 1, 3), // wrong nonce
+            Transaction::transfer(Address(2), Address(1), 100, 1, 0), // overdraft
+        ];
+        let receipts = validate_and_execute(&mut state, &txs, &ExecutionConfig::sequential());
+        assert_eq!(receipts.applied, 0);
+        assert_eq!(receipts.void, 2);
+        assert_eq!(
+            receipts.receipt(0).unwrap().status,
+            TxStatus::Void(VoidReason::BadNonce)
+        );
+        assert_eq!(
+            receipts.receipt(1).unwrap().status,
+            TxStatus::Void(VoidReason::InsufficientBalance)
+        );
+        assert_eq!(state.state_root(), root_before, "void txs leave the state");
+    }
+
+    #[test]
+    fn nonce_sequence_within_one_epoch() {
+        let mut state = funded(&[1, 2], 1_000);
+        let txs = [
+            Transaction::transfer(Address(1), Address(2), 10, 1, 0),
+            Transaction::transfer(Address(1), Address(2), 10, 1, 1),
+            Transaction::transfer(Address(1), Address(2), 10, 1, 1), // replay
+            Transaction::transfer(Address(1), Address(2), 10, 1, 2),
+        ];
+        let receipts = validate_and_execute(&mut state, &txs, &ExecutionConfig::sequential());
+        assert_eq!(receipts.applied, 3);
+        assert_eq!(receipts.void, 1);
+        assert_eq!(state.nonce(Address(1)), 3);
+    }
+
+    #[test]
+    fn stateless_failures_are_voided_before_touching_state() {
+        let mut state = funded(&[1, 2], 100);
+        let txs = [
+            Transaction::transfer(Address(1), Address(1), 10, 1, 0), // self-send
+            Transaction::transfer(Address(1), Address(2), 0, 1, 0),  // zero amount
+            Transaction::transfer(Address(1), Address(2), 10, 1, 0), // fine
+        ];
+        let receipts = validate_and_execute(&mut state, &txs, &ExecutionConfig::default());
+        assert_eq!(receipts.applied, 1);
+        assert_eq!(receipts.void, 2);
+        // The valid transaction still executes with nonce 0: void ones do not
+        // consume nonces.
+        assert_eq!(state.nonce(Address(1)), 1);
+    }
+
+    #[test]
+    fn epoch_limit_voids_the_tail() {
+        let mut state = funded(&[1, 2], 1_000);
+        let txs: Vec<Transaction> = (0..10)
+            .map(|n| Transaction::transfer(Address(1), Address(2), 1, 1, n))
+            .collect();
+        let config = ExecutionConfig::sequential().with_epoch_limit(4);
+        let receipts = validate_and_execute(&mut state, &txs, &config);
+        assert_eq!(receipts.applied, 4);
+        assert_eq!(receipts.void, 6);
+        assert!(receipts.receipts[4..]
+            .iter()
+            .all(|r| r.status == TxStatus::Void(VoidReason::EpochLimitExceeded)));
+    }
+
+    #[test]
+    fn parallel_and_sequential_validation_agree() {
+        let txs: Vec<Transaction> = (0..3_000)
+            .map(|i| {
+                if i % 7 == 0 {
+                    Transaction::transfer(Address(1), Address(1), 5, 1, i) // void
+                } else {
+                    Transaction::transfer(Address(1), Address(2), 5, 1, i)
+                }
+            })
+            .collect();
+        let par = validate_epoch(&txs, &ExecutionConfig::default().with_threads(8));
+        let seq = validate_epoch(&txs, &ExecutionConfig::sequential());
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "one stateless verdict required")]
+    fn mismatched_verdicts_panic() {
+        let mut state = WorldState::new();
+        let txs = [Transaction::transfer(Address(1), Address(2), 1, 1, 0)];
+        let _ = execute_epoch(&mut state, &txs, &[], &ExecutionConfig::sequential());
+    }
+
+    proptest! {
+        /// Value is never created or destroyed: genesis supply equals final
+        /// supply, regardless of which transactions are void.
+        #[test]
+        fn prop_total_supply_is_conserved(
+            transfers in proptest::collection::vec(
+                (0u64..8, 0u64..8, 1u64..500, 0u64..5, 0u64..4),
+                0..200,
+            )
+        ) {
+            let mut state = funded(&[0, 1, 2, 3, 4, 5, 6, 7], 1_000);
+            let supply_before = state.total_supply();
+            let txs: Vec<Transaction> = transfers
+                .iter()
+                .map(|(f, t, amount, fee, nonce)| {
+                    Transaction::transfer(Address(*f), Address(*t), *amount, *fee, *nonce)
+                })
+                .collect();
+            let receipts = validate_and_execute(&mut state, &txs, &ExecutionConfig::default());
+            prop_assert_eq!(state.total_supply(), supply_before);
+            prop_assert_eq!(receipts.applied + receipts.void, txs.len());
+            prop_assert_eq!(state.fees_collected(), receipts.fees);
+        }
+
+        /// Execution is deterministic: replaying the same epoch on the same
+        /// genesis produces the same receipts and the same state root.
+        #[test]
+        fn prop_execution_is_deterministic(
+            transfers in proptest::collection::vec(
+                (0u64..6, 0u64..6, 1u64..300, 0u64..3, 0u64..3),
+                0..120,
+            ),
+            threads in 1usize..8,
+        ) {
+            let txs: Vec<Transaction> = transfers
+                .iter()
+                .map(|(f, t, amount, fee, nonce)| {
+                    Transaction::transfer(Address(*f), Address(*t), *amount, *fee, *nonce)
+                })
+                .collect();
+            let config_a = ExecutionConfig::default().with_threads(threads);
+            let config_b = ExecutionConfig::sequential();
+            let mut state_a = funded(&[0, 1, 2, 3, 4, 5], 500);
+            let mut state_b = funded(&[0, 1, 2, 3, 4, 5], 500);
+            let ra = validate_and_execute(&mut state_a, &txs, &config_a);
+            let rb = validate_and_execute(&mut state_b, &txs, &config_b);
+            prop_assert_eq!(ra.receipts, rb.receipts);
+            prop_assert_eq!(state_a.state_root(), state_b.state_root());
+        }
+
+        /// Nonces only ever increase, by exactly the number of applied
+        /// transactions per sender.
+        #[test]
+        fn prop_nonce_accounting(
+            transfers in proptest::collection::vec(
+                (0u64..4, 4u64..8, 1u64..100),
+                0..100,
+            )
+        ) {
+            let mut state = funded(&[0, 1, 2, 3], 1_000_000);
+            // Give each sender consecutive nonces so everything applies.
+            let mut next_nonce = [0u64; 4];
+            let txs: Vec<Transaction> = transfers
+                .iter()
+                .map(|(f, t, amount)| {
+                    let nonce = next_nonce[*f as usize];
+                    next_nonce[*f as usize] += 1;
+                    Transaction::transfer(Address(*f), Address(*t), *amount, 1, nonce)
+                })
+                .collect();
+            let receipts = validate_and_execute(&mut state, &txs, &ExecutionConfig::default());
+            prop_assert_eq!(receipts.void, 0);
+            for sender in 0..4u64 {
+                prop_assert_eq!(state.nonce(Address(sender)), next_nonce[sender as usize]);
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Execution layer extending Setchain to a fully functional blockchain.
+//!
+//! Appendix G of the paper explains how the Setchain algorithms — which by
+//! themselves only order *sets* of opaque elements — can be extended into a
+//! blockchain the way Hyperledger Fabric or RedBelly do:
+//!
+//! 1. while epochs are being built, each transaction is validated
+//!    **optimistically and independently** of all others (i.e. in parallel),
+//!    ignoring its semantics;
+//! 2. once an epoch is consolidated and its transactions ordered, their
+//!    effects are computed **sequentially** in their final position, and any
+//!    transaction found invalid at that point is marked **void**.
+//!
+//! This crate implements that extension:
+//!
+//! * [`Address`] / [`Account`] / [`WorldState`] — the replicated account
+//!   state with a Merkle [`state root`](WorldState::state_root).
+//! * [`Transaction`] — value transfers decoded deterministically from
+//!   Setchain [`Element`](setchain::Element)s, with the stateless
+//!   (parallelisable) and stateful (sequential) validity split the paper
+//!   describes.
+//! * [`validate_epoch`] / [`execute_epoch`] — the two execution phases;
+//!   validation fans out over scoped worker threads
+//!   ([`parallel::parallel_map`]).
+//! * [`ExecutedChain`] — a state machine that follows a Setchain server's
+//!   consolidated epochs ([`ExecutedChain::sync_from_setchain`]) so that all
+//!   correct servers compute identical state roots.
+//!
+//! The `token_blockchain` example at the repository root drives this crate
+//! from a full simulated Hashchain deployment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod chain;
+pub mod executor;
+pub mod parallel;
+pub mod transaction;
+
+pub use account::{Account, Address, WorldState};
+pub use chain::{EpochSummary, ExecutedChain};
+pub use executor::{
+    execute_epoch, validate_and_execute, validate_epoch, EpochReceipts, ExecutionConfig, Receipt,
+    TxStatus,
+};
+pub use transaction::{Transaction, VoidReason};

@@ -1,0 +1,119 @@
+//! Data-parallel helpers for the optimistic validation phase.
+//!
+//! Appendix G's first step validates every transaction of an epoch
+//! *independently of all other transactions, that is, in parallel*. The
+//! helper here is a chunked parallel map over scoped OS threads: the input is
+//! split into contiguous chunks, one per worker, each worker writes its
+//! results into its own slice of the output (no shared mutable state, no
+//! locks), and `std::thread::scope` joins everything before returning — the
+//! pattern the HPC guides recommend for embarrassingly parallel loops when a
+//! work-stealing pool is not warranted.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use by default: the available parallelism,
+/// capped so tiny inputs do not pay thread spawn costs for nothing.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item of `items`, producing the results in order.
+///
+/// With `threads <= 1` or a small input this degenerates to a sequential map
+/// (same results, no spawning). The function must be pure with respect to the
+/// slice: results are position-for-position identical to
+/// `items.iter().map(f).collect()`, which the tests and property tests below
+/// verify.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    // Below this size the spawn overhead dominates any speedup.
+    const MIN_PARALLEL_LEN: usize = 256;
+    if threads <= 1 || items.len() < MIN_PARALLEL_LEN {
+        return items.iter().map(f).collect();
+    }
+    let workers = threads.min(items.len());
+    let chunk_len = items.len().div_ceil(workers);
+    let mut chunk_results: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        // One contiguous input chunk per worker; each worker produces its own
+        // output vector (no shared mutable state), and the chunks are
+        // concatenated in order afterwards.
+        let mut handles = Vec::with_capacity(workers);
+        for chunk in items.chunks(chunk_len) {
+            let f = &f;
+            handles.push(scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()));
+        }
+        for handle in handles {
+            chunk_results.push(handle.join().expect("validation worker panicked"));
+        }
+    });
+    let mut results = Vec::with_capacity(items.len());
+    for chunk in chunk_results {
+        results.extend(chunk);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_sequential_map_on_small_input() {
+        let items: Vec<u64> = (0..100).collect();
+        let par = parallel_map(&items, 8, |x| x * 3);
+        let seq: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn matches_sequential_map_on_large_input() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let par = parallel_map(&items, 4, |x| x.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let seq: Vec<u64> = items
+            .iter()
+            .map(|x| x.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn single_thread_and_empty_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 8, |x| *x).is_empty());
+        let one = vec![5u32];
+        assert_eq!(parallel_map(&one, 1, |x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items: Vec<u32> = (0..300).collect();
+        let par = parallel_map(&items, 1024, |x| x + 1);
+        assert_eq!(par.len(), 300);
+        assert_eq!(par[299], 300);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_parallel_equals_sequential(
+            items in proptest::collection::vec(any::<u32>(), 0..2_000),
+            threads in 1usize..16,
+        ) {
+            let par = parallel_map(&items, threads, |x| (*x as u64) * 7 + 1);
+            let seq: Vec<u64> = items.iter().map(|x| (*x as u64) * 7 + 1).collect();
+            prop_assert_eq!(par, seq);
+        }
+    }
+}

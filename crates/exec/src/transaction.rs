@@ -1,0 +1,195 @@
+//! Transfer transactions executed by the blockchain extension.
+//!
+//! Appendix G keeps the Setchain layer oblivious to transaction semantics:
+//! elements are validated *optimistically and independently* ("ignoring its
+//! semantics") when epochs are built, and only after an epoch is consolidated
+//! are its transactions interpreted and executed in order, with invalid ones
+//! marked **void**. This module defines the transaction format and both
+//! validation layers:
+//!
+//! * [`Transaction::check_stateless`] — the per-transaction check that can be
+//!   run in parallel with no shared state (Appendix G step 1).
+//! * Stateful checks (nonce, balance) happen during sequential execution in
+//!   [`crate::executor`] (Appendix G step 2).
+
+use serde::{Deserialize, Serialize};
+use setchain::{Element, ElementId};
+
+use crate::account::Address;
+
+/// Why a transaction was rejected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum VoidReason {
+    /// The stateless (optimistic, parallel) validation failed: malformed
+    /// fields or an unauthenticated sender.
+    InvalidFormat,
+    /// The sender's nonce did not match the account nonce at execution time.
+    BadNonce,
+    /// The sender could not cover `amount + fee` at execution time.
+    InsufficientBalance,
+    /// The consolidated epoch exceeded the configured execution size limit
+    /// and this transaction fell past it (the epoch-size trade-off Appendix G
+    /// discusses).
+    EpochLimitExceeded,
+}
+
+/// A value transfer, the only transaction kind the extension executes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Transaction {
+    /// The Setchain element this transaction was decoded from (or a synthetic
+    /// id for directly constructed transactions).
+    pub element: ElementId,
+    /// Sending account. Debited `amount + fee`.
+    pub from: Address,
+    /// Receiving account. Credited `amount`.
+    pub to: Address,
+    /// Value transferred.
+    pub amount: u64,
+    /// Fee paid to the fee sink.
+    pub fee: u64,
+    /// Sender sequence number: when `Some`, it must equal the sender
+    /// account's nonce at execution time (Ethereum-style replay protection).
+    /// Transactions decoded from Setchain elements use `None`, because the
+    /// Setchain layer already guarantees an element is included in exactly
+    /// one epoch (Unique-Epoch), which is what a nonce would protect against,
+    /// and Setchain only orders *epochs*, not a client's elements across
+    /// them.
+    pub nonce: Option<u64>,
+    /// Whether the element carrying this transaction carried a valid client
+    /// authenticator. Elements reaching a consolidated epoch have already
+    /// been validated by the Setchain layer, but the executor re-checks the
+    /// flag so that directly injected malformed transactions are voided.
+    pub authenticated: bool,
+}
+
+impl Transaction {
+    /// Builds a transfer directly (used by tests and by applications that
+    /// drive the executor without a Setchain underneath).
+    pub fn transfer(from: Address, to: Address, amount: u64, fee: u64, nonce: u64) -> Self {
+        Transaction {
+            element: ElementId::new(0, 0),
+            from,
+            to,
+            amount,
+            fee,
+            nonce: Some(nonce),
+            authenticated: true,
+        }
+    }
+
+    /// Builds a transfer without nonce-based replay protection (what
+    /// [`Transaction::from_element`] produces; uniqueness is guaranteed by
+    /// the Setchain layer instead).
+    pub fn transfer_unsequenced(from: Address, to: Address, amount: u64, fee: u64) -> Self {
+        Transaction {
+            element: ElementId::new(0, 0),
+            from,
+            to,
+            amount,
+            fee,
+            nonce: None,
+            authenticated: true,
+        }
+    }
+
+    /// Decodes the transfer a Setchain element represents.
+    ///
+    /// The workload generator fills elements with Arbitrum-like opaque
+    /// payloads, so the transfer is derived deterministically from the
+    /// element's identity and content seed: every correct server decodes the
+    /// same element to the same transaction, which is all the execution layer
+    /// needs (DESIGN.md §3 documents this substitution). The sender is the
+    /// creating client's account and amount/fee/recipient are drawn from the
+    /// content seed. The nonce is `None`: replay protection is provided by
+    /// the Setchain layer (an element enters exactly one epoch, by
+    /// Unique-Epoch), and the Setchain deliberately does not order one
+    /// client's elements across epochs, so an account-nonce sequence cannot
+    /// be enforced here.
+    pub fn from_element(e: &Element) -> Self {
+        let seed = e.content_seed;
+        let client = e.id.client_index();
+        let recipient = Address::for_client((seed % 64) as u32);
+        Transaction {
+            element: e.id,
+            from: Address::for_client(client),
+            to: recipient,
+            amount: 1 + (seed >> 6) % 1_000,
+            fee: 1 + (seed >> 16) % 10,
+            nonce: None,
+            authenticated: true,
+        }
+    }
+
+    /// The stateless "optimistic" validation of Appendix G step 1: checks
+    /// every property that does not depend on account state, so it can run
+    /// for all transactions of an epoch in parallel.
+    pub fn check_stateless(&self) -> Result<(), VoidReason> {
+        if !self.authenticated {
+            return Err(VoidReason::InvalidFormat);
+        }
+        if self.amount == 0 {
+            return Err(VoidReason::InvalidFormat);
+        }
+        if self.from == self.to {
+            return Err(VoidReason::InvalidFormat);
+        }
+        if self.from == Address::FEE_SINK || self.to == Address::FEE_SINK {
+            return Err(VoidReason::InvalidFormat);
+        }
+        Ok(())
+    }
+
+    /// Total value the sender must cover.
+    pub fn cost(&self) -> u128 {
+        self.amount as u128 + self.fee as u128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setchain_crypto::{KeyRegistry, ProcessId};
+
+    #[test]
+    fn well_formed_transfer_passes_stateless_check() {
+        let tx = Transaction::transfer(Address(1), Address(2), 10, 1, 0);
+        assert_eq!(tx.check_stateless(), Ok(()));
+        assert_eq!(tx.cost(), 11);
+    }
+
+    #[test]
+    fn malformed_transfers_fail_stateless_check() {
+        let zero = Transaction::transfer(Address(1), Address(2), 0, 1, 0);
+        assert_eq!(zero.check_stateless(), Err(VoidReason::InvalidFormat));
+        let self_send = Transaction::transfer(Address(1), Address(1), 5, 1, 0);
+        assert_eq!(self_send.check_stateless(), Err(VoidReason::InvalidFormat));
+        let to_sink = Transaction::transfer(Address(1), Address::FEE_SINK, 5, 1, 0);
+        assert_eq!(to_sink.check_stateless(), Err(VoidReason::InvalidFormat));
+        let mut unauth = Transaction::transfer(Address(1), Address(2), 5, 1, 0);
+        unauth.authenticated = false;
+        assert_eq!(unauth.check_stateless(), Err(VoidReason::InvalidFormat));
+    }
+
+    #[test]
+    fn decoding_an_element_is_deterministic() {
+        let reg = KeyRegistry::bootstrap(3, 4, 4);
+        let keys = reg.lookup(ProcessId::client(2)).unwrap();
+        let e = Element::new(&keys, ElementId::new(2, 17), 438, 0xDEADBEEF);
+        let a = Transaction::from_element(&e);
+        let b = Transaction::from_element(&e);
+        assert_eq!(a, b);
+        assert_eq!(a.from, Address::for_client(2));
+        assert_eq!(a.nonce, None, "decoded transfers are unsequenced");
+        assert!(a.amount >= 1 && a.fee >= 1);
+    }
+
+    #[test]
+    fn different_elements_decode_to_different_transfers() {
+        let reg = KeyRegistry::bootstrap(3, 4, 4);
+        let keys = reg.lookup(ProcessId::client(0)).unwrap();
+        let a = Transaction::from_element(&Element::new(&keys, ElementId::new(0, 1), 438, 100));
+        let b = Transaction::from_element(&Element::new(&keys, ElementId::new(0, 2), 438, 200_000));
+        assert_ne!(a.element, b.element);
+        assert_ne!((a.amount, a.fee, a.nonce), (b.amount, b.fee, b.nonce));
+    }
+}

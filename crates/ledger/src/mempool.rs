@@ -1,0 +1,262 @@
+//! The mempool: unconfirmed transactions held after validation and before
+//! inclusion in a block.
+//!
+//! CometBFT's mempool is an important element of the paper's evaluation: the
+//! default 5 000-transaction cap had to be raised to 10 000 000 transactions
+//! (or 2 GB) so that it would not be the bottleneck. This mempool reproduces
+//! the same behaviour: FIFO order, de-duplication by transaction id,
+//! rejection when either the count or the byte limit is hit, and removal of
+//! transactions once they are committed.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::types::{TxData, TxId};
+
+/// Why a transaction was not accepted into the mempool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MempoolRejection {
+    /// The transaction id is already present (or was already committed).
+    Duplicate,
+    /// The mempool already holds the maximum number of transactions.
+    FullByCount,
+    /// The mempool already holds the maximum number of bytes.
+    FullByBytes,
+}
+
+/// FIFO mempool with count and byte limits.
+#[derive(Debug)]
+pub struct Mempool<T> {
+    queue: VecDeque<T>,
+    present: HashSet<TxId>,
+    committed: HashSet<TxId>,
+    bytes: usize,
+    max_txs: usize,
+    max_bytes: usize,
+    /// Peak number of transactions held at once (reported by experiments).
+    peak_len: usize,
+}
+
+impl<T: TxData> Mempool<T> {
+    /// Creates a mempool with the given limits.
+    pub fn new(max_txs: usize, max_bytes: usize) -> Self {
+        Mempool {
+            queue: VecDeque::new(),
+            present: HashSet::new(),
+            committed: HashSet::new(),
+            bytes: 0,
+            max_txs,
+            max_bytes,
+            peak_len: 0,
+        }
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no transaction is pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total bytes of pending transactions.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Largest number of transactions ever pending at once.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// True if `id` is pending or already committed.
+    pub fn contains(&self, id: &TxId) -> bool {
+        self.present.contains(id) || self.committed.contains(id)
+    }
+
+    /// Attempts to add a transaction.
+    pub fn push(&mut self, tx: T) -> Result<(), MempoolRejection> {
+        let id = tx.tx_id();
+        if self.present.contains(&id) || self.committed.contains(&id) {
+            return Err(MempoolRejection::Duplicate);
+        }
+        if self.queue.len() >= self.max_txs {
+            return Err(MempoolRejection::FullByCount);
+        }
+        let size = tx.wire_size();
+        if self.bytes + size > self.max_bytes {
+            return Err(MempoolRejection::FullByBytes);
+        }
+        self.bytes += size;
+        self.present.insert(id);
+        self.queue.push_back(tx);
+        self.peak_len = self.peak_len.max(self.queue.len());
+        Ok(())
+    }
+
+    /// Collects (clones of) pending transactions, in FIFO order, up to
+    /// `max_bytes` of payload. Used by the proposer to build a block; the
+    /// transactions stay in the mempool until [`Mempool::remove_committed`]
+    /// is called for the committed block.
+    pub fn reap(&mut self, max_bytes: usize) -> Vec<T> {
+        let mut out = Vec::new();
+        let mut total = 0usize;
+        for tx in &self.queue {
+            let size = tx.wire_size();
+            if total + size > max_bytes && !out.is_empty() {
+                break;
+            }
+            if total + size > max_bytes {
+                // A single oversized transaction still goes alone into a
+                // block so it cannot wedge the mempool forever.
+                out.push(tx.clone());
+                break;
+            }
+            total += size;
+            out.push(tx.clone());
+        }
+        out
+    }
+
+    /// Removes the given committed transactions from the mempool and records
+    /// their ids so late gossip cannot re-introduce them.
+    pub fn remove_committed<'a>(&mut self, ids: impl IntoIterator<Item = &'a TxId>) {
+        let to_remove: HashSet<TxId> = ids.into_iter().copied().collect();
+        if to_remove.is_empty() {
+            return;
+        }
+        for id in &to_remove {
+            self.committed.insert(*id);
+            self.present.remove(id);
+        }
+        let mut removed_bytes = 0usize;
+        self.queue.retain(|tx| {
+            if to_remove.contains(&tx.tx_id()) {
+                removed_bytes += tx.wire_size();
+                false
+            } else {
+                true
+            }
+        });
+        self.bytes -= removed_bytes;
+    }
+
+    /// Number of transactions that have been committed and recorded.
+    pub fn committed_count(&self) -> usize {
+        self.committed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Tx(u128, usize);
+
+    impl TxData for Tx {
+        fn tx_id(&self) -> TxId {
+            TxId(self.0)
+        }
+        fn wire_size(&self) -> usize {
+            self.1
+        }
+    }
+
+    #[test]
+    fn push_and_reap_preserve_fifo_order() {
+        let mut mp = Mempool::new(100, 10_000);
+        for i in 0..10u128 {
+            mp.push(Tx(i, 10)).unwrap();
+        }
+        assert_eq!(mp.len(), 10);
+        assert_eq!(mp.bytes(), 100);
+        let reaped = mp.reap(1_000);
+        assert_eq!(reaped.len(), 10);
+        assert_eq!(reaped.iter().map(|t| t.0).collect::<Vec<_>>(), (0..10).collect::<Vec<_>>());
+        // Reap does not remove.
+        assert_eq!(mp.len(), 10);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut mp = Mempool::new(100, 10_000);
+        mp.push(Tx(1, 10)).unwrap();
+        assert_eq!(mp.push(Tx(1, 10)), Err(MempoolRejection::Duplicate));
+        assert!(mp.contains(&TxId(1)));
+    }
+
+    #[test]
+    fn count_limit_enforced() {
+        let mut mp = Mempool::new(2, 10_000);
+        mp.push(Tx(1, 10)).unwrap();
+        mp.push(Tx(2, 10)).unwrap();
+        assert_eq!(mp.push(Tx(3, 10)), Err(MempoolRejection::FullByCount));
+    }
+
+    #[test]
+    fn byte_limit_enforced() {
+        let mut mp = Mempool::new(100, 25);
+        mp.push(Tx(1, 10)).unwrap();
+        mp.push(Tx(2, 10)).unwrap();
+        assert_eq!(mp.push(Tx(3, 10)), Err(MempoolRejection::FullByBytes));
+        assert_eq!(mp.len(), 2);
+    }
+
+    #[test]
+    fn reap_respects_block_size() {
+        let mut mp = Mempool::new(100, 10_000);
+        for i in 0..10u128 {
+            mp.push(Tx(i, 100)).unwrap();
+        }
+        let reaped = mp.reap(350);
+        assert_eq!(reaped.len(), 3);
+    }
+
+    #[test]
+    fn oversized_single_tx_still_reaped_alone() {
+        let mut mp = Mempool::new(100, 1_000_000);
+        mp.push(Tx(1, 5_000)).unwrap();
+        mp.push(Tx(2, 10)).unwrap();
+        let reaped = mp.reap(1_000);
+        assert_eq!(reaped.len(), 1);
+        assert_eq!(reaped[0].0, 1);
+    }
+
+    #[test]
+    fn remove_committed_blocks_reintroduction() {
+        let mut mp = Mempool::new(100, 10_000);
+        for i in 0..5u128 {
+            mp.push(Tx(i, 10)).unwrap();
+        }
+        mp.remove_committed([TxId(1), TxId(3)].iter());
+        assert_eq!(mp.len(), 3);
+        assert_eq!(mp.bytes(), 30);
+        assert_eq!(mp.committed_count(), 2);
+        // Late gossip of a committed tx is rejected as a duplicate.
+        assert_eq!(mp.push(Tx(1, 10)), Err(MempoolRejection::Duplicate));
+        // Unknown tx is still accepted.
+        mp.push(Tx(9, 10)).unwrap();
+        assert_eq!(mp.len(), 4);
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut mp = Mempool::new(100, 10_000);
+        for i in 0..7u128 {
+            mp.push(Tx(i, 10)).unwrap();
+        }
+        mp.remove_committed((0..7u128).map(TxId).collect::<Vec<_>>().iter());
+        assert_eq!(mp.len(), 0);
+        assert!(mp.is_empty());
+        assert_eq!(mp.peak_len(), 7);
+    }
+
+    #[test]
+    fn empty_remove_is_noop() {
+        let mut mp: Mempool<Tx> = Mempool::new(10, 100);
+        mp.remove_committed(std::iter::empty());
+        assert!(mp.is_empty());
+    }
+}

@@ -1,0 +1,277 @@
+//! Light-client verification of epochs.
+//!
+//! The whole point of epoch-proofs is that a client interacting with a
+//! *single*, possibly Byzantine, server can still convince itself that an
+//! epoch is correct: it asks for the epoch contents and the proofs the server
+//! holds for it, and accepts if at least `f + 1` proofs from distinct servers
+//! verify against the contents — at least one of them comes from a correct
+//! server.
+
+use std::collections::HashSet;
+
+use setchain_crypto::{KeyRegistry, ProcessId};
+
+use crate::element::{Element, ElementId};
+use crate::messages::SetchainMsg;
+use crate::proofs::{verify_epoch_proof, EpochProof};
+
+/// Outcome of verifying an epoch from a single server's response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EpochVerification {
+    /// The epoch is backed by at least `f + 1` valid proofs from distinct
+    /// servers: it is correct even if the answering server is Byzantine.
+    Verified {
+        /// Number of distinct valid signers found.
+        valid_proofs: usize,
+    },
+    /// Fewer than `f + 1` valid proofs: the client should retry later or ask
+    /// a different server (the epoch may simply not be fully proven yet).
+    NotEnoughProofs {
+        /// Number of distinct valid signers found.
+        valid_proofs: usize,
+        /// Number required (`f + 1`).
+        required: usize,
+    },
+}
+
+impl EpochVerification {
+    /// True if the epoch verified.
+    pub fn is_verified(&self) -> bool {
+        matches!(self, EpochVerification::Verified { .. })
+    }
+}
+
+/// Verifies an epoch against a set of proofs.
+///
+/// `servers` is the deployment size `n` and `f` the assumed maximum number of
+/// Byzantine servers; proofs from outside the server set, with invalid
+/// signatures, for a different epoch number, or duplicated signers are all
+/// ignored.
+pub fn verify_epoch(
+    registry: &KeyRegistry,
+    servers: usize,
+    f: usize,
+    epoch: u64,
+    elements: &[Element],
+    proofs: &[EpochProof],
+) -> EpochVerification {
+    let mut valid_signers: HashSet<ProcessId> = HashSet::new();
+    for proof in proofs {
+        if proof.epoch != epoch {
+            continue;
+        }
+        if verify_epoch_proof(registry, servers, proof, elements) {
+            valid_signers.insert(proof.signer);
+        }
+    }
+    let required = f + 1;
+    if valid_signers.len() >= required {
+        EpochVerification::Verified {
+            valid_proofs: valid_signers.len(),
+        }
+    } else {
+        EpochVerification::NotEnoughProofs {
+            valid_proofs: valid_signers.len(),
+            required,
+        }
+    }
+}
+
+/// A light client: tracks the elements it added and verifies epochs from
+/// single-server `get_epoch` responses.
+#[derive(Clone)]
+pub struct LightClient {
+    registry: KeyRegistry,
+    servers: usize,
+    f: usize,
+    next_request: u64,
+    added: HashSet<ElementId>,
+}
+
+impl LightClient {
+    /// Creates a light client for a deployment of `servers` servers with
+    /// fault bound `f`.
+    pub fn new(registry: KeyRegistry, servers: usize, f: usize) -> Self {
+        LightClient {
+            registry,
+            servers,
+            f,
+            next_request: 0,
+            added: HashSet::new(),
+        }
+    }
+
+    /// Builds the `add` message for an element, remembering its id so that
+    /// inclusion can be confirmed later.
+    pub fn add(&mut self, element: Element) -> SetchainMsg {
+        self.added.insert(element.id);
+        SetchainMsg::Add(element)
+    }
+
+    /// Builds a `get` request.
+    pub fn get(&mut self) -> SetchainMsg {
+        let request_id = self.next_request;
+        self.next_request += 1;
+        SetchainMsg::Get { request_id }
+    }
+
+    /// Builds a `get_epoch` request.
+    pub fn get_epoch(&mut self, epoch: u64) -> SetchainMsg {
+        let request_id = self.next_request;
+        self.next_request += 1;
+        SetchainMsg::GetEpoch { request_id, epoch }
+    }
+
+    /// Ids of elements this client has added.
+    pub fn added(&self) -> &HashSet<ElementId> {
+        &self.added
+    }
+
+    /// Verifies an `EpochResponse` from a single server: checks the proofs
+    /// and reports which of this client's elements the epoch confirms.
+    pub fn verify_response(&self, msg: &SetchainMsg) -> Option<(EpochVerification, Vec<ElementId>)> {
+        let SetchainMsg::EpochResponse {
+            epoch,
+            elements,
+            proofs,
+            ..
+        } = msg
+        else {
+            return None;
+        };
+        let verification = verify_epoch(&self.registry, self.servers, self.f, *epoch, elements, proofs);
+        let mine = if verification.is_verified() {
+            elements
+                .iter()
+                .map(|e| e.id)
+                .filter(|id| self.added.contains(id))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Some((verification, mine))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{Element, ElementId};
+    use crate::proofs::make_epoch_proof;
+    use setchain_crypto::Signature;
+
+    fn setup(n: usize) -> (KeyRegistry, Vec<Element>) {
+        let reg = KeyRegistry::bootstrap(21, n, 2);
+        let client = reg.lookup(ProcessId::client(0)).unwrap();
+        let elements: Vec<Element> = (0..8)
+            .map(|i| Element::new(&client, ElementId::new(0, i), 438, i))
+            .collect();
+        (reg, elements)
+    }
+
+    fn proofs_from(reg: &KeyRegistry, signers: &[usize], epoch: u64, elements: &[Element]) -> Vec<EpochProof> {
+        signers
+            .iter()
+            .map(|&i| make_epoch_proof(&reg.lookup(ProcessId::server(i)).unwrap(), epoch, elements))
+            .collect()
+    }
+
+    #[test]
+    fn quorum_of_valid_proofs_verifies() {
+        let (reg, elements) = setup(4);
+        let proofs = proofs_from(&reg, &[0, 1], 1, &elements);
+        let v = verify_epoch(&reg, 4, 1, 1, &elements, &proofs);
+        assert_eq!(v, EpochVerification::Verified { valid_proofs: 2 });
+        assert!(v.is_verified());
+    }
+
+    #[test]
+    fn insufficient_or_duplicate_proofs_do_not_verify() {
+        let (reg, elements) = setup(4);
+        let one = proofs_from(&reg, &[0], 1, &elements);
+        assert_eq!(
+            verify_epoch(&reg, 4, 1, 1, &elements, &one),
+            EpochVerification::NotEnoughProofs {
+                valid_proofs: 1,
+                required: 2
+            }
+        );
+        // The same signer repeated does not count twice.
+        let dup = proofs_from(&reg, &[0, 0, 0], 1, &elements);
+        assert!(!verify_epoch(&reg, 4, 1, 1, &elements, &dup).is_verified());
+    }
+
+    #[test]
+    fn forged_wrong_epoch_and_outsider_proofs_ignored() {
+        let (reg, elements) = setup(4);
+        let mut proofs = proofs_from(&reg, &[0], 1, &elements);
+        // Forged signature.
+        let mut forged = proofs[0];
+        forged.signer = ProcessId::server(1);
+        forged.signature = Signature::forged(ProcessId::server(1));
+        proofs.push(forged);
+        // Proof for another epoch.
+        proofs.extend(proofs_from(&reg, &[2], 2, &elements));
+        // Proof over different contents.
+        proofs.push(make_epoch_proof(
+            &reg.lookup(ProcessId::server(3)).unwrap(),
+            1,
+            &elements[..4],
+        ));
+        assert!(!verify_epoch(&reg, 4, 1, 1, &elements, &proofs).is_verified());
+    }
+
+    #[test]
+    fn byzantine_server_cannot_fake_an_epoch_alone() {
+        // f = 1: a single Byzantine server's proof (even if its signature is
+        // technically valid) is not enough, because f + 1 = 2 distinct
+        // signers are required.
+        let (reg, elements) = setup(4);
+        let fabricated: Vec<Element> = elements[..3].to_vec();
+        let proofs = proofs_from(&reg, &[2], 1, &fabricated);
+        assert!(!verify_epoch(&reg, 4, 1, 1, &fabricated, &proofs).is_verified());
+    }
+
+    #[test]
+    fn light_client_workflow() {
+        let (reg, elements) = setup(4);
+        let mut client = LightClient::new(reg.clone(), 4, 1);
+        // Client adds the first three elements.
+        for e in &elements[..3] {
+            let msg = client.add(*e);
+            assert!(matches!(msg, SetchainMsg::Add(_)));
+        }
+        assert_eq!(client.added().len(), 3);
+        let get = client.get();
+        assert!(matches!(get, SetchainMsg::Get { request_id: 0 }));
+        let get_epoch = client.get_epoch(1);
+        assert!(matches!(get_epoch, SetchainMsg::GetEpoch { epoch: 1, .. }));
+
+        // Server responds with the epoch containing all 8 elements and 2
+        // valid proofs.
+        let proofs = proofs_from(&reg, &[1, 3], 1, &elements);
+        let response = SetchainMsg::EpochResponse {
+            request_id: 1,
+            epoch: 1,
+            elements: elements.clone(),
+            proofs,
+        };
+        let (verification, mine) = client.verify_response(&response).unwrap();
+        assert!(verification.is_verified());
+        assert_eq!(mine.len(), 3);
+
+        // A response without a quorum confirms nothing.
+        let weak = SetchainMsg::EpochResponse {
+            request_id: 2,
+            epoch: 1,
+            elements: elements.clone(),
+            proofs: proofs_from(&reg, &[1], 1, &elements),
+        };
+        let (verification, mine) = client.verify_response(&weak).unwrap();
+        assert!(!verification.is_verified());
+        assert!(mine.is_empty());
+
+        // Non-epoch responses are ignored.
+        assert!(client.verify_response(&SetchainMsg::Get { request_id: 9 }).is_none());
+    }
+}

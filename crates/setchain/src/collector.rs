@@ -1,0 +1,195 @@
+//! The collector: a per-server buffer of elements and epoch-proofs that is
+//! flushed into a batch when it reaches the configured size (the paper's
+//! `collector_limit`) or when a timeout fires.
+//!
+//! Compresschain compresses the flushed batch; Hashchain hashes it. In both
+//! cases the batch that leaves the collector is what eventually becomes an
+//! epoch.
+
+use setchain_simnet::SimTime;
+
+use crate::element::Element;
+use crate::proofs::{EpochProof, EPOCH_PROOF_WIRE_LEN};
+
+/// A batch drained from the collector.
+#[derive(Clone, Debug, Default)]
+pub struct Batch {
+    /// Elements, in collection order.
+    pub elements: Vec<Element>,
+    /// Epoch-proofs, in collection order.
+    pub proofs: Vec<EpochProof>,
+}
+
+impl Batch {
+    /// Number of entries (elements plus proofs).
+    pub fn len(&self) -> usize {
+        self.elements.len() + self.proofs.len()
+    }
+
+    /// True if the batch holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty() && self.proofs.is_empty()
+    }
+
+    /// Total wire size of the batch contents in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.elements.iter().map(|e| e.wire_size()).sum::<usize>()
+            + self.proofs.len() * EPOCH_PROOF_WIRE_LEN
+    }
+}
+
+/// Per-server collector (the paper's `batch` variable plus the `isReady`
+/// condition).
+#[derive(Clone, Debug)]
+pub struct Collector {
+    limit: usize,
+    current: Batch,
+    last_flush: SimTime,
+    flushes: u64,
+}
+
+impl Collector {
+    /// Creates a collector that signals readiness at `limit` entries.
+    pub fn new(limit: usize) -> Self {
+        assert!(limit >= 1, "collector limit must be positive");
+        Collector {
+            limit,
+            current: Batch::default(),
+            last_flush: SimTime::ZERO,
+            flushes: 0,
+        }
+    }
+
+    /// The configured size limit.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Number of entries currently collected.
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// True if nothing is collected.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+
+    /// Number of flushes performed so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Adds a client element.
+    pub fn add_element(&mut self, element: Element) {
+        self.current.elements.push(element);
+    }
+
+    /// Adds an epoch-proof.
+    pub fn add_proof(&mut self, proof: EpochProof) {
+        self.current.proofs.push(proof);
+    }
+
+    /// The paper's `isReady(batch)` size condition.
+    pub fn is_ready(&self) -> bool {
+        self.current.len() >= self.limit
+    }
+
+    /// True if the batch is non-empty and `timeout` has elapsed since the
+    /// last flush (the timeout part of `isReady`).
+    pub fn is_timed_out(&self, now: SimTime, timeout: setchain_simnet::SimDuration) -> bool {
+        !self.is_empty() && now.since(self.last_flush) >= timeout
+    }
+
+    /// Drains the collector, returning the batch. Panics if empty (callers
+    /// check `is_ready`/`is_timed_out` first, mirroring the algorithm's
+    /// `assert batch ≠ ∅`).
+    pub fn flush(&mut self, now: SimTime) -> Batch {
+        assert!(!self.current.is_empty(), "flushing an empty collector");
+        self.last_flush = now;
+        self.flushes += 1;
+        std::mem::take(&mut self.current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::ElementId;
+    use crate::proofs::make_epoch_proof;
+    use setchain_crypto::{KeyRegistry, ProcessId};
+    use setchain_simnet::SimDuration;
+
+    fn element(i: u64) -> Element {
+        let reg = KeyRegistry::bootstrap(5, 1, 1);
+        let keys = reg.lookup(ProcessId::client(0)).unwrap();
+        Element::new(&keys, ElementId::new(0, i), 438, i)
+    }
+
+    #[test]
+    fn fills_and_flushes_at_limit() {
+        let mut c = Collector::new(3);
+        assert!(c.is_empty());
+        assert_eq!(c.limit(), 3);
+        c.add_element(element(0));
+        c.add_element(element(1));
+        assert!(!c.is_ready());
+        c.add_element(element(2));
+        assert!(c.is_ready());
+        let batch = c.flush(SimTime::from_secs(1));
+        assert_eq!(batch.elements.len(), 3);
+        assert_eq!(batch.len(), 3);
+        assert!(c.is_empty());
+        assert_eq!(c.flushes(), 1);
+    }
+
+    #[test]
+    fn proofs_count_toward_the_limit() {
+        let reg = KeyRegistry::bootstrap(5, 2, 1);
+        let server = reg.lookup(ProcessId::server(0)).unwrap();
+        let mut c = Collector::new(2);
+        c.add_element(element(0));
+        c.add_proof(make_epoch_proof(&server, 1, &[]));
+        assert!(c.is_ready());
+        let batch = c.flush(SimTime::ZERO);
+        assert_eq!(batch.elements.len(), 1);
+        assert_eq!(batch.proofs.len(), 1);
+        assert!(batch.wire_size() > 438);
+    }
+
+    #[test]
+    fn timeout_requires_non_empty_batch() {
+        let mut c = Collector::new(100);
+        let timeout = SimDuration::from_millis(200);
+        assert!(!c.is_timed_out(SimTime::from_secs(10), timeout));
+        c.add_element(element(0));
+        assert!(!c.is_timed_out(SimTime::from_millis(100), timeout));
+        assert!(c.is_timed_out(SimTime::from_millis(300), timeout));
+        let _ = c.flush(SimTime::from_millis(300));
+        // After a flush the timeout clock restarts.
+        c.add_element(element(1));
+        assert!(!c.is_timed_out(SimTime::from_millis(400), timeout));
+        assert!(c.is_timed_out(SimTime::from_millis(600), timeout));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collector")]
+    fn flushing_empty_collector_panics() {
+        let mut c = Collector::new(3);
+        let _ = c.flush(SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_limit_panics() {
+        let _ = Collector::new(0);
+    }
+
+    #[test]
+    fn empty_batch_reports() {
+        let b = Batch::default();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.wire_size(), 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Algorithm **Compresschain**: elements are collected into batches,
+//! compressed, and each compressed batch is appended to the ledger as a
+//! single transaction that becomes one epoch.
+//!
+//! Compared with Vanilla the ledger carries compressed batches instead of
+//! individual elements, so each 0.5 MB block fits roughly `r ×` more element
+//! bytes (with `r` the compression ratio, 2.5–3.5 in the paper). Epoch-proofs
+//! travel inside the batches. The "Compresschain light" ablation of Fig. 2
+//! (left) skips decompression and validation on delivery.
+
+use setchain_crypto::{KeyPair, KeyRegistry, ProcessId};
+use setchain_ledger::{Application, Block};
+use setchain_simnet::TimerToken;
+
+use crate::byzantine::ServerByzMode;
+use crate::collector::Collector;
+use crate::config::SetchainConfig;
+use crate::element::Element;
+use crate::messages::SetchainMsg;
+use crate::server::{Ctx, ServerCore, ServerStats};
+use crate::state::SetchainState;
+use crate::tx::{CompressedBatch, SetchainTx};
+
+/// Timer token used for the collector timeout tick.
+const COLLECTOR_TICK: TimerToken = 1;
+
+/// The Compresschain server application.
+pub struct CompresschainApp {
+    core: ServerCore,
+    collector: Collector,
+    next_batch_seq: u64,
+    /// Sum of measured compression ratios and count, for reporting.
+    ratio_sum: f64,
+    ratio_count: u64,
+}
+
+impl CompresschainApp {
+    /// Creates a Compresschain server.
+    pub fn new(
+        keys: KeyPair,
+        registry: KeyRegistry,
+        config: SetchainConfig,
+        trace: crate::trace::SetchainTrace,
+        byz: ServerByzMode,
+    ) -> Self {
+        let collector = Collector::new(config.collector_limit);
+        CompresschainApp {
+            core: ServerCore::new(keys, registry, config, trace, byz),
+            collector,
+            next_batch_seq: 0,
+            ratio_sum: 0.0,
+            ratio_count: 0,
+        }
+    }
+
+    /// The Setchain state of this server.
+    pub fn state(&self) -> &SetchainState {
+        &self.core.state
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.core.stats
+    }
+
+    /// Average compression ratio measured on flushed batches.
+    pub fn average_ratio(&self) -> f64 {
+        if self.ratio_count == 0 {
+            return 1.0;
+        }
+        self.ratio_sum / self.ratio_count as f64
+    }
+
+    fn handle_add(&mut self, element: Element, ctx: &mut Ctx<'_, '_, '_>) {
+        if self.core.accept_add(&element, ctx) {
+            self.collector.add_element(element);
+            self.maybe_flush(ctx);
+        }
+    }
+
+    /// Flushes the collector when the size threshold is reached.
+    fn maybe_flush(&mut self, ctx: &mut Ctx<'_, '_, '_>) {
+        if self.collector.is_ready() {
+            self.flush(ctx);
+        }
+    }
+
+    /// `upon isReady(batch)`: compress the batch and append it to the ledger.
+    fn flush(&mut self, ctx: &mut Ctx<'_, '_, '_>) {
+        let batch = self.collector.flush(ctx.now());
+        // Materialize the batch bytes and run the real compressor so the
+        // transaction occupies a realistic number of bytes in blocks.
+        let mut raw = Vec::with_capacity(batch.wire_size());
+        for e in &batch.elements {
+            raw.extend_from_slice(&e.materialize());
+        }
+        // Proofs contribute their wire size but are high-entropy signatures;
+        // account for them uncompressed.
+        let proof_bytes = batch.proofs.len() * crate::proofs::EPOCH_PROOF_WIRE_LEN;
+        let compressed = setchain_compress::compress(&raw);
+        ctx.consume_cpu(self.core.config.costs.compress_cost(raw.len()));
+        let original_size = (raw.len() + proof_bytes) as u32;
+        let compressed_size = (compressed.len() + proof_bytes) as u32;
+        if !raw.is_empty() {
+            self.ratio_sum += raw.len() as f64 / compressed.len().max(1) as f64;
+            self.ratio_count += 1;
+        }
+        self.core.stats.batches_flushed += 1;
+        let tx = CompressedBatch {
+            origin: self.core.id(),
+            seq: self.next_batch_seq,
+            elements: batch.elements,
+            proofs: batch.proofs,
+            compressed_size,
+            original_size,
+        };
+        self.next_batch_seq += 1;
+        let tx = SetchainTx::Compressed(tx);
+        let tx_id = setchain_ledger::TxData::tx_id(&tx);
+        if let SetchainTx::Compressed(cb) = &tx {
+            for e in &cb.elements {
+                self.core.trace.record_tx_assignment(e.id, tx_id);
+            }
+        }
+        ctx.append(tx);
+    }
+}
+
+impl Application for CompresschainApp {
+    type Tx = SetchainTx;
+    type Msg = SetchainMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, '_, '_>) {
+        ctx.set_app_timer(self.core.config.collector_timeout, COLLECTOR_TICK);
+    }
+
+    fn check_tx(&self, tx: &SetchainTx) -> bool {
+        match tx {
+            SetchainTx::Compressed(b) => {
+                b.origin.is_server() && b.origin.server_index() < self.core.config.servers
+            }
+            _ => false,
+        }
+    }
+
+    fn finalize_block(&mut self, block: &Block<SetchainTx>, ctx: &mut Ctx<'_, '_, '_>) {
+        let now = ctx.now();
+        let validate = self.core.config.decompress_validate;
+        for tx in &block.txs {
+            let SetchainTx::Compressed(cb) = tx else {
+                continue;
+            };
+            if validate {
+                // Decompress(B[i]) — charged as CPU time against the original
+                // (uncompressed) batch size.
+                ctx.consume_cpu(self.core.config.costs.decompress_cost(cb.original_size as usize));
+            }
+            // `if batch_original = ∅ then continue`
+            if cb.elements.is_empty() && cb.proofs.is_empty() {
+                continue;
+            }
+            // Valid epoch-proofs of the batch.
+            for p in &cb.proofs {
+                self.core.ingest_proof(*p, now, ctx);
+            }
+            // G: valid elements not yet in an epoch.
+            let g = self.core.extract_epoch_candidates(&cb.elements, validate, ctx);
+            let (_, proof) = self.core.create_epoch(g, now, ctx);
+            // The epoch-proof goes back through the collector.
+            self.collector.add_proof(proof);
+            self.maybe_flush(ctx);
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: SetchainMsg, ctx: &mut Ctx<'_, '_, '_>) {
+        match msg {
+            SetchainMsg::Add(e) => self.handle_add(e, ctx),
+            SetchainMsg::AddBatch(es) => {
+                for e in es {
+                    self.handle_add(e, ctx);
+                }
+            }
+            other => {
+                let _ = self.core.handle_get(from, &other, ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx<'_, '_, '_>) {
+        if token == COLLECTOR_TICK {
+            if self
+                .collector
+                .is_timed_out(ctx.now(), self.core.config.collector_timeout)
+            {
+                self.flush(ctx);
+            }
+            ctx.set_app_timer(self.core.config.collector_timeout, COLLECTOR_TICK);
+        }
+    }
+}

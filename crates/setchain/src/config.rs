@@ -1,0 +1,253 @@
+//! Configuration shared by the three Setchain algorithms.
+
+use serde::{Deserialize, Serialize};
+use setchain_simnet::SimDuration;
+
+/// CPU cost model for the work Setchain servers perform.
+///
+/// The discrete-event simulator does not execute on the paper's hardware, so
+/// cryptographic and compression work is charged as simulated CPU time using
+/// these per-operation costs (calibrated to a mid-range Xeon: SHA-512 at
+/// ~500 MB/s, ed25519 sign/verify in the tens of microseconds, Brotli at
+/// ~100 MB/s). The costs are configuration so ablation benches can study
+/// their impact.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Validating one element (client authenticator check).
+    pub validate_element: SimDuration,
+    /// Producing one signature (epoch-proof or hash-batch).
+    pub sign: SimDuration,
+    /// Verifying one signature.
+    pub verify_signature: SimDuration,
+    /// Hashing 1 KiB of batch data.
+    pub hash_per_kib: SimDuration,
+    /// Compressing 1 KiB of batch data.
+    pub compress_per_kib: SimDuration,
+    /// Decompressing 1 KiB of batch data.
+    pub decompress_per_kib: SimDuration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            validate_element: SimDuration::from_micros(5),
+            sign: SimDuration::from_micros(30),
+            verify_signature: SimDuration::from_micros(60),
+            hash_per_kib: SimDuration::from_micros(2),
+            compress_per_kib: SimDuration::from_micros(10),
+            decompress_per_kib: SimDuration::from_micros(5),
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of hashing `bytes` of data.
+    pub fn hash_cost(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_micros(self.hash_per_kib.as_micros() * (bytes as u64).div_ceil(1024))
+    }
+
+    /// Cost of compressing `bytes` of data.
+    pub fn compress_cost(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_micros(self.compress_per_kib.as_micros() * (bytes as u64).div_ceil(1024))
+    }
+
+    /// Cost of decompressing into `bytes` of data.
+    pub fn decompress_cost(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_micros(self.decompress_per_kib.as_micros() * (bytes as u64).div_ceil(1024))
+    }
+
+    /// Cost of validating `count` elements.
+    pub fn validate_cost(&self, count: usize) -> SimDuration {
+        SimDuration::from_micros(self.validate_element.as_micros() * count as u64)
+    }
+}
+
+/// Configuration of a Setchain deployment (shared by all servers of a run).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SetchainConfig {
+    /// Number of Setchain servers (the paper's `server_count`).
+    pub servers: usize,
+    /// Maximum number of Byzantine Setchain servers assumed (`f < n/2`).
+    /// Epoch verification requires `f + 1` consistent proofs and Hashchain
+    /// consolidation requires `f + 1` hash-batch signers.
+    pub f: usize,
+    /// Collector size: the batch is flushed when it holds this many entries
+    /// (the paper's `collector_limit`: 100 or 500).
+    pub collector_limit: usize,
+    /// Collector timeout: a non-empty batch is flushed after this long even
+    /// if the size threshold was not reached.
+    pub collector_timeout: SimDuration,
+    /// Timeout for a Hashchain `Request_batch` round trip before the request
+    /// is retried with another signer (or the hash-batch is skipped).
+    pub request_timeout: SimDuration,
+    /// Maximum number of servers asked for a batch before giving up.
+    pub max_request_retries: usize,
+    /// Whether Hashchain runs the hash-reversal service ("Hashchain" vs
+    /// "Hashchain light" in Fig. 2 left).
+    pub hash_reversal: bool,
+    /// Whether Compresschain decompresses and validates batches on block
+    /// delivery ("Compresschain" vs "Compresschain light" in Fig. 2 left).
+    pub decompress_validate: bool,
+    /// Hashchain variant from the paper's discussion of the hash-reversal
+    /// bottleneck: when `Some(k)`, only the first `k` servers (typically
+    /// `2f + 1`) counter-sign hash-batches and emit epoch-proofs, instead of
+    /// all `n`. Must satisfy `k >= f + 1` so consolidation and commitment
+    /// remain possible with `f` Byzantine servers. `None` (the default) is
+    /// the paper's evaluated algorithm where every server signs.
+    pub designated_signers: Option<usize>,
+    /// Hashchain variant from the paper's discussion: when true, a server
+    /// that flushes a batch proactively pushes the batch contents to all
+    /// other servers ("alternative distributed batch-sharing mechanism"), so
+    /// hash reversal rarely needs a `Request_batch` round trip.
+    pub push_batches: bool,
+    /// CPU cost model.
+    pub costs: CostModel,
+}
+
+impl SetchainConfig {
+    /// Default configuration for `n` servers: `f = ⌊(n-1)/2⌋`, collector
+    /// limit 100, collector timeout 200 ms, full (non-light) algorithms.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers >= 1, "at least one server required");
+        SetchainConfig {
+            servers,
+            f: (servers.saturating_sub(1)) / 2,
+            collector_limit: 100,
+            collector_timeout: SimDuration::from_millis(200),
+            request_timeout: SimDuration::from_millis(2_000),
+            max_request_retries: 3,
+            hash_reversal: true,
+            decompress_validate: true,
+            designated_signers: None,
+            push_batches: false,
+            costs: CostModel::default(),
+        }
+    }
+
+    /// Sets the collector limit (paper values: 100 or 500).
+    pub fn with_collector_limit(mut self, limit: usize) -> Self {
+        assert!(limit >= 1, "collector limit must be positive");
+        self.collector_limit = limit;
+        self
+    }
+
+    /// Sets the Setchain fault bound `f` explicitly.
+    pub fn with_f(mut self, f: usize) -> Self {
+        assert!(f < self.servers, "need f < n");
+        self.f = f;
+        self
+    }
+
+    /// Disables hash-reversal and hash-batch validation (Hashchain light).
+    pub fn light_hashchain(mut self) -> Self {
+        self.hash_reversal = false;
+        self
+    }
+
+    /// Disables decompression and validation on delivery (Compresschain
+    /// light).
+    pub fn light_compresschain(mut self) -> Self {
+        self.decompress_validate = false;
+        self
+    }
+
+    /// Restricts hash-batch counter-signing and epoch-proof emission to the
+    /// first `k` servers (the paper suggests `2f + 1`).
+    pub fn with_designated_signers(mut self, k: usize) -> Self {
+        assert!(
+            k > self.f && k <= self.servers,
+            "designated signer set must satisfy f < k <= n"
+        );
+        self.designated_signers = Some(k);
+        self
+    }
+
+    /// Enables push-based batch dissemination for Hashchain.
+    pub fn with_push_batches(mut self) -> Self {
+        self.push_batches = true;
+        self
+    }
+
+    /// Number of proofs/signers required to trust an epoch (`f + 1`).
+    pub fn proof_quorum(&self) -> usize {
+        self.f + 1
+    }
+
+    /// True if the server with this index participates in hash-batch
+    /// counter-signing and epoch-proof emission (always true unless a
+    /// designated signer set is configured).
+    pub fn is_designated(&self, server_index: usize) -> bool {
+        match self.designated_signers {
+            Some(k) => server_index < k,
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_fault_bound_is_minority() {
+        assert_eq!(SetchainConfig::new(4).f, 1);
+        assert_eq!(SetchainConfig::new(7).f, 3);
+        assert_eq!(SetchainConfig::new(10).f, 4);
+        assert_eq!(SetchainConfig::new(10).proof_quorum(), 5);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let cfg = SetchainConfig::new(10)
+            .with_collector_limit(500)
+            .with_f(3)
+            .light_hashchain()
+            .light_compresschain();
+        assert_eq!(cfg.collector_limit, 500);
+        assert_eq!(cfg.f, 3);
+        assert!(!cfg.hash_reversal);
+        assert!(!cfg.decompress_validate);
+    }
+
+    #[test]
+    fn cost_model_scales_with_size() {
+        let costs = CostModel::default();
+        assert_eq!(costs.hash_cost(1024).as_micros(), 2);
+        assert_eq!(costs.hash_cost(4096).as_micros(), 8);
+        assert_eq!(costs.hash_cost(1).as_micros(), 2); // rounds up to one KiB
+        assert_eq!(costs.validate_cost(100).as_micros(), 500);
+        assert!(costs.compress_cost(10_000) > costs.decompress_cost(10_000));
+    }
+
+    #[test]
+    fn designated_signers_and_push_batches() {
+        let cfg = SetchainConfig::new(10); // f = 4
+        assert!(cfg.is_designated(0));
+        assert!(cfg.is_designated(9));
+        assert!(!cfg.push_batches);
+        let cfg = cfg.with_designated_signers(9).with_push_batches();
+        assert!(cfg.is_designated(8));
+        assert!(!cfg.is_designated(9));
+        assert!(cfg.push_batches);
+        assert_eq!(cfg.designated_signers, Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "f < k <= n")]
+    fn too_small_designated_set_panics() {
+        // f = 4 for 10 servers; k must exceed f.
+        let _ = SetchainConfig::new(10).with_designated_signers(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "f < n")]
+    fn invalid_f_panics() {
+        let _ = SetchainConfig::new(4).with_f(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        let _ = SetchainConfig::new(0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Setchain: Byzantine-tolerant grow-only sets with epochs and epoch-proofs.
+//!
+//! This crate is the reproduction of the paper's primary contribution: three
+//! algorithms that implement the Setchain distributed object on top of a
+//! block-based ledger.
+//!
+//! * [`VanillaApp`] — every element is appended to the ledger as its own
+//!   transaction; the valid elements of each ledger block form an epoch
+//!   (Appendix B of the paper).
+//! * [`CompresschainApp`] — elements are collected into batches, compressed,
+//!   and each compressed batch appended as a single ledger transaction that
+//!   becomes an epoch.
+//! * [`HashchainApp`] — batches are hashed; only the fixed-size signed hash
+//!   is appended to the ledger. A batch consolidates into an epoch once
+//!   hash-batches from `f + 1` distinct servers are on the ledger, and batch
+//!   contents are recovered from their origin server through the
+//!   hash-reversal (`Request_batch`) service.
+//!
+//! All three maintain *epoch-proofs* — server signatures over
+//! `Hash(epoch_number, epoch_elements)` — so that a light client talking to a
+//! single (possibly Byzantine) server can verify an epoch with `f + 1`
+//! consistent proofs ([`client::verify_epoch`]).
+//!
+//! The algorithms are ABCI-style [`Application`](setchain_ledger::Application)s
+//! for the [`setchain-ledger`](setchain_ledger) substrate and run inside the
+//! deterministic [`setchain-simnet`](setchain_simnet) simulator. The
+//! `setchain-workload` crate builds full deployments (servers + injection
+//! clients + metrics) on top of this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod byzantine;
+pub mod client;
+pub mod collector;
+pub mod compresschain;
+pub mod config;
+pub mod element;
+pub mod hashchain;
+pub mod messages;
+pub mod proofs;
+pub mod server;
+pub mod sortition;
+pub mod state;
+pub mod trace;
+pub mod tx;
+pub mod vanilla;
+
+pub use byzantine::ServerByzMode;
+pub use client::{verify_epoch, EpochVerification, LightClient};
+pub use collector::Collector;
+pub use compresschain::CompresschainApp;
+pub use config::{CostModel, SetchainConfig};
+pub use element::{Element, ElementGenerator, ElementId};
+pub use hashchain::{HashchainApp, SharedBatchRegistry};
+pub use messages::{GetSnapshot, SetchainMsg};
+pub use proofs::{epoch_hash, make_epoch_proof, verify_epoch_proof, EpochProof};
+pub use server::{ServerCore, ServerStats};
+pub use sortition::{round_seed, select_committee, verify_member, Candidate};
+pub use state::SetchainState;
+pub use trace::SetchainTrace;
+pub use tx::{CompressedBatch, HashBatch, SetchainTx};
+pub use vanilla::VanillaApp;
+
+/// The paper's three Setchain algorithms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Algorithm {
+    /// One ledger transaction per element.
+    Vanilla,
+    /// One compressed batch per ledger transaction.
+    Compresschain,
+    /// One fixed-size hash-batch per ledger transaction, plus hash reversal.
+    Hashchain,
+}
+
+impl Algorithm {
+    /// All three algorithms, in the paper's presentation order.
+    pub const ALL: [Algorithm; 3] = [
+        Algorithm::Vanilla,
+        Algorithm::Compresschain,
+        Algorithm::Hashchain,
+    ];
+
+    /// Human-readable name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Vanilla => "Vanilla",
+            Algorithm::Compresschain => "Compresschain",
+            Algorithm::Hashchain => "Hashchain",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(Algorithm::Vanilla.name(), "Vanilla");
+        assert_eq!(Algorithm::Compresschain.to_string(), "Compresschain");
+        assert_eq!(Algorithm::ALL.len(), 3);
+    }
+}

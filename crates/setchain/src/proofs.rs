@@ -1,0 +1,182 @@
+//! Epoch-proofs: server signatures over the hash of an epoch.
+//!
+//! An epoch-proof for epoch `i` is `Sign_v(Hash(i, history[i]))`. Proofs are
+//! disseminated through the ledger (directly in Vanilla, inside batches in
+//! Compresschain and Hashchain) and a client that collects `f + 1` consistent
+//! proofs for an epoch knows at least one correct server vouches for it
+//! (Property 8, Valid-Epoch).
+
+use serde::{Deserialize, Serialize};
+use setchain_crypto::{sign, verify, Digest512, KeyPair, KeyRegistry, ProcessId, Sha512, Signature};
+
+use crate::element::Element;
+
+/// Wire length of an epoch-proof, as reported in the paper's evaluation
+/// (139 bytes).
+pub const EPOCH_PROOF_WIRE_LEN: usize = 139;
+
+/// An epoch-proof `⟨i, p, v⟩`: epoch number, signature, signer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EpochProof {
+    /// The epoch this proof vouches for.
+    pub epoch: u64,
+    /// The signing server.
+    pub signer: ProcessId,
+    /// Signature over `Hash(epoch, elements)`.
+    pub signature: Signature,
+}
+
+/// Serializable summary of a proof (used in experiment reports).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EpochProofSummary {
+    /// Epoch number.
+    pub epoch: u64,
+    /// Signer id.
+    pub signer: u64,
+}
+
+impl EpochProof {
+    /// Wire length (fixed, per the paper).
+    pub fn wire_size(&self) -> usize {
+        EPOCH_PROOF_WIRE_LEN
+    }
+
+    /// Summary for reports.
+    pub fn summary(&self) -> EpochProofSummary {
+        EpochProofSummary {
+            epoch: self.epoch,
+            signer: self.signer.0,
+        }
+    }
+}
+
+/// Canonical hash of an epoch: `Hash(i, history[i])`.
+///
+/// Elements are hashed in ascending id order so that the digest does not
+/// depend on the incidental order a server stored them in. Identity, size and
+/// content seed are bound, which (together with the client authenticator
+/// checked by `valid_element`) binds the element contents.
+pub fn epoch_hash(epoch: u64, elements: &[Element]) -> Digest512 {
+    let mut ids: Vec<&Element> = elements.iter().collect();
+    ids.sort_by_key(|e| e.id);
+    let mut h = Sha512::new();
+    h.update(b"setchain-epoch");
+    h.update(&epoch.to_le_bytes());
+    h.update(&(ids.len() as u64).to_le_bytes());
+    for e in ids {
+        h.update(&e.id.0.to_le_bytes());
+        h.update(&e.client.0.to_le_bytes());
+        h.update(&e.size.to_le_bytes());
+        h.update(&e.content_seed.to_le_bytes());
+        h.update(&e.auth.to_le_bytes());
+    }
+    h.finalize()
+}
+
+/// Creates the epoch-proof `p_v(i) = Sign_v(Hash(i, elements))`.
+pub fn make_epoch_proof(keys: &KeyPair, epoch: u64, elements: &[Element]) -> EpochProof {
+    let digest = epoch_hash(epoch, elements);
+    EpochProof {
+        epoch,
+        signer: keys.id,
+        signature: sign(keys, digest.as_bytes()),
+    }
+}
+
+/// The paper's `valid_proof(j, p, w, history[j])`: checks that `proof` is a
+/// valid signature by its claimed signer over the hash of `elements` for its
+/// claimed epoch, and that the signer is one of the `n` Setchain servers.
+pub fn verify_epoch_proof(
+    registry: &KeyRegistry,
+    servers: usize,
+    proof: &EpochProof,
+    elements: &[Element],
+) -> bool {
+    if proof.signature.signer != proof.signer {
+        return false;
+    }
+    if !proof.signer.is_server() || proof.signer.server_index() >= servers {
+        return false;
+    }
+    let digest = epoch_hash(proof.epoch, elements);
+    verify(registry, digest.as_bytes(), &proof.signature)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{Element, ElementId};
+    use setchain_crypto::KeyRegistry;
+
+    fn setup() -> (KeyRegistry, Vec<Element>) {
+        let reg = KeyRegistry::bootstrap(3, 4, 2);
+        let client = reg.lookup(ProcessId::client(0)).unwrap();
+        let elements: Vec<Element> = (0..10)
+            .map(|i| Element::new(&client, ElementId::new(0, i), 400 + i as u32, i))
+            .collect();
+        (reg, elements)
+    }
+
+    #[test]
+    fn proof_roundtrip() {
+        let (reg, elements) = setup();
+        let server = reg.lookup(ProcessId::server(1)).unwrap();
+        let proof = make_epoch_proof(&server, 3, &elements);
+        assert_eq!(proof.epoch, 3);
+        assert_eq!(proof.signer, ProcessId::server(1));
+        assert_eq!(proof.wire_size(), 139);
+        assert!(verify_epoch_proof(&reg, 4, &proof, &elements));
+        assert_eq!(proof.summary().epoch, 3);
+    }
+
+    #[test]
+    fn proof_rejects_wrong_epoch_or_elements() {
+        let (reg, elements) = setup();
+        let server = reg.lookup(ProcessId::server(1)).unwrap();
+        let proof = make_epoch_proof(&server, 3, &elements);
+        // Different epoch number.
+        let mut wrong_epoch = proof;
+        wrong_epoch.epoch = 4;
+        assert!(!verify_epoch_proof(&reg, 4, &wrong_epoch, &elements));
+        // Different element set.
+        assert!(!verify_epoch_proof(&reg, 4, &proof, &elements[..9]));
+    }
+
+    #[test]
+    fn proof_rejects_non_server_or_mismatched_signer() {
+        let (reg, elements) = setup();
+        let client = reg.lookup(ProcessId::client(0)).unwrap();
+        let proof_by_client = make_epoch_proof(&client, 1, &elements);
+        assert!(!verify_epoch_proof(&reg, 4, &proof_by_client, &elements));
+
+        let server = reg.lookup(ProcessId::server(1)).unwrap();
+        let mut mismatched = make_epoch_proof(&server, 1, &elements);
+        mismatched.signer = ProcessId::server(2);
+        assert!(!verify_epoch_proof(&reg, 4, &mismatched, &elements));
+
+        // Signer outside the server set of this deployment.
+        let outsider = reg.lookup(ProcessId::server(3)).unwrap();
+        let proof = make_epoch_proof(&outsider, 1, &elements);
+        assert!(!verify_epoch_proof(&reg, 3, &proof, &elements));
+        assert!(verify_epoch_proof(&reg, 4, &proof, &elements));
+    }
+
+    #[test]
+    fn epoch_hash_is_order_insensitive_but_content_sensitive() {
+        let (_, elements) = setup();
+        let mut reversed = elements.clone();
+        reversed.reverse();
+        assert_eq!(epoch_hash(1, &elements), epoch_hash(1, &reversed));
+        assert_ne!(epoch_hash(1, &elements), epoch_hash(2, &elements));
+        assert_ne!(epoch_hash(1, &elements), epoch_hash(1, &elements[..9]));
+        let mut tampered = elements.clone();
+        tampered[0].size += 1;
+        assert_ne!(epoch_hash(1, &elements), epoch_hash(1, &tampered));
+    }
+
+    #[test]
+    fn empty_epoch_hash_is_well_defined() {
+        assert_eq!(epoch_hash(1, &[]), epoch_hash(1, &[]));
+        assert_ne!(epoch_hash(1, &[]), epoch_hash(2, &[]));
+    }
+}

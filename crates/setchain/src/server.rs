@@ -1,0 +1,221 @@
+//! Code shared by the three Setchain server implementations: client `add` /
+//! `get` handling, epoch-proof bookkeeping and epoch creation.
+
+use setchain_crypto::{KeyPair, KeyRegistry, ProcessId, Signature};
+use setchain_ledger::AppCtx;
+use setchain_simnet::SimTime;
+
+use crate::byzantine::ServerByzMode;
+use crate::config::SetchainConfig;
+use crate::element::Element;
+use crate::messages::SetchainMsg;
+use crate::proofs::{make_epoch_proof, verify_epoch_proof, EpochProof};
+use crate::state::SetchainState;
+use crate::trace::SetchainTrace;
+use crate::tx::SetchainTx;
+
+/// Convenience alias for the application context all Setchain servers use.
+pub type Ctx<'a, 'b, 'c> = AppCtx<'a, 'b, 'c, SetchainTx, SetchainMsg>;
+
+/// Counters exposed by every Setchain server for tests and experiment
+/// reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Client `add` requests accepted (valid, not previously seen).
+    pub adds_accepted: u64,
+    /// Client `add` requests rejected (invalid or duplicate).
+    pub adds_rejected: u64,
+    /// Epochs this server has created/consolidated.
+    pub epochs_created: u64,
+    /// Valid epoch-proofs received from the ledger.
+    pub proofs_received: u64,
+    /// Invalid epoch-proofs discarded.
+    pub proofs_rejected: u64,
+    /// Invalid elements discarded during block processing.
+    pub elements_rejected: u64,
+    /// Batches flushed from the collector (0 for Vanilla).
+    pub batches_flushed: u64,
+    /// Hashchain: `Request_batch` calls sent.
+    pub batch_requests_sent: u64,
+    /// Hashchain: `Request_batch` calls answered.
+    pub batch_requests_served: u64,
+    /// Hashchain: batch requests that timed out or failed verification.
+    pub batch_requests_failed: u64,
+    /// `get` / `get_epoch` requests answered.
+    pub gets_served: u64,
+}
+
+/// State and helpers shared by `VanillaApp`, `CompresschainApp` and
+/// `HashchainApp`.
+pub struct ServerCore {
+    /// This server's key pair.
+    pub keys: KeyPair,
+    /// The PKI.
+    pub registry: KeyRegistry,
+    /// Deployment configuration.
+    pub config: SetchainConfig,
+    /// The Setchain state (`the_set`, `epoch`, `history`, `proofs`).
+    pub state: SetchainState,
+    /// Experiment trace sink.
+    pub trace: SetchainTrace,
+    /// Application-level behaviour.
+    pub byz: ServerByzMode,
+    /// Counters.
+    pub stats: ServerStats,
+}
+
+impl ServerCore {
+    /// Creates the shared server state.
+    pub fn new(
+        keys: KeyPair,
+        registry: KeyRegistry,
+        config: SetchainConfig,
+        trace: SetchainTrace,
+        byz: ServerByzMode,
+    ) -> Self {
+        ServerCore {
+            keys,
+            registry,
+            config,
+            state: SetchainState::new(),
+            trace,
+            byz,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// This server's process id.
+    pub fn id(&self) -> ProcessId {
+        self.keys.id
+    }
+
+    /// The paper's `add(e)` precondition: `valid_element(e) ∧ e ∉ the_set`.
+    /// On success the element is inserted into `the_set` and `true` is
+    /// returned; the caller routes it (ledger append or collector).
+    pub fn accept_add(&mut self, element: &Element, ctx: &mut Ctx<'_, '_, '_>) -> bool {
+        if self.byz == ServerByzMode::DropClientAdds {
+            self.stats.adds_rejected += 1;
+            return false;
+        }
+        ctx.consume_cpu(self.config.costs.validate_element);
+        if !element.is_valid(&self.registry) || self.state.contains(&element.id) {
+            self.stats.adds_rejected += 1;
+            return false;
+        }
+        self.state.insert(element.id);
+        self.stats.adds_accepted += 1;
+        true
+    }
+
+    /// Handles `get` and `get_epoch` requests from clients.
+    pub fn handle_get(&mut self, from: ProcessId, msg: &SetchainMsg, ctx: &mut Ctx<'_, '_, '_>) -> bool {
+        match msg {
+            SetchainMsg::Get { request_id } => {
+                self.stats.gets_served += 1;
+                let snapshot = self.state.snapshot(self.config.proof_quorum());
+                ctx.send_app(
+                    from,
+                    SetchainMsg::GetResponse {
+                        request_id: *request_id,
+                        snapshot,
+                    },
+                );
+                true
+            }
+            SetchainMsg::GetEpoch { request_id, epoch } => {
+                self.stats.gets_served += 1;
+                let elements = self
+                    .state
+                    .epoch_elements(*epoch)
+                    .map(|e| e.to_vec())
+                    .unwrap_or_default();
+                let proofs = self.state.proofs_for(*epoch);
+                ctx.send_app(
+                    from,
+                    SetchainMsg::EpochResponse {
+                        request_id: *request_id,
+                        epoch: *epoch,
+                        elements,
+                        proofs,
+                    },
+                );
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Validates and records an epoch-proof extracted from the ledger
+    /// (the paper's `valid_proof(j, p, w, history[j])` filter). When the
+    /// proof count for the epoch reaches `f + 1`, the commit is reported to
+    /// the experiment trace.
+    pub fn ingest_proof(&mut self, proof: EpochProof, now: SimTime, ctx: &mut Ctx<'_, '_, '_>) {
+        ctx.consume_cpu(self.config.costs.verify_signature);
+        let Some(elements) = self.state.epoch_elements(proof.epoch) else {
+            self.stats.proofs_rejected += 1;
+            return;
+        };
+        if !verify_epoch_proof(&self.registry, self.config.servers, &proof, elements) {
+            self.stats.proofs_rejected += 1;
+            return;
+        }
+        self.stats.proofs_received += 1;
+        let count = self.state.add_proof(proof);
+        if count == self.config.proof_quorum() {
+            self.trace.record_epoch_commit(proof.epoch, now);
+        }
+    }
+
+    /// Creates a new epoch from `elements` (which must already be filtered to
+    /// valid, not-yet-stamped elements), records it in the trace, and returns
+    /// the epoch number together with this server's epoch-proof for it.
+    pub fn create_epoch(
+        &mut self,
+        elements: Vec<Element>,
+        now: SimTime,
+        ctx: &mut Ctx<'_, '_, '_>,
+    ) -> (u64, EpochProof) {
+        let epoch = self.state.record_epoch(elements);
+        self.stats.epochs_created += 1;
+        let stamped = self.state.epoch_elements(epoch).expect("just created");
+        for e in stamped {
+            self.trace.record_epoch_assignment(e.id, epoch, now);
+        }
+        // Hash + sign cost for the epoch-proof.
+        let bytes: usize = stamped.iter().map(|e| e.wire_size()).sum();
+        ctx.consume_cpu(self.config.costs.hash_cost(bytes));
+        ctx.consume_cpu(self.config.costs.sign);
+        let mut proof = make_epoch_proof(&self.keys, epoch, stamped);
+        if self.byz == ServerByzMode::ForgeProofs {
+            proof.signature = Signature::forged(self.keys.id);
+        }
+        (epoch, proof)
+    }
+
+    /// Filters the elements of a batch/block down to the set `G` that forms a
+    /// new epoch: valid elements (unless `validate` is false, for the light
+    /// ablations) that are not yet in `history`, de-duplicated.
+    pub fn extract_epoch_candidates(
+        &mut self,
+        elements: &[Element],
+        validate: bool,
+        ctx: &mut Ctx<'_, '_, '_>,
+    ) -> Vec<Element> {
+        if validate {
+            ctx.consume_cpu(self.config.costs.validate_cost(elements.len()));
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for e in elements {
+            if self.state.in_history(&e.id) || !seen.insert(e.id) {
+                continue;
+            }
+            if validate && !e.is_valid(&self.registry) {
+                self.stats.elements_rejected += 1;
+                continue;
+            }
+            out.push(*e);
+        }
+        out
+    }
+}

@@ -1,0 +1,207 @@
+//! Committee sortition for permissionless deployments.
+//!
+//! The paper's system model (Section 2) is open-permissioned: clients are
+//! open, servers are known upfront. It notes that the model "can also be
+//! adapted to a permissionless setting with committee sortition" in the style
+//! of Algorand. This module provides that adaptation layer: given a public
+//! candidate set with stakes and a public per-epoch seed (derived from the
+//! previous epoch's hash, which all correct servers agree on thanks to
+//! Consistent-Gets), it deterministically selects the committee of servers
+//! that runs the Setchain for the next epochs.
+//!
+//! The selection is a weighted sampling **without replacement** using the
+//! "exponential jumps"/A-Res keying: every candidate gets the key
+//! `u^(1/stake)` where `u ∈ (0,1)` is derived by hashing the seed with the
+//! candidate identity, and the `committee_size` largest keys win. Because the
+//! key depends only on public data, any process can recompute the committee
+//! and verify membership — no interaction or VRF infrastructure is needed for
+//! the reproduction (DESIGN.md §3 discusses this substitution).
+
+use setchain_crypto::{Digest512, ProcessId, Sha512};
+
+/// A sortition candidate: a process identity with its public stake.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Candidate {
+    /// The candidate process.
+    pub id: ProcessId,
+    /// Voting stake; candidates with zero stake are never selected.
+    pub stake: u64,
+}
+
+impl Candidate {
+    /// Convenience constructor.
+    pub fn new(id: ProcessId, stake: u64) -> Self {
+        Candidate { id, stake }
+    }
+}
+
+/// Derives the public sortition seed for a round from the epoch number and
+/// the hash of the previous epoch (all correct servers agree on both).
+pub fn round_seed(epoch: u64, previous_epoch_hash: &Digest512) -> Digest512 {
+    let mut h = Sha512::new();
+    h.update(b"setchain-sortition-round");
+    h.update(&epoch.to_le_bytes());
+    h.update(previous_epoch_hash.as_bytes());
+    h.finalize()
+}
+
+/// The key a candidate draws for a given seed: `u^(1/stake)` with
+/// `u ∈ (0, 1)` derived from `Hash(seed ‖ id)`. Larger is better; zero stake
+/// always keys to 0 and can never be selected ahead of a staked candidate.
+fn selection_key(seed: &Digest512, candidate: &Candidate) -> f64 {
+    if candidate.stake == 0 {
+        return 0.0;
+    }
+    let mut h = Sha512::new();
+    h.update(b"setchain-sortition-key");
+    h.update(seed.as_bytes());
+    h.update(&candidate.id.0.to_le_bytes());
+    let digest = h.finalize();
+    let raw = u64::from_le_bytes(digest.as_bytes()[..8].try_into().expect("8 bytes"));
+    // Map to (0, 1): avoid exactly 0 (log undefined) and exactly 1.
+    let u = (raw as f64 + 1.0) / (u64::MAX as f64 + 2.0);
+    u.powf(1.0 / candidate.stake as f64)
+}
+
+/// Selects a committee of (up to) `committee_size` distinct candidates for
+/// `seed`, weighted by stake and without replacement.
+///
+/// The result is sorted by process id so that every correct process computes
+/// the committee in the same canonical order. If fewer than `committee_size`
+/// candidates have positive stake, all of them are returned.
+pub fn select_committee(
+    seed: &Digest512,
+    candidates: &[Candidate],
+    committee_size: usize,
+) -> Vec<ProcessId> {
+    let mut keyed: Vec<(f64, ProcessId)> = candidates
+        .iter()
+        .filter(|c| c.stake > 0)
+        .map(|c| (selection_key(seed, c), c.id))
+        .collect();
+    // Sort by key descending; ties (astronomically unlikely) break by id so
+    // the outcome stays deterministic.
+    keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("keys are finite").then(b.1.0.cmp(&a.1.0)));
+    let mut committee: Vec<ProcessId> = keyed
+        .into_iter()
+        .take(committee_size)
+        .map(|(_, id)| id)
+        .collect();
+    committee.sort_by_key(|id| id.0);
+    committee
+}
+
+/// True if `member` is in the committee selected by `seed` over
+/// `candidates` — the verification any process (e.g. a light client checking
+/// an epoch-proof signer) can run locally.
+pub fn verify_member(
+    seed: &Digest512,
+    candidates: &[Candidate],
+    committee_size: usize,
+    member: ProcessId,
+) -> bool {
+    select_committee(seed, candidates, committee_size).contains(&member)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setchain_crypto::sha512;
+
+    fn candidates(n: usize, stake: u64) -> Vec<Candidate> {
+        (0..n)
+            .map(|i| Candidate::new(ProcessId::server(i), stake))
+            .collect()
+    }
+
+    #[test]
+    fn committee_is_deterministic_and_right_sized() {
+        let pool = candidates(50, 10);
+        let seed = round_seed(7, &sha512(b"epoch 6 contents"));
+        let a = select_committee(&seed, &pool, 10);
+        let b = select_committee(&seed, &pool, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        // No duplicates.
+        let mut dedup = a.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+        // Canonical (sorted) order.
+        assert!(a.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn different_seeds_give_different_committees() {
+        let pool = candidates(100, 10);
+        let seed_a = round_seed(1, &sha512(b"a"));
+        let seed_b = round_seed(2, &sha512(b"a"));
+        let seed_c = round_seed(1, &sha512(b"b"));
+        let a = select_committee(&seed_a, &pool, 10);
+        let b = select_committee(&seed_b, &pool, 10);
+        let c = select_committee(&seed_c, &pool, 10);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn small_pools_and_zero_stake_are_handled() {
+        let mut pool = candidates(5, 10);
+        pool.push(Candidate::new(ProcessId::server(5), 0));
+        let seed = sha512(b"seed");
+        // Asking for more members than staked candidates returns all of them.
+        let all = select_committee(&seed, &pool, 10);
+        assert_eq!(all.len(), 5);
+        assert!(!all.contains(&ProcessId::server(5)), "zero stake never selected");
+        // Empty pool.
+        assert!(select_committee(&seed, &[], 4).is_empty());
+        // Zero-sized committee.
+        assert!(select_committee(&seed, &pool, 0).is_empty());
+    }
+
+    #[test]
+    fn membership_verification_matches_selection() {
+        let pool = candidates(30, 5);
+        let seed = round_seed(12, &sha512(b"prev"));
+        let committee = select_committee(&seed, &pool, 7);
+        for member in &committee {
+            assert!(verify_member(&seed, &pool, 7, *member));
+        }
+        let outsider = pool.iter().find(|c| !committee.contains(&c.id)).unwrap();
+        assert!(!verify_member(&seed, &pool, 7, outsider.id));
+    }
+
+    #[test]
+    fn stake_weighting_biases_selection() {
+        // One whale with 50× the stake of everyone else must be selected in
+        // far more committees than a uniform candidate would be.
+        let mut pool = candidates(40, 10);
+        pool[0].stake = 500;
+        let committee_size = 8;
+        let rounds = 200;
+        let mut whale_selected = 0;
+        let mut baseline_selected = 0;
+        for round in 0..rounds {
+            let seed = round_seed(round, &sha512(&round.to_le_bytes()));
+            let committee = select_committee(&seed, &pool, committee_size);
+            if committee.contains(&pool[0].id) {
+                whale_selected += 1;
+            }
+            if committee.contains(&pool[1].id) {
+                baseline_selected += 1;
+            }
+        }
+        assert!(
+            whale_selected > baseline_selected * 2,
+            "whale {whale_selected}/{rounds} vs baseline {baseline_selected}/{rounds}"
+        );
+        // The whale is not *always* selected either (sortition, not election).
+        assert!(whale_selected > rounds / 2);
+    }
+
+    #[test]
+    fn round_seed_depends_on_both_inputs() {
+        let h = sha512(b"epoch");
+        assert_ne!(round_seed(1, &h), round_seed(2, &h));
+        assert_ne!(round_seed(1, &h), round_seed(1, &sha512(b"other")));
+    }
+}

@@ -1,0 +1,398 @@
+//! The Setchain state maintained by every server: `the_set`, `epoch`,
+//! `history` and `proofs`, plus helpers for the safety properties the paper
+//! proves (Consistent-Sets, Unique-Epoch, Consistent-Gets).
+
+use std::collections::{HashMap, HashSet};
+
+use setchain_crypto::ProcessId;
+
+use crate::element::{Element, ElementId};
+use crate::messages::GetSnapshot;
+use crate::proofs::EpochProof;
+
+/// The four components of a Setchain returned by `get()`:
+/// `(the_set, history, epoch, proofs)`.
+#[derive(Debug, Default)]
+pub struct SetchainState {
+    /// Grow-only set of element ids that have been added.
+    the_set: HashSet<ElementId>,
+    /// Current epoch number (`history` holds epochs `1..=epoch`).
+    epoch: u64,
+    /// `history[i - 1]` holds the elements stamped with epoch `i`.
+    history: Vec<Vec<Element>>,
+    /// Reverse index: element id → epoch it was stamped with.
+    element_epoch: HashMap<ElementId, u64>,
+    /// Epoch-proofs received, per epoch and per signer.
+    proofs: HashMap<u64, HashMap<ProcessId, EpochProof>>,
+}
+
+impl SetchainState {
+    /// Creates an empty state (`the_set = ∅`, `epoch = 0`, `history = ∅`,
+    /// `proofs = ∅`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of elements in `the_set`.
+    pub fn the_set_len(&self) -> usize {
+        self.the_set.len()
+    }
+
+    /// True if `the_set` contains the element.
+    pub fn contains(&self, id: &ElementId) -> bool {
+        self.the_set.contains(id)
+    }
+
+    /// Adds an element id to `the_set`. Returns true if it was new.
+    pub fn insert(&mut self, id: ElementId) -> bool {
+        self.the_set.insert(id)
+    }
+
+    /// True if the element has already been stamped with an epoch
+    /// (the algorithms' `e ∈ history` check).
+    pub fn in_history(&self, id: &ElementId) -> bool {
+        self.element_epoch.contains_key(id)
+    }
+
+    /// The epoch an element was stamped with, if any.
+    pub fn epoch_of(&self, id: &ElementId) -> Option<u64> {
+        self.element_epoch.get(id).copied()
+    }
+
+    /// Elements of epoch `i` (1-based), if it exists.
+    pub fn epoch_elements(&self, epoch: u64) -> Option<&[Element]> {
+        if epoch == 0 || epoch > self.epoch {
+            return None;
+        }
+        Some(&self.history[(epoch - 1) as usize])
+    }
+
+    /// Total number of elements across all epochs.
+    pub fn history_elements(&self) -> u64 {
+        self.history.iter().map(|g| g.len() as u64).sum()
+    }
+
+    /// Creates a new epoch from `elements`, inserting them into `the_set`
+    /// (Consistent-Sets requires `history ⊆ the_set`) and recording the
+    /// reverse index. Returns the new epoch number.
+    ///
+    /// Callers are responsible for having filtered out elements already in
+    /// `history` (Unique-Epoch); this is asserted in debug builds.
+    pub fn record_epoch(&mut self, elements: Vec<Element>) -> u64 {
+        self.epoch += 1;
+        for e in &elements {
+            debug_assert!(
+                !self.element_epoch.contains_key(&e.id),
+                "element {:?} stamped twice",
+                e.id
+            );
+            self.the_set.insert(e.id);
+            self.element_epoch.insert(e.id, self.epoch);
+        }
+        self.history.push(elements);
+        self.epoch
+    }
+
+    /// Records an epoch-proof. Returns the number of distinct signers now
+    /// known for that epoch.
+    pub fn add_proof(&mut self, proof: EpochProof) -> usize {
+        let per_epoch = self.proofs.entry(proof.epoch).or_default();
+        per_epoch.entry(proof.signer).or_insert(proof);
+        per_epoch.len()
+    }
+
+    /// Number of distinct proof signers for `epoch`.
+    pub fn proof_count(&self, epoch: u64) -> usize {
+        self.proofs.get(&epoch).map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// The proofs held for `epoch`.
+    pub fn proofs_for(&self, epoch: u64) -> Vec<EpochProof> {
+        self.proofs
+            .get(&epoch)
+            .map(|m| m.values().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total number of proofs held across all epochs.
+    pub fn proofs_total(&self) -> u64 {
+        self.proofs.values().map(|m| m.len() as u64).sum()
+    }
+
+    /// Number of epochs with at least `quorum` proofs.
+    pub fn epochs_with_quorum(&self, quorum: usize) -> u64 {
+        (1..=self.epoch)
+            .filter(|i| self.proof_count(*i) >= quorum)
+            .count() as u64
+    }
+
+    /// The `get()` summary returned to clients.
+    pub fn snapshot(&self, quorum: usize) -> GetSnapshot {
+        GetSnapshot {
+            the_set_len: self.the_set.len() as u64,
+            epoch: self.epoch,
+            history_elements: self.history_elements(),
+            proofs_total: self.proofs_total(),
+            epochs_with_quorum: self.epochs_with_quorum(quorum),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Property checkers (used by tests and by the verification example)
+    // ------------------------------------------------------------------
+
+    /// Property 1 (Consistent-Sets): every epoch is a subset of `the_set`.
+    pub fn check_consistent_sets(&self) -> bool {
+        self.history
+            .iter()
+            .all(|g| g.iter().all(|e| self.the_set.contains(&e.id)))
+    }
+
+    /// Property 5 (Unique-Epoch): epochs are pairwise disjoint.
+    pub fn check_unique_epoch(&self) -> bool {
+        let mut seen = HashSet::new();
+        for g in &self.history {
+            for e in g {
+                if !seen.insert(e.id) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Property 6 (Consistent-Gets) between two servers: the common prefix of
+    /// epochs must be identical (as sets).
+    pub fn check_consistent_with(&self, other: &SetchainState) -> bool {
+        let common = self.epoch.min(other.epoch);
+        for i in 1..=common {
+            let a: HashSet<ElementId> = self
+                .epoch_elements(i)
+                .expect("epoch in range")
+                .iter()
+                .map(|e| e.id)
+                .collect();
+            let b: HashSet<ElementId> = other
+                .epoch_elements(i)
+                .expect("epoch in range")
+                .iter()
+                .map(|e| e.id)
+                .collect();
+            if a != b {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::ElementId;
+    use crate::proofs::make_epoch_proof;
+    use setchain_crypto::KeyRegistry;
+
+    fn elements(range: std::ops::Range<u64>) -> Vec<Element> {
+        let reg = KeyRegistry::bootstrap(1, 1, 1);
+        let keys = reg.lookup(ProcessId::client(0)).unwrap();
+        range
+            .map(|i| Element::new(&keys, ElementId::new(0, i), 400, i))
+            .collect()
+    }
+
+    #[test]
+    fn empty_state_snapshot() {
+        let st = SetchainState::new();
+        assert_eq!(st.epoch(), 0);
+        assert_eq!(st.the_set_len(), 0);
+        assert_eq!(st.epoch_elements(0), None);
+        assert_eq!(st.epoch_elements(1), None);
+        let snap = st.snapshot(2);
+        assert_eq!(snap.epoch, 0);
+        assert!(st.check_consistent_sets());
+        assert!(st.check_unique_epoch());
+    }
+
+    #[test]
+    fn record_epoch_updates_everything() {
+        let mut st = SetchainState::new();
+        let es = elements(0..5);
+        let epoch = st.record_epoch(es.clone());
+        assert_eq!(epoch, 1);
+        assert_eq!(st.epoch(), 1);
+        assert_eq!(st.history_elements(), 5);
+        assert_eq!(st.epoch_elements(1).unwrap().len(), 5);
+        for e in &es {
+            assert!(st.contains(&e.id));
+            assert!(st.in_history(&e.id));
+            assert_eq!(st.epoch_of(&e.id), Some(1));
+        }
+        assert!(st.check_consistent_sets());
+        assert!(st.check_unique_epoch());
+        // Second, disjoint epoch.
+        let epoch2 = st.record_epoch(elements(5..8));
+        assert_eq!(epoch2, 2);
+        assert!(st.check_unique_epoch());
+    }
+
+    #[test]
+    fn insert_tracks_the_set_independently_of_history() {
+        let mut st = SetchainState::new();
+        let e = elements(0..1)[0];
+        assert!(st.insert(e.id));
+        assert!(!st.insert(e.id));
+        assert!(st.contains(&e.id));
+        assert!(!st.in_history(&e.id));
+        // Consistent-Sets still holds: history is empty.
+        assert!(st.check_consistent_sets());
+    }
+
+    #[test]
+    fn proofs_and_quorum_counting() {
+        let reg = KeyRegistry::bootstrap(1, 5, 1);
+        let mut st = SetchainState::new();
+        let es = elements(0..3);
+        st.record_epoch(es.clone());
+        for i in 0..3 {
+            let keys = reg.lookup(ProcessId::server(i)).unwrap();
+            let count = st.add_proof(make_epoch_proof(&keys, 1, &es));
+            assert_eq!(count, i + 1);
+        }
+        // Duplicate signer does not increase the count.
+        let keys = reg.lookup(ProcessId::server(0)).unwrap();
+        assert_eq!(st.add_proof(make_epoch_proof(&keys, 1, &es)), 3);
+        assert_eq!(st.proof_count(1), 3);
+        assert_eq!(st.proof_count(2), 0);
+        assert_eq!(st.proofs_total(), 3);
+        assert_eq!(st.epochs_with_quorum(3), 1);
+        assert_eq!(st.epochs_with_quorum(4), 0);
+        assert_eq!(st.proofs_for(1).len(), 3);
+        let snap = st.snapshot(3);
+        assert_eq!(snap.epochs_with_quorum, 1);
+        assert_eq!(snap.proofs_total, 3);
+        assert_eq!(snap.history_elements, 3);
+    }
+
+    #[test]
+    fn consistency_check_between_servers() {
+        let mut a = SetchainState::new();
+        let mut b = SetchainState::new();
+        let e1 = elements(0..4);
+        let e2 = elements(4..6);
+        a.record_epoch(e1.clone());
+        a.record_epoch(e2.clone());
+        b.record_epoch(e1.clone());
+        // b is one epoch behind: still consistent on the common prefix.
+        assert!(a.check_consistent_with(&b));
+        assert!(b.check_consistent_with(&a));
+        // Divergent epoch 2 breaks consistency once both have it.
+        b.record_epoch(elements(6..8));
+        assert!(!a.check_consistent_with(&b));
+    }
+
+    #[test]
+    fn unique_epoch_violation_detected() {
+        let mut st = SetchainState::new();
+        let es = elements(0..2);
+        st.record_epoch(es.clone());
+        // Bypass record_epoch's contract to simulate a buggy/Byzantine state.
+        st.history.push(vec![es[0]]);
+        st.epoch += 1;
+        assert!(!st.check_unique_epoch());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Partitions `total` generated elements into consecutive epochs whose
+        /// sizes are given by `sizes` (truncated once the elements run out).
+        fn build_state(total: u64, sizes: &[usize]) -> (SetchainState, Vec<Element>) {
+            let pool = elements(0..total);
+            let mut st = SetchainState::new();
+            let mut cursor = 0usize;
+            for &size in sizes {
+                if cursor >= pool.len() {
+                    break;
+                }
+                let end = (cursor + size.max(1)).min(pool.len());
+                st.record_epoch(pool[cursor..end].to_vec());
+                cursor = end;
+            }
+            (st, pool)
+        }
+
+        proptest! {
+            /// Properties 1 and 5 (Consistent-Sets, Unique-Epoch) hold for any
+            /// partition of elements into epochs built through the public API,
+            /// and the reverse index agrees with the history.
+            #[test]
+            fn prop_partition_preserves_safety_invariants(
+                total in 1u64..200,
+                sizes in proptest::collection::vec(1usize..40, 1..12),
+            ) {
+                let (st, pool) = build_state(total, &sizes);
+                prop_assert!(st.check_consistent_sets());
+                prop_assert!(st.check_unique_epoch());
+                // Every stamped element is findable through epoch_of and its
+                // epoch really contains it.
+                let mut stamped = 0u64;
+                for epoch in 1..=st.epoch() {
+                    for e in st.epoch_elements(epoch).unwrap() {
+                        prop_assert_eq!(st.epoch_of(&e.id), Some(epoch));
+                        stamped += 1;
+                    }
+                }
+                prop_assert_eq!(stamped, st.history_elements());
+                prop_assert!(stamped <= pool.len() as u64);
+                // Out-of-range epochs are not exposed.
+                prop_assert!(st.epoch_elements(0).is_none());
+                prop_assert!(st.epoch_elements(st.epoch() + 1).is_none());
+            }
+
+            /// Property 6 (Consistent-Gets): two servers that build the same
+            /// epoch partition agree on every common epoch, and a server that
+            /// is a prefix of another is still consistent with it.
+            #[test]
+            fn prop_prefix_states_are_consistent(
+                total in 1u64..150,
+                sizes in proptest::collection::vec(1usize..30, 1..10),
+                cut in 0usize..10,
+            ) {
+                let (full, pool) = build_state(total, &sizes);
+                let cut = cut.min(sizes.len());
+                let (prefix, _) = build_state(pool.len() as u64, &sizes[..cut]);
+                prop_assert!(full.check_consistent_with(&prefix));
+                prop_assert!(prefix.check_consistent_with(&full));
+                prop_assert!(prefix.epoch() <= full.epoch());
+            }
+
+            /// Proof bookkeeping: distinct signers accumulate, duplicates do
+            /// not, and the quorum counter matches a recount.
+            #[test]
+            fn prop_proof_counting(signers in proptest::collection::vec(0usize..8, 0..40)) {
+                let reg = KeyRegistry::bootstrap(3, 8, 1);
+                let mut st = SetchainState::new();
+                let es = elements(0..4);
+                st.record_epoch(es.clone());
+                for &s in &signers {
+                    let keys = reg.lookup(ProcessId::server(s)).unwrap();
+                    st.add_proof(make_epoch_proof(&keys, 1, &es));
+                }
+                let distinct: std::collections::HashSet<_> = signers.iter().collect();
+                prop_assert_eq!(st.proof_count(1), distinct.len());
+                prop_assert_eq!(st.proofs_for(1).len(), distinct.len());
+                for quorum in 1..=9usize {
+                    let expected = if distinct.len() >= quorum { 1 } else { 0 };
+                    prop_assert_eq!(st.epochs_with_quorum(quorum), expected);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Ledger transaction types used by the three Setchain algorithms.
+//!
+//! Vanilla appends individual elements and epoch-proofs; Compresschain
+//! appends compressed batches; Hashchain appends fixed-size hash-batches.
+//! A single enum covers all of them so that any algorithm can run on the
+//! same ledger deployment type.
+
+use setchain_crypto::{sign, verify, Digest512, KeyPair, KeyRegistry, ProcessId, Signature};
+use setchain_ledger::{TxData, TxId};
+
+use crate::element::Element;
+use crate::proofs::EpochProof;
+
+/// Wire length of a hash-batch `⟨h, s, v⟩` (139 bytes, per the paper).
+pub const HASH_BATCH_WIRE_LEN: usize = 139;
+
+/// A compressed batch appended to the ledger by Compresschain.
+///
+/// The element and proof structures are carried explicitly (the simulation
+/// does not re-serialize them), while `compressed_size` — obtained by running
+/// the real compressor over the materialized batch bytes — is what the batch
+/// occupies in blocks and on the wire.
+#[derive(Clone, Debug)]
+pub struct CompressedBatch {
+    /// The server that built and appended the batch.
+    pub origin: ProcessId,
+    /// Per-origin batch sequence number (makes the transaction id unique).
+    pub seq: u64,
+    /// Elements in the batch, in collection order.
+    pub elements: Vec<Element>,
+    /// Epoch-proofs included in the batch.
+    pub proofs: Vec<EpochProof>,
+    /// Size of the batch after compression, in bytes.
+    pub compressed_size: u32,
+    /// Size of the batch before compression, in bytes.
+    pub original_size: u32,
+}
+
+impl CompressedBatch {
+    /// Compression ratio achieved on this batch.
+    pub fn ratio(&self) -> f64 {
+        if self.compressed_size == 0 {
+            return 1.0;
+        }
+        self.original_size as f64 / self.compressed_size as f64
+    }
+}
+
+/// A hash-batch `⟨h, s, v⟩`: the hash of a batch, signed by a server.
+#[derive(Clone, Copy, Debug)]
+pub struct HashBatch {
+    /// SHA-512 hash of the batch contents.
+    pub hash: Digest512,
+    /// The signing server.
+    pub signer: ProcessId,
+    /// Signature over the hash.
+    pub signature: Signature,
+}
+
+impl HashBatch {
+    /// Creates a hash-batch signed by `keys`.
+    pub fn new(keys: &KeyPair, hash: Digest512) -> Self {
+        HashBatch {
+            hash,
+            signer: keys.id,
+            signature: sign(keys, hash.as_bytes()),
+        }
+    }
+
+    /// The paper's `valid_hash(h, s, w)`: the signature must be a valid
+    /// signature by `w` (a server of this deployment) over `h`.
+    pub fn is_valid(&self, registry: &KeyRegistry, servers: usize) -> bool {
+        self.signer.is_server()
+            && self.signer.server_index() < servers
+            && self.signature.signer == self.signer
+            && verify(registry, self.hash.as_bytes(), &self.signature)
+    }
+}
+
+/// A ledger transaction produced by a Setchain server.
+#[derive(Clone, Debug)]
+pub enum SetchainTx {
+    /// A single element (Vanilla).
+    Element(Element),
+    /// An epoch-proof appended directly to the ledger (Vanilla).
+    Proof(EpochProof),
+    /// A compressed batch of elements and proofs (Compresschain).
+    Compressed(CompressedBatch),
+    /// A signed batch hash (Hashchain).
+    HashBatch(HashBatch),
+}
+
+// Tags keep the id spaces of the four transaction kinds disjoint.
+const TAG_ELEMENT: u128 = 1 << 120;
+const TAG_PROOF: u128 = 2 << 120;
+const TAG_COMPRESSED: u128 = 3 << 120;
+const TAG_HASH_BATCH: u128 = 4 << 120;
+
+impl TxData for SetchainTx {
+    fn tx_id(&self) -> TxId {
+        match self {
+            SetchainTx::Element(e) => TxId(TAG_ELEMENT | u128::from(e.id.0)),
+            SetchainTx::Proof(p) => {
+                TxId(TAG_PROOF | (u128::from(p.epoch) << 64) | u128::from(p.signer.0))
+            }
+            SetchainTx::Compressed(b) => {
+                TxId(TAG_COMPRESSED | (u128::from(b.origin.0) << 64) | u128::from(b.seq))
+            }
+            SetchainTx::HashBatch(hb) => {
+                // Multiple servers append hash-batches for the same hash; the
+                // signer keeps their transaction ids distinct.
+                TxId(TAG_HASH_BATCH | (u128::from(hb.hash.short()) << 48) | u128::from(hb.signer.0))
+            }
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        match self {
+            SetchainTx::Element(e) => e.wire_size(),
+            SetchainTx::Proof(p) => p.wire_size(),
+            SetchainTx::Compressed(b) => b.compressed_size as usize + 24,
+            SetchainTx::HashBatch(_) => HASH_BATCH_WIRE_LEN,
+        }
+    }
+}
+
+impl SetchainTx {
+    /// True if this transaction is an element.
+    pub fn is_element(&self) -> bool {
+        matches!(self, SetchainTx::Element(_))
+    }
+
+    /// True if this transaction is an epoch-proof.
+    pub fn is_proof(&self) -> bool {
+        matches!(self, SetchainTx::Proof(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::ElementId;
+    use crate::proofs::make_epoch_proof;
+    use setchain_crypto::{sha512, KeyRegistry};
+
+    fn registry() -> KeyRegistry {
+        KeyRegistry::bootstrap(11, 4, 2)
+    }
+
+    #[test]
+    fn tx_ids_are_distinct_across_kinds() {
+        let reg = registry();
+        let client = reg.lookup(ProcessId::client(0)).unwrap();
+        let server = reg.lookup(ProcessId::server(0)).unwrap();
+        let e = Element::new(&client, ElementId::new(0, 5), 438, 1);
+        let proof = make_epoch_proof(&server, 5, &[e]);
+        let hb = HashBatch::new(&server, sha512(b"batch"));
+        let cb = CompressedBatch {
+            origin: server.id,
+            seq: 5,
+            elements: vec![e],
+            proofs: vec![],
+            compressed_size: 100,
+            original_size: 300,
+        };
+        let ids = [
+            SetchainTx::Element(e).tx_id(),
+            SetchainTx::Proof(proof).tx_id(),
+            SetchainTx::Compressed(cb).tx_id(),
+            SetchainTx::HashBatch(hb).tx_id(),
+        ];
+        for i in 0..ids.len() {
+            for j in i + 1..ids.len() {
+                assert_ne!(ids[i], ids[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn wire_sizes_match_paper_constants() {
+        let reg = registry();
+        let client = reg.lookup(ProcessId::client(0)).unwrap();
+        let server = reg.lookup(ProcessId::server(0)).unwrap();
+        let e = Element::new(&client, ElementId::new(0, 1), 438, 1);
+        assert_eq!(SetchainTx::Element(e).wire_size(), 438);
+        let proof = make_epoch_proof(&server, 1, &[e]);
+        assert_eq!(SetchainTx::Proof(proof).wire_size(), 139);
+        let hb = HashBatch::new(&server, sha512(b"x"));
+        assert_eq!(SetchainTx::HashBatch(hb).wire_size(), 139);
+        let cb = CompressedBatch {
+            origin: server.id,
+            seq: 0,
+            elements: vec![e],
+            proofs: vec![],
+            compressed_size: 160,
+            original_size: 438,
+        };
+        assert_eq!(SetchainTx::Compressed(cb.clone()).wire_size(), 184);
+        assert!((cb.ratio() - 438.0 / 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hash_batch_validation() {
+        let reg = registry();
+        let server = reg.lookup(ProcessId::server(2)).unwrap();
+        let hb = HashBatch::new(&server, sha512(b"contents"));
+        assert!(hb.is_valid(&reg, 4));
+        // Signer outside the deployment's server set.
+        assert!(!hb.is_valid(&reg, 2));
+        // Forged signature.
+        let mut forged = hb;
+        forged.signature = Signature::forged(server.id);
+        assert!(!forged.is_valid(&reg, 4));
+        // A client cannot produce a valid hash-batch.
+        let client = reg.lookup(ProcessId::client(0)).unwrap();
+        let hb_client = HashBatch::new(&client, sha512(b"contents"));
+        assert!(!hb_client.is_valid(&reg, 4));
+        // Mismatched claimed signer.
+        let other = reg.lookup(ProcessId::server(3)).unwrap();
+        let mut mismatched = HashBatch::new(&server, sha512(b"contents"));
+        mismatched.signer = other.id;
+        assert!(!mismatched.is_valid(&reg, 4));
+    }
+
+    #[test]
+    fn same_hash_different_signers_have_distinct_tx_ids() {
+        let reg = registry();
+        let s0 = reg.lookup(ProcessId::server(0)).unwrap();
+        let s1 = reg.lookup(ProcessId::server(1)).unwrap();
+        let h = sha512(b"same batch");
+        let a = SetchainTx::HashBatch(HashBatch::new(&s0, h));
+        let b = SetchainTx::HashBatch(HashBatch::new(&s1, h));
+        assert_ne!(a.tx_id(), b.tx_id());
+    }
+
+    #[test]
+    fn kind_predicates() {
+        let reg = registry();
+        let client = reg.lookup(ProcessId::client(0)).unwrap();
+        let server = reg.lookup(ProcessId::server(0)).unwrap();
+        let e = Element::new(&client, ElementId::new(0, 1), 100, 1);
+        assert!(SetchainTx::Element(e).is_element());
+        assert!(!SetchainTx::Element(e).is_proof());
+        let p = make_epoch_proof(&server, 1, &[e]);
+        assert!(SetchainTx::Proof(p).is_proof());
+    }
+
+    #[test]
+    fn degenerate_compressed_batch_ratio() {
+        let cb = CompressedBatch {
+            origin: ProcessId::server(0),
+            seq: 0,
+            elements: vec![],
+            proofs: vec![],
+            compressed_size: 0,
+            original_size: 0,
+        };
+        assert_eq!(cb.ratio(), 1.0);
+    }
+}

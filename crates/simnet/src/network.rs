@@ -1,0 +1,327 @@
+//! Network model: propagation delay, jitter, added latency, loss,
+//! partitions and per-sender link bandwidth.
+//!
+//! The paper's evaluation platform is a LAN cluster (sub-millisecond RTT,
+//! 1 Gbps links between Docker hosts) with an optional artificial
+//! `network_delay` of 30 ms or 100 ms added to every message to emulate a
+//! WAN (Fig. 3c). [`NetworkConfig`] captures exactly those knobs plus fault
+//! injection (loss, partitions) used by the robustness tests.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use setchain_crypto::ProcessId;
+use std::collections::{HashMap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Configuration of the simulated network.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Base one-way propagation delay between any two distinct processes.
+    pub base_delay: SimDuration,
+    /// Uniform random jitter added on top of the base delay, `[0, jitter]`.
+    pub jitter: SimDuration,
+    /// Artificial latency added to every message (the paper's
+    /// `network_delay` parameter: 0, 30 or 100 ms).
+    pub extra_delay: SimDuration,
+    /// Link bandwidth in bytes per second used to model transmission time of
+    /// large messages (batches). `None` disables bandwidth modelling.
+    pub bandwidth_bytes_per_sec: Option<u64>,
+    /// Probability in `[0, 1]` that a message between distinct processes is
+    /// silently dropped. Loopback messages are never dropped.
+    pub loss_rate: f64,
+    /// Delay applied to messages a process sends to itself.
+    pub loopback_delay: SimDuration,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig::lan()
+    }
+}
+
+impl NetworkConfig {
+    /// LAN profile matching the paper's cluster: 0.25 ms one-way delay,
+    /// 0.1 ms jitter, 1 Gbps links, no loss.
+    pub fn lan() -> Self {
+        NetworkConfig {
+            base_delay: SimDuration::from_micros(250),
+            jitter: SimDuration::from_micros(100),
+            extra_delay: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: Some(125_000_000), // 1 Gbps
+            loss_rate: 0.0,
+            loopback_delay: SimDuration::from_micros(10),
+        }
+    }
+
+    /// LAN profile plus the paper's artificial `network_delay` (in ms).
+    pub fn with_extra_delay_ms(mut self, ms: u64) -> Self {
+        self.extra_delay = SimDuration::from_millis(ms);
+        self
+    }
+
+    /// Sets the message loss probability.
+    pub fn with_loss_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0,1]");
+        self.loss_rate = rate;
+        self
+    }
+
+    /// Disables bandwidth modelling (infinite-capacity links).
+    pub fn without_bandwidth_model(mut self) -> Self {
+        self.bandwidth_bytes_per_sec = None;
+        self
+    }
+}
+
+/// A (symmetric) network partition: messages between the two sides are
+/// dropped while the partition is active.
+#[derive(Clone, Debug, Default)]
+pub struct Partition {
+    side_a: HashSet<ProcessId>,
+    side_b: HashSet<ProcessId>,
+}
+
+impl Partition {
+    /// Builds a partition separating `side_a` from `side_b`.
+    pub fn between(side_a: impl IntoIterator<Item = ProcessId>, side_b: impl IntoIterator<Item = ProcessId>) -> Self {
+        Partition {
+            side_a: side_a.into_iter().collect(),
+            side_b: side_b.into_iter().collect(),
+        }
+    }
+
+    /// True if the partition separates `from` and `to`.
+    pub fn blocks(&self, from: ProcessId, to: ProcessId) -> bool {
+        (self.side_a.contains(&from) && self.side_b.contains(&to))
+            || (self.side_b.contains(&from) && self.side_a.contains(&to))
+    }
+}
+
+/// The network state owned by the simulation.
+#[derive(Clone, Debug)]
+pub struct Network {
+    config: NetworkConfig,
+    partitions: Vec<Partition>,
+    /// Earliest time each sender's outgoing link is free again (models
+    /// serialisation of large messages onto the wire).
+    link_free_at: HashMap<ProcessId, SimTime>,
+    /// Count of messages dropped by loss or partitions, for reporting.
+    dropped: u64,
+    /// Count of messages delivered.
+    delivered: u64,
+    /// Total bytes handed to the network.
+    bytes_sent: u64,
+}
+
+impl Network {
+    /// Creates a network with the given configuration.
+    pub fn new(config: NetworkConfig) -> Self {
+        Network {
+            config,
+            partitions: Vec::new(),
+            link_free_at: HashMap::new(),
+            dropped: 0,
+            delivered: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Installs a partition. Returns its index for later healing.
+    pub fn add_partition(&mut self, partition: Partition) -> usize {
+        self.partitions.push(partition);
+        self.partitions.len() - 1
+    }
+
+    /// Removes all partitions.
+    pub fn heal_all_partitions(&mut self) {
+        self.partitions.clear();
+    }
+
+    /// Number of messages dropped so far (loss + partitions).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of messages accepted for delivery so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Total payload bytes accepted for delivery.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Computes the delivery time of a message of `size_bytes` sent by
+    /// `from` to `to` at time `now`, or `None` if the message is dropped.
+    pub fn delivery_time<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        now: SimTime,
+        from: ProcessId,
+        to: ProcessId,
+        size_bytes: usize,
+    ) -> Option<SimTime> {
+        if from == to {
+            self.delivered += 1;
+            self.bytes_sent += size_bytes as u64;
+            return Some(now + self.config.loopback_delay);
+        }
+        if self.partitions.iter().any(|p| p.blocks(from, to)) {
+            self.dropped += 1;
+            return None;
+        }
+        if self.config.loss_rate > 0.0 && rng.gen::<f64>() < self.config.loss_rate {
+            self.dropped += 1;
+            return None;
+        }
+
+        // Transmission: the sender's link serialises messages one at a time.
+        let departure = match self.config.bandwidth_bytes_per_sec {
+            Some(bw) if bw > 0 => {
+                let free_at = *self.link_free_at.get(&from).unwrap_or(&SimTime::ZERO);
+                let start = if free_at > now { free_at } else { now };
+                let tx_micros = (size_bytes as u64).saturating_mul(1_000_000) / bw;
+                let end = start + SimDuration::from_micros(tx_micros);
+                self.link_free_at.insert(from, end);
+                end
+            }
+            _ => now,
+        };
+
+        let jitter = if self.config.jitter.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(rng.gen_range(0..=self.config.jitter.as_micros()))
+        };
+        let arrival = departure + self.config.base_delay + jitter + self.config.extra_delay;
+        self.delivered += 1;
+        self.bytes_sent += size_bytes as u64;
+        Some(arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ids() -> (ProcessId, ProcessId, ProcessId) {
+        (ProcessId::server(0), ProcessId::server(1), ProcessId::server(2))
+    }
+
+    #[test]
+    fn lan_profile_delivers_quickly() {
+        let (a, b, _) = ids();
+        let mut net = Network::new(NetworkConfig::lan());
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = net
+            .delivery_time(&mut rng, SimTime::ZERO, a, b, 100)
+            .unwrap();
+        assert!(t.as_micros() >= 250 && t.as_micros() < 2_000, "{t:?}");
+        assert_eq!(net.delivered(), 1);
+        assert_eq!(net.bytes_sent(), 100);
+    }
+
+    #[test]
+    fn extra_delay_shifts_arrival() {
+        let (a, b, _) = ids();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut fast = Network::new(NetworkConfig::lan());
+        let cfgd = NetworkConfig::lan().with_extra_delay_ms(100);
+        let mut slow = Network::new(cfgd);
+        let t_fast = fast.delivery_time(&mut rng, SimTime::ZERO, a, b, 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t_slow = slow.delivery_time(&mut rng, SimTime::ZERO, a, b, 10).unwrap();
+        assert_eq!((t_slow - t_fast).as_millis(), 100);
+    }
+
+    #[test]
+    fn loopback_is_fast_and_lossless() {
+        let (a, _, _) = ids();
+        let cfg = NetworkConfig::lan().with_loss_rate(1.0);
+        let mut net = Network::new(cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            assert!(net.delivery_time(&mut rng, SimTime::ZERO, a, a, 10).is_some());
+        }
+        assert_eq!(net.dropped(), 0);
+    }
+
+    #[test]
+    fn full_loss_drops_everything_between_peers() {
+        let (a, b, _) = ids();
+        let mut net = Network::new(NetworkConfig::lan().with_loss_rate(1.0));
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            assert!(net.delivery_time(&mut rng, SimTime::ZERO, a, b, 10).is_none());
+        }
+        assert_eq!(net.dropped(), 10);
+    }
+
+    #[test]
+    fn partition_blocks_both_directions_until_healed() {
+        let (a, b, c) = ids();
+        let mut net = Network::new(NetworkConfig::lan());
+        let mut rng = StdRng::seed_from_u64(4);
+        net.add_partition(Partition::between([a], [b]));
+        assert!(net.delivery_time(&mut rng, SimTime::ZERO, a, b, 10).is_none());
+        assert!(net.delivery_time(&mut rng, SimTime::ZERO, b, a, 10).is_none());
+        // Unrelated pair unaffected.
+        assert!(net.delivery_time(&mut rng, SimTime::ZERO, a, c, 10).is_some());
+        net.heal_all_partitions();
+        assert!(net.delivery_time(&mut rng, SimTime::ZERO, a, b, 10).is_some());
+    }
+
+    #[test]
+    fn bandwidth_serialises_large_messages() {
+        let (a, b, _) = ids();
+        let mut cfg = NetworkConfig::lan();
+        cfg.jitter = SimDuration::ZERO;
+        cfg.bandwidth_bytes_per_sec = Some(1_000_000); // 1 MB/s
+        let mut net = Network::new(cfg);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Two 1 MB messages sent back to back: the second waits for the first
+        // to finish transmitting.
+        let t1 = net
+            .delivery_time(&mut rng, SimTime::ZERO, a, b, 1_000_000)
+            .unwrap();
+        let t2 = net
+            .delivery_time(&mut rng, SimTime::ZERO, a, b, 1_000_000)
+            .unwrap();
+        assert!(t1.as_secs_f64() > 0.99 && t1.as_secs_f64() < 1.1, "{t1:?}");
+        assert!(t2.as_secs_f64() > 1.99 && t2.as_secs_f64() < 2.1, "{t2:?}");
+        // A different sender's link is independent.
+        let t3 = net
+            .delivery_time(&mut rng, SimTime::ZERO, b, a, 1_000_000)
+            .unwrap();
+        assert!(t3.as_secs_f64() < 1.1, "{t3:?}");
+    }
+
+    #[test]
+    fn without_bandwidth_model_ignores_size() {
+        let (a, b, _) = ids();
+        let mut cfg = NetworkConfig::lan().without_bandwidth_model();
+        cfg.jitter = SimDuration::ZERO;
+        let mut net = Network::new(cfg);
+        let mut rng = StdRng::seed_from_u64(6);
+        let t_small = net.delivery_time(&mut rng, SimTime::ZERO, a, b, 1).unwrap();
+        let t_big = net
+            .delivery_time(&mut rng, SimTime::ZERO, a, b, 100_000_000)
+            .unwrap();
+        assert_eq!(t_small, t_big);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate")]
+    fn invalid_loss_rate_panics() {
+        let _ = NetworkConfig::lan().with_loss_rate(1.5);
+    }
+}

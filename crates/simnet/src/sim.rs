@@ -1,0 +1,643 @@
+//! The discrete-event scheduler.
+//!
+//! [`Simulation`] owns the processes, the network and the event queue. It is
+//! single-threaded and deterministic: events are ordered by `(time, sequence
+//! number)`, where the sequence number is assigned at insertion time, so two
+//! runs with the same seed and the same inputs produce identical schedules.
+//! Parallelism in the evaluation harness comes from running many independent
+//! simulations on different OS threads, not from inside one simulation.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use setchain_crypto::ProcessId;
+
+use crate::network::{Network, NetworkConfig, Partition};
+use crate::process::{Action, Context, Process, TimerToken, Wire};
+use crate::time::{SimDuration, SimTime};
+
+/// Top-level simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimulationConfig {
+    /// Seed for the simulation RNG (network jitter, process randomness).
+    pub seed: u64,
+    /// Network model configuration.
+    pub network: NetworkConfig,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            seed: 42,
+            network: NetworkConfig::lan(),
+        }
+    }
+}
+
+/// Why a call to [`Simulation::run_until_quiescent`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely at the given time.
+    Quiescent(SimTime),
+    /// The time limit was reached with events still pending.
+    TimeLimit(SimTime),
+}
+
+enum EventKind<M> {
+    Deliver { from: ProcessId, to: ProcessId, msg: M },
+    Timer { node: ProcessId, token: TimerToken },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering so the BinaryHeap (a max-heap) pops the earliest
+        // event first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Slot<M: Wire> {
+    process: Box<dyn Process<M>>,
+    /// Node CPU is busy until this time; deliveries are deferred past it.
+    busy_until: SimTime,
+}
+
+/// A deterministic discrete-event simulation.
+pub struct Simulation<M: Wire> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Event<M>>,
+    processes: BTreeMap<ProcessId, Slot<M>>,
+    network: Network,
+    rng: StdRng,
+    started: bool,
+    events_processed: u64,
+    messages_deferred: u64,
+}
+
+impl<M: Wire> Simulation<M> {
+    /// Creates an empty simulation.
+    pub fn new(config: SimulationConfig) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            processes: BTreeMap::new(),
+            network: Network::new(config.network),
+            rng: StdRng::seed_from_u64(config.seed),
+            started: false,
+            events_processed: 0,
+            messages_deferred: 0,
+        }
+    }
+
+    /// Registers a process. Panics if the id is already taken or if the
+    /// simulation has already started.
+    pub fn add_process(&mut self, id: ProcessId, process: Box<dyn Process<M>>) {
+        assert!(!self.started, "cannot add processes after the simulation started");
+        let prev = self.processes.insert(
+            id,
+            Slot {
+                process,
+                busy_until: SimTime::ZERO,
+            },
+        );
+        assert!(prev.is_none(), "duplicate process id {id}");
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of deliveries deferred because the target node's CPU was busy.
+    pub fn messages_deferred(&self) -> u64 {
+        self.messages_deferred
+    }
+
+    /// Read access to the network (for drop/delivery counters).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Installs a network partition; returns its index.
+    pub fn add_partition(&mut self, partition: Partition) -> usize {
+        self.network.add_partition(partition)
+    }
+
+    /// Heals all network partitions.
+    pub fn heal_all_partitions(&mut self) {
+        self.network.heal_all_partitions()
+    }
+
+    /// Ids of all registered processes.
+    pub fn process_ids(&self) -> Vec<ProcessId> {
+        self.processes.keys().copied().collect()
+    }
+
+    /// Typed read access to a process, for post-run inspection.
+    pub fn process<T: 'static>(&self, id: ProcessId) -> Option<&T> {
+        self.processes
+            .get(&id)
+            .and_then(|s| s.process.as_any().downcast_ref::<T>())
+    }
+
+    /// Typed mutable access to a process.
+    pub fn process_mut<T: 'static>(&mut self, id: ProcessId) -> Option<&mut T> {
+        self.processes
+            .get_mut(&id)
+            .and_then(|s| s.process.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Schedules a message injection from outside the simulation (used by
+    /// tests and by workload drivers that are not modelled as actors).
+    pub fn schedule_message(&mut self, at: SimTime, from: ProcessId, to: ProcessId, msg: M) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.push(at, EventKind::Deliver { from, to, msg });
+    }
+
+    /// Schedules a timer for `node` from outside the simulation.
+    pub fn schedule_timer(&mut self, at: SimTime, node: ProcessId, token: TimerToken) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.push(at, EventKind::Timer { node, token });
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { at, seq, kind });
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let ids: Vec<ProcessId> = self.processes.keys().copied().collect();
+        for id in ids {
+            self.run_handler(id, |process, ctx| process.on_start(ctx));
+        }
+    }
+
+    /// Runs the handler `f` for process `id` at the current time, then applies
+    /// the actions it produced.
+    fn run_handler<F>(&mut self, id: ProcessId, f: F)
+    where
+        F: FnOnce(&mut dyn Process<M>, &mut Context<'_, M>),
+    {
+        let now = self.now;
+        let slot = match self.processes.get_mut(&id) {
+            Some(s) => s,
+            None => return, // message to an unknown process: dropped
+        };
+        let mut ctx = Context {
+            self_id: id,
+            now,
+            actions: Vec::new(),
+            cpu_consumed: SimDuration::ZERO,
+            rng: &mut self.rng,
+        };
+        f(slot.process.as_mut(), &mut ctx);
+        let Context {
+            actions,
+            cpu_consumed,
+            ..
+        } = ctx;
+        if !cpu_consumed.is_zero() {
+            let base = if slot.busy_until > now { slot.busy_until } else { now };
+            slot.busy_until = base + cpu_consumed;
+        }
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    let size = msg.wire_size();
+                    if let Some(at) =
+                        self.network.delivery_time(&mut self.rng, now, id, to, size)
+                    {
+                        self.push(at, EventKind::Deliver { from: id, to, msg });
+                    }
+                }
+                Action::SetTimer { delay, token } => {
+                    self.push(now + delay, EventKind::Timer { node: id, token });
+                }
+            }
+        }
+    }
+
+    /// Processes a single event. Returns `false` if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        let event = match self.queue.pop() {
+            Some(e) => e,
+            None => return false,
+        };
+        debug_assert!(event.at >= self.now, "time went backwards");
+        self.now = event.at;
+        let target = match &event.kind {
+            EventKind::Deliver { to, .. } => *to,
+            EventKind::Timer { node, .. } => *node,
+        };
+        // If the target node is still busy with CPU work, defer the event.
+        if let Some(slot) = self.processes.get(&target) {
+            if slot.busy_until > self.now {
+                let at = slot.busy_until;
+                self.messages_deferred += 1;
+                self.push(at, event.kind);
+                return true;
+            }
+        }
+        self.events_processed += 1;
+        match event.kind {
+            EventKind::Deliver { from, to, msg } => {
+                self.run_handler(to, |p, ctx| p.on_message(from, msg, ctx));
+            }
+            EventKind::Timer { node, token } => {
+                self.run_handler(node, |p, ctx| p.on_timer(token, ctx));
+            }
+        }
+        true
+    }
+
+    /// Runs every event scheduled at or before `deadline`, then advances the
+    /// clock to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.ensure_started();
+        while let Some(event) = self.queue.peek() {
+            if event.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if deadline > self.now {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs until the event queue drains or `limit` is reached.
+    pub fn run_until_quiescent(&mut self, limit: SimTime) -> RunOutcome {
+        self.ensure_started();
+        loop {
+            match self.queue.peek() {
+                None => return RunOutcome::Quiescent(self.now),
+                Some(e) if e.at > limit => {
+                    self.now = limit;
+                    return RunOutcome::TimeLimit(limit);
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    #[derive(Clone, Debug)]
+    enum Msg {
+        Ping(u64),
+        Pong(u64),
+        Big(usize),
+    }
+
+    impl Wire for Msg {
+        fn wire_size(&self) -> usize {
+            match self {
+                Msg::Ping(_) | Msg::Pong(_) => 16,
+                Msg::Big(n) => *n,
+            }
+        }
+    }
+
+    /// Sends a ping to its peer on start and counts pongs.
+    struct Pinger {
+        peer: ProcessId,
+        pings_to_send: u64,
+        pongs_received: u64,
+        last_pong_at: SimTime,
+    }
+
+    impl Process<Msg> for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            for i in 0..self.pings_to_send {
+                ctx.send(self.peer, Msg::Ping(i));
+            }
+        }
+        fn on_message(&mut self, _from: ProcessId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            if let Msg::Pong(_) = msg {
+                self.pongs_received += 1;
+                self.last_pong_at = ctx.now();
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Replies to pings, optionally consuming CPU per ping.
+    struct Ponger {
+        cpu_per_ping: SimDuration,
+        pings_handled: u64,
+    }
+
+    impl Process<Msg> for Ponger {
+        fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            if let Msg::Ping(i) = msg {
+                self.pings_handled += 1;
+                if !self.cpu_per_ping.is_zero() {
+                    ctx.consume_cpu(self.cpu_per_ping);
+                }
+                ctx.send(from, Msg::Pong(i));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Fires a periodic timer `count` times.
+    struct Ticker {
+        period: SimDuration,
+        remaining: u32,
+        fired: Vec<SimTime>,
+    }
+
+    impl Process<Msg> for Ticker {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            if self.remaining > 0 {
+                ctx.set_timer(self.period, 1);
+            }
+        }
+        fn on_message(&mut self, _: ProcessId, _: Msg, _: &mut Context<'_, Msg>) {}
+        fn on_timer(&mut self, _token: TimerToken, ctx: &mut Context<'_, Msg>) {
+            self.fired.push(ctx.now());
+            self.remaining -= 1;
+            if self.remaining > 0 {
+                ctx.set_timer(self.period, 1);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn ping_pong_sim(seed: u64, pings: u64, cpu: SimDuration) -> Simulation<Msg> {
+        let mut sim = Simulation::new(SimulationConfig {
+            seed,
+            network: NetworkConfig::lan(),
+        });
+        sim.add_process(
+            ProcessId::server(0),
+            Box::new(Pinger {
+                peer: ProcessId::server(1),
+                pings_to_send: pings,
+                pongs_received: 0,
+                last_pong_at: SimTime::ZERO,
+            }),
+        );
+        sim.add_process(
+            ProcessId::server(1),
+            Box::new(Ponger {
+                cpu_per_ping: cpu,
+                pings_handled: 0,
+            }),
+        );
+        sim
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut sim = ping_pong_sim(1, 10, SimDuration::ZERO);
+        let outcome = sim.run_until_quiescent(SimTime::from_secs(10));
+        assert!(matches!(outcome, RunOutcome::Quiescent(_)));
+        let pinger: &Pinger = sim.process(ProcessId::server(0)).unwrap();
+        assert_eq!(pinger.pongs_received, 10);
+        assert!(pinger.last_pong_at > SimTime::ZERO);
+        let ponger: &Ponger = sim.process(ProcessId::server(1)).unwrap();
+        assert_eq!(ponger.pings_handled, 10);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = |seed| {
+            let mut sim = ping_pong_sim(seed, 50, SimDuration::from_micros(30));
+            sim.run_until_quiescent(SimTime::from_secs(10));
+            let pinger: &Pinger = sim.process(ProcessId::server(0)).unwrap();
+            (pinger.pongs_received, pinger.last_pong_at, sim.events_processed())
+        };
+        assert_eq!(run(7), run(7));
+        // Different seeds give different schedules (jitter differs).
+        assert_ne!(run(7).1, run(8).1);
+    }
+
+    #[test]
+    fn cpu_consumption_delays_completion() {
+        let mut fast = ping_pong_sim(3, 100, SimDuration::ZERO);
+        fast.run_until_quiescent(SimTime::from_secs(60));
+        let fast_done: &Pinger = fast.process(ProcessId::server(0)).unwrap();
+
+        let mut slow = ping_pong_sim(3, 100, SimDuration::from_millis(10));
+        slow.run_until_quiescent(SimTime::from_secs(60));
+        let slow_done: &Pinger = slow.process(ProcessId::server(0)).unwrap();
+
+        assert_eq!(fast_done.pongs_received, 100);
+        assert_eq!(slow_done.pongs_received, 100);
+        // 100 pings × 10 ms CPU each ≈ 1 s of serialized processing.
+        assert!(slow_done.last_pong_at.as_secs_f64() > 0.9);
+        assert!(fast_done.last_pong_at.as_secs_f64() < 0.1);
+        assert!(slow.messages_deferred() > 0);
+    }
+
+    #[test]
+    fn timers_fire_periodically() {
+        let mut sim: Simulation<Msg> = Simulation::new(SimulationConfig::default());
+        sim.add_process(
+            ProcessId::server(0),
+            Box::new(Ticker {
+                period: SimDuration::from_millis(100),
+                remaining: 5,
+                fired: Vec::new(),
+            }),
+        );
+        let outcome = sim.run_until_quiescent(SimTime::from_secs(10));
+        assert!(matches!(outcome, RunOutcome::Quiescent(_)));
+        let ticker: &Ticker = sim.process(ProcessId::server(0)).unwrap();
+        assert_eq!(ticker.fired.len(), 5);
+        assert_eq!(ticker.fired[0], SimTime::from_millis(100));
+        assert_eq!(ticker.fired[4], SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn run_until_advances_clock_and_stops() {
+        let mut sim: Simulation<Msg> = Simulation::new(SimulationConfig::default());
+        sim.add_process(
+            ProcessId::server(0),
+            Box::new(Ticker {
+                period: SimDuration::from_secs(1),
+                remaining: 100,
+                fired: Vec::new(),
+            }),
+        );
+        sim.run_until(SimTime::from_millis(3500));
+        assert_eq!(sim.now(), SimTime::from_millis(3500));
+        let ticker: &Ticker = sim.process(ProcessId::server(0)).unwrap();
+        assert_eq!(ticker.fired.len(), 3);
+    }
+
+    #[test]
+    fn time_limit_outcome_when_events_remain() {
+        let mut sim: Simulation<Msg> = Simulation::new(SimulationConfig::default());
+        sim.add_process(
+            ProcessId::server(0),
+            Box::new(Ticker {
+                period: SimDuration::from_secs(1),
+                remaining: u32::MAX,
+                fired: Vec::new(),
+            }),
+        );
+        let outcome = sim.run_until_quiescent(SimTime::from_secs(5));
+        assert_eq!(outcome, RunOutcome::TimeLimit(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn external_message_injection() {
+        let mut sim = ping_pong_sim(1, 0, SimDuration::ZERO);
+        sim.schedule_message(
+            SimTime::from_secs(1),
+            ProcessId::server(0),
+            ProcessId::server(1),
+            Msg::Ping(99),
+        );
+        sim.run_until_quiescent(SimTime::from_secs(5));
+        let ponger: &Ponger = sim.process(ProcessId::server(1)).unwrap();
+        assert_eq!(ponger.pings_handled, 1);
+        let pinger: &Pinger = sim.process(ProcessId::server(0)).unwrap();
+        assert_eq!(pinger.pongs_received, 1);
+    }
+
+    #[test]
+    fn message_to_unknown_process_is_dropped() {
+        let mut sim = ping_pong_sim(1, 0, SimDuration::ZERO);
+        sim.schedule_message(
+            SimTime::from_secs(1),
+            ProcessId::server(0),
+            ProcessId::server(9),
+            Msg::Ping(1),
+        );
+        let outcome = sim.run_until_quiescent(SimTime::from_secs(5));
+        assert!(matches!(outcome, RunOutcome::Quiescent(_)));
+    }
+
+    #[test]
+    fn partition_blocks_ping_pong() {
+        let mut sim = ping_pong_sim(1, 5, SimDuration::ZERO);
+        sim.add_partition(Partition::between(
+            [ProcessId::server(0)],
+            [ProcessId::server(1)],
+        ));
+        sim.run_until_quiescent(SimTime::from_secs(5));
+        let pinger: &Pinger = sim.process(ProcessId::server(0)).unwrap();
+        assert_eq!(pinger.pongs_received, 0);
+        assert_eq!(sim.network().dropped(), 5);
+    }
+
+    #[test]
+    fn bandwidth_model_orders_large_transfers() {
+        // A large message sent before a small one from the same sender delays
+        // the small one (link serialisation).
+        struct Sender;
+        impl Process<Msg> for Sender {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.send(ProcessId::server(1), Msg::Big(10_000_000)); // ~80 ms at 1 Gbps
+                ctx.send(ProcessId::server(1), Msg::Ping(0));
+            }
+            fn on_message(&mut self, _: ProcessId, _: Msg, _: &mut Context<'_, Msg>) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        struct Receiver {
+            arrivals: Vec<(SimTime, bool)>, // (time, is_big)
+        }
+        impl Process<Msg> for Receiver {
+            fn on_message(&mut self, _: ProcessId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+                self.arrivals.push((ctx.now(), matches!(msg, Msg::Big(_))));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim: Simulation<Msg> = Simulation::new(SimulationConfig::default());
+        sim.add_process(ProcessId::server(0), Box::new(Sender));
+        sim.add_process(ProcessId::server(1), Box::new(Receiver { arrivals: vec![] }));
+        sim.run_until_quiescent(SimTime::from_secs(5));
+        let rx: &Receiver = sim.process(ProcessId::server(1)).unwrap();
+        assert_eq!(rx.arrivals.len(), 2);
+        // Both messages arrive after the big transfer completes (~80 ms).
+        assert!(rx.arrivals.iter().all(|(t, _)| t.as_secs_f64() > 0.07));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate process id")]
+    fn duplicate_process_id_panics() {
+        let mut sim: Simulation<Msg> = Simulation::new(SimulationConfig::default());
+        sim.add_process(ProcessId::server(0), Box::new(Sender0));
+        sim.add_process(ProcessId::server(0), Box::new(Sender0));
+    }
+
+    struct Sender0;
+    impl Process<Msg> for Sender0 {
+        fn on_message(&mut self, _: ProcessId, _: Msg, _: &mut Context<'_, Msg>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Builds a complete simulated deployment for a scenario: `n` ledger
+//! validators each running the configured Setchain algorithm, plus one
+//! injection client per validator — mirroring the paper's setup of one Docker
+//! container per machine containing one client, one collector and one
+//! CometBFT server.
+
+use setchain::{
+    Algorithm, CompresschainApp, HashchainApp, ServerByzMode, ServerStats, SetchainConfig,
+    SetchainMsg, SetchainState, SetchainTrace, SetchainTx, SharedBatchRegistry, VanillaApp,
+};
+use setchain_crypto::{KeyRegistry, ProcessId};
+use setchain_ledger::{ByzMode, LedgerConfig, LedgerNode, LedgerTrace, NetMsg};
+use setchain_simnet::{NetworkConfig, SimTime, Simulation, SimulationConfig};
+
+use crate::driver::ClientDriver;
+use crate::generator::ArbitrumWorkload;
+use crate::scenario::Scenario;
+
+/// Message type of Setchain deployments.
+pub type Msg = NetMsg<SetchainTx, SetchainMsg>;
+
+/// A built deployment, ready to run.
+pub struct Deployment {
+    /// The simulation holding all servers and clients.
+    pub sim: Simulation<Msg>,
+    /// The scenario this deployment was built from.
+    pub scenario: Scenario,
+    /// The PKI shared by every process.
+    pub registry: KeyRegistry,
+    /// Setchain-level experiment trace.
+    pub trace: SetchainTrace,
+    /// Ledger-level trace (mempool / block stages).
+    pub ledger_trace: LedgerTrace,
+    /// The Setchain configuration used by every server.
+    pub config: SetchainConfig,
+}
+
+/// Typed access to a server after (or during) a run, independent of which
+/// algorithm it runs.
+pub enum ServerHandle<'a> {
+    /// A Vanilla server.
+    Vanilla(&'a LedgerNode<VanillaApp>),
+    /// A Compresschain server.
+    Compresschain(&'a LedgerNode<CompresschainApp>),
+    /// A Hashchain server.
+    Hashchain(&'a LedgerNode<HashchainApp>),
+}
+
+impl<'a> ServerHandle<'a> {
+    /// The server's Setchain state.
+    pub fn state(&self) -> &SetchainState {
+        match self {
+            ServerHandle::Vanilla(n) => n.app().state(),
+            ServerHandle::Compresschain(n) => n.app().state(),
+            ServerHandle::Hashchain(n) => n.app().state(),
+        }
+    }
+
+    /// The server's application counters.
+    pub fn stats(&self) -> ServerStats {
+        match self {
+            ServerHandle::Vanilla(n) => n.app().stats(),
+            ServerHandle::Compresschain(n) => n.app().stats(),
+            ServerHandle::Hashchain(n) => n.app().stats(),
+        }
+    }
+
+    /// The ledger height the server has reached.
+    pub fn height(&self) -> u64 {
+        match self {
+            ServerHandle::Vanilla(n) => n.height(),
+            ServerHandle::Compresschain(n) => n.height(),
+            ServerHandle::Hashchain(n) => n.height(),
+        }
+    }
+
+    /// The server's current mempool occupancy.
+    pub fn mempool_len(&self) -> usize {
+        match self {
+            ServerHandle::Vanilla(n) => n.mempool_len(),
+            ServerHandle::Compresschain(n) => n.mempool_len(),
+            ServerHandle::Hashchain(n) => n.mempool_len(),
+        }
+    }
+}
+
+impl Deployment {
+    /// Builds a deployment with all processes correct.
+    pub fn build(scenario: &Scenario) -> Self {
+        Self::build_with_faults(scenario, &[], &[])
+    }
+
+    /// Builds a deployment injecting application-level faults
+    /// (`server_faults`) and/or consensus-level faults (`ledger_faults`),
+    /// both given as `(server index, behaviour)` pairs.
+    pub fn build_with_faults(
+        scenario: &Scenario,
+        server_faults: &[(usize, ServerByzMode)],
+        ledger_faults: &[(usize, ByzMode)],
+    ) -> Self {
+        let n = scenario.servers;
+        let registry = KeyRegistry::bootstrap(scenario.seed, n, n);
+        let trace = if scenario.detailed_trace {
+            SetchainTrace::detailed()
+        } else {
+            SetchainTrace::new()
+        };
+        let ledger_trace = if scenario.detailed_trace {
+            LedgerTrace::new()
+        } else {
+            LedgerTrace::disabled()
+        };
+
+        let mut setchain_config = SetchainConfig::new(n)
+            .with_collector_limit(scenario.collector_limit);
+        setchain_config.collector_timeout = scenario.collector_timeout();
+        if let Some(k) = scenario.designated_signers {
+            setchain_config = setchain_config.with_designated_signers(k);
+        }
+        if scenario.push_batches {
+            setchain_config = setchain_config.with_push_batches();
+        }
+        if scenario.light {
+            setchain_config = match scenario.algorithm {
+                Algorithm::Hashchain => setchain_config.light_hashchain(),
+                Algorithm::Compresschain => setchain_config.light_compresschain(),
+                Algorithm::Vanilla => setchain_config,
+            };
+        }
+
+        let mut ledger_config = LedgerConfig::with_validators(n);
+        ledger_config.max_block_bytes = scenario.block_bytes;
+
+        let network = NetworkConfig::lan().with_extra_delay_ms(scenario.network_delay_ms);
+        let mut sim: Simulation<Msg> = Simulation::new(SimulationConfig {
+            seed: scenario.seed,
+            network,
+        });
+
+        let shared = SharedBatchRegistry::new();
+        for i in 0..n {
+            let id = ProcessId::server(i);
+            let keys = registry.lookup(id).expect("server registered");
+            let server_byz = server_faults
+                .iter()
+                .find(|(idx, _)| *idx == i)
+                .map(|(_, m)| *m)
+                .unwrap_or(ServerByzMode::Correct);
+            let ledger_byz = ledger_faults
+                .iter()
+                .find(|(idx, _)| *idx == i)
+                .map(|(_, m)| *m)
+                .unwrap_or(ByzMode::Correct);
+            // Byzantine servers do not get to pollute the shared experiment
+            // trace: their observations are not trusted measurements.
+            let server_trace = if server_byz.is_faulty() || ledger_byz.is_faulty() {
+                SetchainTrace::new()
+            } else {
+                trace.clone()
+            };
+            match scenario.algorithm {
+                Algorithm::Vanilla => {
+                    let app = VanillaApp::new(
+                        keys,
+                        registry.clone(),
+                        setchain_config.clone(),
+                        server_trace,
+                        server_byz,
+                    );
+                    sim.add_process(
+                        id,
+                        Box::new(LedgerNode::new(
+                            id,
+                            ledger_config.clone(),
+                            keys,
+                            registry.clone(),
+                            app,
+                            ledger_trace.clone(),
+                            ledger_byz,
+                        )),
+                    );
+                }
+                Algorithm::Compresschain => {
+                    let app = CompresschainApp::new(
+                        keys,
+                        registry.clone(),
+                        setchain_config.clone(),
+                        server_trace,
+                        server_byz,
+                    );
+                    sim.add_process(
+                        id,
+                        Box::new(LedgerNode::new(
+                            id,
+                            ledger_config.clone(),
+                            keys,
+                            registry.clone(),
+                            app,
+                            ledger_trace.clone(),
+                            ledger_byz,
+                        )),
+                    );
+                }
+                Algorithm::Hashchain => {
+                    let app = if scenario.light {
+                        HashchainApp::new_light(
+                            keys,
+                            registry.clone(),
+                            setchain_config.clone(),
+                            server_trace,
+                            shared.clone(),
+                        )
+                    } else {
+                        HashchainApp::new(
+                            keys,
+                            registry.clone(),
+                            setchain_config.clone(),
+                            server_trace,
+                            server_byz,
+                        )
+                    };
+                    sim.add_process(
+                        id,
+                        Box::new(LedgerNode::new(
+                            id,
+                            ledger_config.clone(),
+                            keys,
+                            registry.clone(),
+                            app,
+                            ledger_trace.clone(),
+                            ledger_byz,
+                        )),
+                    );
+                }
+            }
+        }
+
+        // One injection client per server, as in the paper's deployment.
+        let injection_end = SimTime::from_secs(scenario.injection_secs);
+        for i in 0..n {
+            let client_id = ProcessId::client(i);
+            let workload =
+                ArbitrumWorkload::for_client(&registry, client_id, scenario.seed ^ (i as u64) << 17);
+            let driver = ClientDriver::new(
+                ProcessId::server(i),
+                workload,
+                scenario.per_client_rate(),
+                injection_end,
+                trace.clone(),
+            );
+            sim.add_process(client_id, Box::new(driver));
+        }
+
+        Deployment {
+            sim,
+            scenario: scenario.clone(),
+            registry,
+            trace,
+            ledger_trace,
+            config: setchain_config,
+        }
+    }
+
+    /// Typed access to server `i`.
+    pub fn server(&self, i: usize) -> ServerHandle<'_> {
+        let id = ProcessId::server(i);
+        match self.scenario.algorithm {
+            Algorithm::Vanilla => ServerHandle::Vanilla(
+                self.sim.process::<LedgerNode<VanillaApp>>(id).expect("server exists"),
+            ),
+            Algorithm::Compresschain => ServerHandle::Compresschain(
+                self.sim
+                    .process::<LedgerNode<CompresschainApp>>(id)
+                    .expect("server exists"),
+            ),
+            Algorithm::Hashchain => ServerHandle::Hashchain(
+                self.sim
+                    .process::<LedgerNode<HashchainApp>>(id)
+                    .expect("server exists"),
+            ),
+        }
+    }
+
+    /// Number of elements sent by all injection clients so far.
+    pub fn elements_sent(&self) -> u64 {
+        (0..self.scenario.servers)
+            .filter_map(|i| self.sim.process::<ClientDriver>(ProcessId::client(i)))
+            .map(|d| d.sent())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setchain::Algorithm;
+
+    #[test]
+    fn builds_all_three_algorithms() {
+        for algorithm in Algorithm::ALL {
+            let scenario = Scenario::base(algorithm)
+                .with_servers(4)
+                .with_rate(200.0)
+                .with_injection_secs(2)
+                .with_max_run_secs(10);
+            let deployment = Deployment::build(&scenario);
+            assert_eq!(deployment.sim.process_ids().len(), 8); // 4 servers + 4 clients
+            assert_eq!(deployment.server(0).height(), 1);
+            assert_eq!(deployment.server(0).state().epoch(), 0);
+            assert_eq!(deployment.elements_sent(), 0);
+        }
+    }
+
+    #[test]
+    fn small_end_to_end_run_commits_elements() {
+        let scenario = Scenario::base(Algorithm::Hashchain)
+            .with_servers(4)
+            .with_rate(200.0)
+            .with_collector(50)
+            .with_injection_secs(3)
+            .with_max_run_secs(30)
+            .with_seed(5);
+        let mut deployment = Deployment::build(&scenario);
+        deployment.sim.run_until(SimTime::from_secs(20));
+        let added = deployment.trace.added_count();
+        assert!(added > 400, "clients injected elements (added={added})");
+        let committed = deployment.trace.committed_count_by(SimTime::from_secs(20));
+        assert!(
+            committed as f64 >= 0.9 * added as f64,
+            "most elements commit: {committed}/{added}"
+        );
+        // Servers agree on the common epoch prefix.
+        let s0 = deployment.server(0);
+        let s1 = deployment.server(1);
+        assert!(s0.state().epoch() > 0);
+        assert!(s0.state().check_consistent_with(s1.state()));
+        assert!(s0.state().check_unique_epoch());
+        assert!(s0.state().check_consistent_sets());
+    }
+}

@@ -1,0 +1,176 @@
+//! The injection client: one per server, adding elements to its local
+//! Setchain server at a configured rate (the paper's
+//! `sending_rate / server_count` per client).
+
+use std::any::Any;
+
+use setchain::{SetchainMsg, SetchainTrace, SetchainTx};
+use setchain_crypto::ProcessId;
+use setchain_ledger::NetMsg;
+use setchain_simnet::{Context, Process, SimDuration, SimTime, TimerToken};
+
+use crate::generator::ArbitrumWorkload;
+
+/// Message type of Setchain deployments.
+pub type Msg = NetMsg<SetchainTx, SetchainMsg>;
+
+const INJECT_TICK: TimerToken = 1;
+
+/// An injection client actor.
+pub struct ClientDriver {
+    server: ProcessId,
+    workload: ArbitrumWorkload,
+    /// Elements per second this client adds.
+    rate: f64,
+    /// Injection stops at this time.
+    injection_end: SimTime,
+    tick: SimDuration,
+    carry: f64,
+    trace: SetchainTrace,
+    sent: u64,
+}
+
+impl ClientDriver {
+    /// Creates a driver that adds to `server` at `rate` el/s until
+    /// `injection_end`.
+    pub fn new(
+        server: ProcessId,
+        workload: ArbitrumWorkload,
+        rate: f64,
+        injection_end: SimTime,
+        trace: SetchainTrace,
+    ) -> Self {
+        assert!(rate > 0.0, "sending rate must be positive");
+        ClientDriver {
+            server,
+            workload,
+            rate,
+            injection_end,
+            tick: SimDuration::from_millis(20),
+            carry: 0.0,
+            trace,
+            sent: 0,
+        }
+    }
+
+    /// Number of elements sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+impl Process<Msg> for ClientDriver {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        ctx.set_timer(self.tick, INJECT_TICK);
+    }
+
+    fn on_message(&mut self, _from: ProcessId, _msg: Msg, _ctx: &mut Context<'_, Msg>) {
+        // Responses to get() requests are handled by example binaries; the
+        // throughput driver ignores them.
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, Msg>) {
+        if token != INJECT_TICK {
+            return;
+        }
+        let now = ctx.now();
+        if now > self.injection_end {
+            return; // stop injecting; do not re-arm
+        }
+        let due = self.rate * self.tick.as_secs_f64() + self.carry;
+        let count = due.floor() as usize;
+        self.carry = due - count as f64;
+        if count > 0 {
+            let elements = self.workload.take(count);
+            for e in &elements {
+                self.trace.record_add(e.id, now);
+            }
+            self.sent += count as u64;
+            ctx.send(self.server, NetMsg::App(SetchainMsg::AddBatch(elements)));
+        }
+        ctx.set_timer(self.tick, INJECT_TICK);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A scripted client actor: sends pre-programmed requests (adds, `get`,
+/// `get_epoch`) to servers at given times and records every application-level
+/// response it receives. Used by the examples and the light-client
+/// integration tests to exercise the client-facing API over the simulated
+/// network instead of peeking into server state.
+pub struct RequestClient {
+    script: Vec<(SimTime, ProcessId, SetchainMsg)>,
+    responses: Vec<(SimTime, ProcessId, SetchainMsg)>,
+}
+
+impl RequestClient {
+    /// Creates a client that will send each `(time, server, message)` entry.
+    pub fn new(mut script: Vec<(SimTime, ProcessId, SetchainMsg)>) -> Self {
+        script.sort_by_key(|(t, _, _)| *t);
+        RequestClient {
+            script,
+            responses: Vec::new(),
+        }
+    }
+
+    /// Responses received so far, with arrival time and responding server.
+    pub fn responses(&self) -> &[(SimTime, ProcessId, SetchainMsg)] {
+        &self.responses
+    }
+}
+
+impl Process<Msg> for RequestClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        // One timer per scripted entry; the token indexes into the script.
+        for (i, (at, _, _)) in self.script.iter().enumerate() {
+            ctx.set_timer(at.since(SimTime::ZERO), i as TimerToken);
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        if let NetMsg::App(m) = msg {
+            self.responses.push((ctx.now(), from, m));
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, Msg>) {
+        if let Some((_, server, msg)) = self.script.get(token as usize) {
+            ctx.send(*server, NetMsg::App(msg.clone()));
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setchain_crypto::KeyRegistry;
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let registry = KeyRegistry::bootstrap(1, 1, 1);
+        let workload = ArbitrumWorkload::for_client(&registry, ProcessId::client(0), 1);
+        let _ = ClientDriver::new(
+            ProcessId::server(0),
+            workload,
+            0.0,
+            SimTime::from_secs(1),
+            SetchainTrace::new(),
+        );
+    }
+}

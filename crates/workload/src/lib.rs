@@ -1,0 +1,41 @@
+//! Workloads, deployments, metrics and the analytical model for the Setchain
+//! evaluation.
+//!
+//! This crate turns the `setchain` algorithm crate into runnable experiments:
+//!
+//! * [`generator`] — synthetic Arbitrum-like elements reproducing the size
+//!   distribution the paper reports (mean 438 B, σ 753.5).
+//! * [`scenario`] — the experiment parameter space of Table 1 (sending rate,
+//!   collector size, server count, network delay) plus the scenario grids of
+//!   every figure.
+//! * [`deploy`] — builds a full simulated deployment: `n` ledger nodes each
+//!   running a Setchain server application, plus one injection client per
+//!   node (mirroring the paper's one-client-per-Docker-container setup).
+//! * [`driver`] — the injection client actor.
+//! * [`runner`] — runs a scenario to completion and collects a
+//!   [`runner::RunResult`].
+//! * [`metrics`] — throughput-over-time series, efficiency, commit-time
+//!   percentiles and the per-stage latency CDF of Fig. 4.
+//! * [`analysis`] — the analytical throughput model of Appendix D.
+//! * [`sweep`] — runs independent scenarios across OS threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod deploy;
+pub mod driver;
+pub mod generator;
+pub mod metrics;
+pub mod runner;
+pub mod scenario;
+pub mod sweep;
+
+pub use analysis::{AnalysisParams, analytical_throughput};
+pub use deploy::{Deployment, ServerHandle};
+pub use driver::{ClientDriver, RequestClient};
+pub use generator::ArbitrumWorkload;
+pub use metrics::{CommitTimes, Efficiency, StageLatencies, ThroughputSeries};
+pub use runner::{run_scenario, RunResult};
+pub use scenario::Scenario;
+pub use sweep::run_scenarios;

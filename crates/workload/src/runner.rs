@@ -1,0 +1,169 @@
+//! Runs a scenario to completion and collects the results.
+
+use std::time::Instant;
+
+use setchain_ledger::LedgerTrace;
+use setchain_simnet::{SimDuration, SimTime};
+
+use crate::deploy::Deployment;
+use crate::scenario::Scenario;
+use setchain::SetchainTrace;
+
+/// The outcome of running one scenario.
+pub struct RunResult {
+    /// The scenario that was run.
+    pub scenario: Scenario,
+    /// Elements added by the clients.
+    pub added: u64,
+    /// Elements whose epoch reached `f + 1` proofs by the end of the run.
+    pub committed: u64,
+    /// Simulated time at which the run stopped.
+    pub finished_at: SimTime,
+    /// Simulated time at which the last element committed (if all did).
+    pub all_committed_at: Option<SimTime>,
+    /// The Setchain-level trace (per-element add/epoch/commit times).
+    pub trace: SetchainTrace,
+    /// The ledger-level trace (mempool/block stages; empty unless the
+    /// scenario enabled the detailed trace).
+    pub ledger_trace: LedgerTrace,
+    /// Wall-clock time the simulation took.
+    pub wall: std::time::Duration,
+}
+
+impl RunResult {
+    /// Fraction of added elements committed by the end of the run.
+    pub fn final_efficiency(&self) -> f64 {
+        if self.added == 0 {
+            return 1.0;
+        }
+        self.committed as f64 / self.added as f64
+    }
+
+    /// Average committed throughput over the first `secs` seconds of the run
+    /// (the paper's Table 2 reports this for the first 50 s).
+    pub fn average_throughput(&self, secs: u64) -> f64 {
+        let committed = self.trace.committed_count_by(SimTime::from_secs(secs));
+        committed as f64 / secs as f64
+    }
+}
+
+/// Runs `scenario` until every added element has committed (checked after the
+/// injection period) or `max_run_secs` elapses.
+pub fn run_scenario(scenario: &Scenario) -> RunResult {
+    run_deployment(Deployment::build(scenario))
+}
+
+/// Runs an already-built deployment (used by tests that inject faults).
+pub fn run_deployment(mut deployment: Deployment) -> RunResult {
+    let scenario = deployment.scenario.clone();
+    let start = Instant::now();
+    let check_interval = SimDuration::from_secs(5);
+    let injection_end = SimTime::from_secs(scenario.injection_secs);
+    let limit = SimTime::from_secs(scenario.max_run_secs);
+
+    let mut now = SimTime::ZERO;
+    let mut all_committed_at: Option<SimTime> = None;
+    while now < limit {
+        let next = (now + check_interval).min(limit);
+        deployment.sim.run_until(next);
+        now = next;
+        if now > injection_end {
+            let added = deployment.trace.added_count();
+            let committed = deployment.trace.committed_count_by(now);
+            if added > 0 && committed >= added {
+                all_committed_at = Some(now);
+                break;
+            }
+        }
+    }
+
+    let added = deployment.trace.added_count() as u64;
+    let committed = deployment.trace.committed_count_by(now) as u64;
+    RunResult {
+        scenario,
+        added,
+        committed,
+        finished_at: now,
+        all_committed_at,
+        trace: deployment.trace,
+        ledger_trace: deployment.ledger_trace,
+        wall: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setchain::Algorithm;
+
+    #[test]
+    fn small_hashchain_run_completes_and_reports() {
+        let scenario = Scenario::base(Algorithm::Hashchain)
+            .with_servers(4)
+            .with_rate(300.0)
+            .with_collector(50)
+            .with_injection_secs(5)
+            .with_max_run_secs(60)
+            .with_seed(11);
+        let result = run_scenario(&scenario);
+        assert!(result.added > 1_000, "added={}", result.added);
+        assert!(
+            result.final_efficiency() > 0.95,
+            "efficiency={}",
+            result.final_efficiency()
+        );
+        assert!(result.all_committed_at.is_some());
+        assert!(result.average_throughput(20) > 0.0);
+        assert!(result.finished_at <= SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn small_vanilla_run_completes() {
+        let scenario = Scenario::base(Algorithm::Vanilla)
+            .with_servers(4)
+            .with_rate(100.0)
+            .with_injection_secs(5)
+            .with_max_run_secs(90)
+            .with_seed(12);
+        let result = run_scenario(&scenario);
+        assert!(result.added > 400);
+        assert!(
+            result.final_efficiency() > 0.95,
+            "efficiency={}",
+            result.final_efficiency()
+        );
+    }
+
+    #[test]
+    fn small_compresschain_run_completes() {
+        let scenario = Scenario::base(Algorithm::Compresschain)
+            .with_servers(4)
+            .with_rate(300.0)
+            .with_collector(50)
+            .with_injection_secs(5)
+            .with_max_run_secs(90)
+            .with_seed(13);
+        let result = run_scenario(&scenario);
+        assert!(result.added > 1_000);
+        assert!(
+            result.final_efficiency() > 0.95,
+            "efficiency={}",
+            result.final_efficiency()
+        );
+    }
+
+    #[test]
+    fn overloaded_vanilla_does_not_commit_everything_in_time() {
+        // Vanilla's analytical limit is under 1 000 el/s; at 4 000 el/s with a
+        // short run it must fall behind (this is the stress the paper shows in
+        // Fig. 1 left).
+        let scenario = Scenario::base(Algorithm::Vanilla)
+            .with_servers(4)
+            .with_rate(4_000.0)
+            .with_injection_secs(5)
+            .with_max_run_secs(20)
+            .with_seed(14);
+        let result = run_scenario(&scenario);
+        assert!(result.final_efficiency() < 0.9, "vanilla should be stressed");
+    }
+}

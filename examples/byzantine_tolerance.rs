@@ -1,0 +1,91 @@
+//! Byzantine tolerance demo: a Hashchain deployment where one server refuses
+//! to serve batch contents (the attack the `f + 1` consolidation rule defends
+//! against), another forges epoch-proofs, and one ledger validator is silent.
+//! The correct servers still agree, elements still commit, and a light client
+//! still rejects the forged proofs.
+//!
+//! ```sh
+//! cargo run --release -p setchain-workload --example byzantine_tolerance
+//! ```
+
+use setchain::{verify_epoch, Algorithm, ServerByzMode};
+use setchain_ledger::ByzMode;
+use setchain_simnet::SimTime;
+use setchain_workload::{Deployment, Scenario};
+
+fn main() {
+    // 7 servers: ledger tolerates f_ledger = 2, Setchain uses f = 3.
+    let scenario = Scenario::base(Algorithm::Hashchain)
+        .with_label("byzantine-tolerance")
+        .with_servers(7)
+        .with_rate(700.0)
+        .with_collector(50)
+        .with_injection_secs(8)
+        .with_max_run_secs(60)
+        .with_seed(31337);
+    let f = scenario.setchain_f();
+
+    println!("Fault injection:");
+    println!("  server 4: refuses Request_batch (application-level fault)");
+    println!("  server 5: forges its epoch-proof signatures");
+    println!("  server 6: silent ledger validator (crash fault)");
+    let mut deployment = Deployment::build_with_faults(
+        &scenario,
+        &[
+            (4, ServerByzMode::RefuseBatchService),
+            (5, ServerByzMode::ForgeProofs),
+        ],
+        &[(6, ByzMode::Silent)],
+    );
+
+    deployment.sim.run_until(SimTime::from_secs(50));
+
+    let added = deployment.trace.added_count();
+    let committed = deployment.trace.committed_count_by(SimTime::from_secs(50));
+    println!("\nElements added: {added}, committed with >= f+1 = {} proofs: {committed}", f + 1);
+
+    // The correct servers (0-3) agree on every common epoch.
+    let reference = deployment.server(0);
+    for i in 1..4 {
+        let other = deployment.server(i);
+        println!(
+            "server 0 vs server {i}: consistent epochs = {}, unique epochs = {}",
+            reference.state().check_consistent_with(other.state()),
+            other.state().check_unique_epoch()
+        );
+    }
+
+    // The refusing server forced extra batch requests / retries.
+    let stats0 = deployment.server(0).stats();
+    println!(
+        "server 0 hash-reversal: {} requests sent, {} failed/retried, {} served",
+        stats0.batch_requests_sent, stats0.batch_requests_failed, stats0.batch_requests_served
+    );
+
+    // The forged proofs of server 5 are rejected: check that an epoch's proof
+    // set never counts it, and that client-side verification agrees.
+    let state = reference.state();
+    let mut forged_counted = 0;
+    for epoch in 1..=state.epoch() {
+        if state
+            .proofs_for(epoch)
+            .iter()
+            .any(|p| p.signer == setchain_crypto::ProcessId::server(5))
+        {
+            forged_counted += 1;
+        }
+    }
+    println!("epochs where server 5's forged proof was accepted by server 0: {forged_counted}");
+
+    if let Some(elements) = state.epoch_elements(1) {
+        let verdict = verify_epoch(
+            &deployment.registry,
+            scenario.servers,
+            f,
+            1,
+            elements,
+            &state.proofs_for(1),
+        );
+        println!("light-client verification of epoch 1: {verdict:?}");
+    }
+}

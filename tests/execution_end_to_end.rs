@@ -1,0 +1,142 @@
+//! End-to-end tests for the Appendix G blockchain extension: executing the
+//! consolidated epochs of full simulated Setchain deployments through
+//! `setchain-exec` and checking the replication guarantees (identical state
+//! roots on all correct servers, value conservation, void accounting).
+
+use setchain::Algorithm;
+use setchain_exec::{ExecutedChain, ExecutionConfig, Transaction};
+use setchain_simnet::SimTime;
+use setchain_workload::{Deployment, Scenario};
+
+const GENESIS_ACCOUNTS: u32 = 64;
+const GENESIS_BALANCE: u128 = 10_000_000;
+
+fn run(algorithm: Algorithm, seed: u64) -> Deployment {
+    let scenario = Scenario::base(algorithm)
+        .with_servers(4)
+        .with_rate(400.0)
+        .with_collector(40)
+        .with_injection_secs(4)
+        .with_max_run_secs(45)
+        .with_seed(seed);
+    let mut deployment = Deployment::build(&scenario);
+    deployment.sim.run_until(SimTime::from_secs(45));
+    deployment
+}
+
+#[test]
+fn replicas_of_different_servers_compute_identical_state_roots() {
+    for algorithm in [Algorithm::Compresschain, Algorithm::Hashchain] {
+        let deployment = run(algorithm, 61);
+        let mut replicas: Vec<ExecutedChain> = (0..4)
+            .map(|i| {
+                let config = if i % 2 == 0 {
+                    ExecutionConfig::default()
+                } else {
+                    ExecutionConfig::sequential()
+                };
+                let mut chain =
+                    ExecutedChain::for_clients(config, GENESIS_ACCOUNTS, GENESIS_BALANCE);
+                chain.sync_from_setchain(deployment.server(i).state());
+                chain
+            })
+            .collect();
+        let common = replicas
+            .iter()
+            .map(|c| c.executed_epochs())
+            .min()
+            .unwrap();
+        assert!(common > 0, "{algorithm}: at least one epoch executed");
+        for epoch in 1..=common {
+            let root = replicas[0].summary(epoch).unwrap().state_root;
+            for replica in &replicas[1..] {
+                assert_eq!(
+                    replica.summary(epoch).unwrap().state_root,
+                    root,
+                    "{algorithm}: replicas diverged at epoch {epoch}"
+                );
+            }
+        }
+        // Value is conserved on every replica.
+        for replica in &mut replicas {
+            assert_eq!(
+                replica.state().total_supply(),
+                GENESIS_ACCOUNTS as u128 * GENESIS_BALANCE,
+                "{algorithm}: supply changed"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_epoch_element_gets_a_receipt() {
+    let deployment = run(Algorithm::Hashchain, 62);
+    let server = deployment.server(0);
+    let state = server.state();
+    let mut chain =
+        ExecutedChain::for_clients(ExecutionConfig::default(), GENESIS_ACCOUNTS, GENESIS_BALANCE);
+    chain.sync_from_setchain(state);
+    let epoch_elements: usize = (1..=state.epoch())
+        .map(|e| state.epoch_elements(e).unwrap().len())
+        .sum();
+    let (applied, void) = chain.totals();
+    assert_eq!(applied + void, epoch_elements);
+    assert!(applied > 0, "some transfers apply");
+    // Decoded transfers are unsequenced (no account nonce), so the vast
+    // majority execute; voids come only from decoded self-sends.
+    assert!(
+        applied as f64 >= 0.8 * epoch_elements as f64,
+        "{applied}/{epoch_elements} applied"
+    );
+    // Fees collected match the per-epoch summaries.
+    let fee_total: u128 = chain.summaries().map(|s| s.fees).sum();
+    assert_eq!(chain.state().fees_collected(), fee_total);
+}
+
+#[test]
+fn incremental_sync_matches_one_shot_sync() {
+    let deployment = run(Algorithm::Compresschain, 63);
+    let server = deployment.server(1);
+    let state = server.state();
+    let mut one_shot =
+        ExecutedChain::for_clients(ExecutionConfig::default(), GENESIS_ACCOUNTS, GENESIS_BALANCE);
+    one_shot.sync_from_setchain(state);
+    // Incremental: execute epoch by epoch via the element API.
+    let mut incremental =
+        ExecutedChain::for_clients(ExecutionConfig::default(), GENESIS_ACCOUNTS, GENESIS_BALANCE);
+    for epoch in 1..=state.epoch() {
+        let elements = state.epoch_elements(epoch).unwrap();
+        let txs: Vec<Transaction> = elements.iter().map(Transaction::from_element).collect();
+        incremental.execute_epoch(epoch, &txs);
+    }
+    assert_eq!(one_shot.executed_epochs(), incremental.executed_epochs());
+    assert_eq!(one_shot.state_root(), incremental.state_root());
+}
+
+#[test]
+fn executed_chain_follows_a_server_as_it_advances() {
+    // Sync in the middle of the run, then again at the end: the chain picks
+    // up only the new epochs and the final root matches a fresh replica.
+    let scenario = Scenario::base(Algorithm::Hashchain)
+        .with_servers(4)
+        .with_rate(400.0)
+        .with_collector(40)
+        .with_injection_secs(4)
+        .with_max_run_secs(45)
+        .with_seed(64);
+    let mut deployment = Deployment::build(&scenario);
+    let mut follower =
+        ExecutedChain::for_clients(ExecutionConfig::default(), GENESIS_ACCOUNTS, GENESIS_BALANCE);
+
+    deployment.sim.run_until(SimTime::from_secs(10));
+    let first = follower.sync_from_setchain(deployment.server(0).state());
+    deployment.sim.run_until(SimTime::from_secs(45));
+    let second = follower.sync_from_setchain(deployment.server(0).state());
+    assert!(first > 0 && second > 0, "both syncs made progress");
+
+    let mut fresh =
+        ExecutedChain::for_clients(ExecutionConfig::default(), GENESIS_ACCOUNTS, GENESIS_BALANCE);
+    fresh.sync_from_setchain(deployment.server(0).state());
+    assert_eq!(follower.executed_epochs(), fresh.executed_epochs());
+    assert_eq!(follower.state_root(), fresh.state_root());
+}

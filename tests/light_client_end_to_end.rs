@@ -1,0 +1,126 @@
+//! Light-client integration tests: a client adds elements through one server
+//! and later verifies their inclusion by querying a *different* (single)
+//! server, relying only on `f + 1` epoch-proofs.
+
+use setchain::{verify_epoch, Algorithm, Element, ElementId, EpochProof, LightClient, SetchainMsg};
+use setchain_crypto::{KeyPair, ProcessId, Signature};
+use setchain_simnet::SimTime;
+use setchain_workload::{Deployment, RequestClient, Scenario};
+
+fn scenario(algorithm: Algorithm, seed: u64) -> Scenario {
+    Scenario::base(algorithm)
+        .with_label(format!("light client {algorithm}"))
+        .with_servers(4)
+        .with_rate(200.0)
+        .with_collector(25)
+        .with_injection_secs(4)
+        .with_max_run_secs(40)
+        .with_seed(seed)
+}
+
+/// Adds three client-owned elements through server 0, then queries server 2
+/// for every epoch and checks that a quorum-verified epoch contains them.
+fn end_to_end(algorithm: Algorithm, seed: u64) {
+    let scenario = scenario(algorithm, seed);
+    let mut deployment = Deployment::build(&scenario);
+    let n = scenario.servers;
+    let f = scenario.setchain_f();
+
+    let me = ProcessId::client(300);
+    let keys = KeyPair::derive(me, seed ^ 0xC11E47);
+    deployment.registry.register(keys);
+    let mut light = LightClient::new(deployment.registry.clone(), n, f);
+
+    let my_elements: Vec<Element> = (0..3)
+        .map(|i| Element::new(&keys, ElementId::new(300, i), 438, seed + i))
+        .collect();
+    let mut script: Vec<(SimTime, ProcessId, SetchainMsg)> = my_elements
+        .iter()
+        .map(|e| (SimTime::from_millis(600), ProcessId::server(0), light.add(*e)))
+        .collect();
+    // Query a different server for a summary and for the first 20 epochs.
+    script.push((SimTime::from_secs(25), ProcessId::server(2), light.get()));
+    for epoch in 1..=20 {
+        script.push((
+            SimTime::from_secs(26),
+            ProcessId::server(2),
+            light.get_epoch(epoch),
+        ));
+    }
+    deployment.sim.add_process(me, Box::new(RequestClient::new(script)));
+    deployment.sim.run_until(SimTime::from_secs(32));
+
+    let client: &RequestClient = deployment.sim.process(me).unwrap();
+    let mut confirmed: std::collections::HashSet<ElementId> = std::collections::HashSet::new();
+    let mut verified_epochs = 0;
+    let mut got_summary = false;
+    for (_, from, response) in client.responses() {
+        assert_eq!(*from, ProcessId::server(2), "responses come from the queried server");
+        if let SetchainMsg::GetResponse { snapshot, .. } = response {
+            got_summary = true;
+            assert!(snapshot.epoch > 0);
+            assert!(snapshot.epochs_with_quorum > 0);
+            assert!(snapshot.the_set_len >= snapshot.history_elements);
+        }
+        if let Some((verification, mine)) = light.verify_response(response) {
+            if verification.is_verified() {
+                verified_epochs += 1;
+                confirmed.extend(mine);
+            }
+        }
+    }
+    assert!(got_summary, "{algorithm}: get() summary received");
+    assert!(verified_epochs > 0, "{algorithm}: at least one epoch verified with f+1 proofs");
+    assert_eq!(
+        confirmed.len(),
+        3,
+        "{algorithm}: all three client elements confirmed through a single server"
+    );
+}
+
+#[test]
+fn light_client_verifies_inclusion_on_vanilla() {
+    end_to_end(Algorithm::Vanilla, 11);
+}
+
+#[test]
+fn light_client_verifies_inclusion_on_compresschain() {
+    end_to_end(Algorithm::Compresschain, 22);
+}
+
+#[test]
+fn light_client_verifies_inclusion_on_hashchain() {
+    end_to_end(Algorithm::Hashchain, 33);
+}
+
+#[test]
+fn fabricated_epoch_response_from_a_byzantine_server_is_rejected() {
+    // A Byzantine server cannot convince a light client of a fabricated
+    // epoch: it controls at most f signatures, and forged ones do not verify.
+    let scenario = scenario(Algorithm::Hashchain, 44);
+    let deployment = Deployment::build(&scenario);
+    let n = scenario.servers;
+    let f = scenario.setchain_f();
+
+    let attacker_keys = deployment
+        .registry
+        .lookup(ProcessId::server(3))
+        .expect("server key");
+    let victim_client = KeyPair::derive(ProcessId::client(301), 99);
+    deployment.registry.register(victim_client);
+    let fabricated: Vec<Element> = (0..5)
+        .map(|i| Element::new(&victim_client, ElementId::new(301, i), 438, i))
+        .collect();
+
+    // One genuine signature from the attacker plus forged ones in other
+    // servers' names.
+    let mut proofs: Vec<EpochProof> = vec![setchain::make_epoch_proof(&attacker_keys, 1, &fabricated)];
+    for i in 0..2 {
+        let mut forged = proofs[0];
+        forged.signer = ProcessId::server(i);
+        forged.signature = Signature::forged(ProcessId::server(i));
+        proofs.push(forged);
+    }
+    let verdict = verify_epoch(&deployment.registry, n, f, 1, &fabricated, &proofs);
+    assert!(!verdict.is_verified(), "fabricated epoch must not verify: {verdict:?}");
+}

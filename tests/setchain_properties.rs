@@ -1,0 +1,179 @@
+//! Integration tests: the eight Setchain properties of Section 2, checked on
+//! end-to-end runs of all three algorithms over the simulated ledger.
+
+use setchain::{Algorithm, ElementId};
+use setchain_simnet::SimTime;
+use setchain_workload::{Deployment, Scenario};
+
+/// A small but non-trivial scenario: 4 servers, a few thousand elements.
+fn scenario(algorithm: Algorithm, seed: u64) -> Scenario {
+    Scenario::base(algorithm)
+        .with_label(format!("properties {algorithm}"))
+        .with_servers(4)
+        .with_rate(400.0)
+        .with_collector(50)
+        .with_injection_secs(5)
+        .with_max_run_secs(60)
+        .with_seed(seed)
+}
+
+/// Runs until every added element is committed (or the cap is reached) and
+/// returns the deployment for inspection.
+fn run(algorithm: Algorithm, seed: u64) -> (Deployment, SimTime) {
+    let scenario = scenario(algorithm, seed);
+    let mut deployment = Deployment::build(&scenario);
+    let mut now = SimTime::ZERO;
+    let limit = SimTime::from_secs(scenario.max_run_secs);
+    while now < limit {
+        now = (now + setchain_simnet::SimDuration::from_secs(5)).min(limit);
+        deployment.sim.run_until(now);
+        let added = deployment.trace.added_count();
+        if now > SimTime::from_secs(scenario.injection_secs)
+            && added > 0
+            && deployment.trace.committed_count_by(now) >= added
+        {
+            break;
+        }
+    }
+    (deployment, now)
+}
+
+fn check_all_properties(algorithm: Algorithm, seed: u64) {
+    let (deployment, now) = run(algorithm, seed);
+    let n = deployment.scenario.servers;
+    let f = deployment.scenario.setchain_f();
+    let added = deployment.trace.added_count();
+    assert!(added > 1_500, "{algorithm}: workload injected ({added})");
+
+    // Liveness (Properties 2, 3, 4): every added valid element ends up in
+    // every correct server's the_set and history.
+    let records = deployment.trace.element_records();
+    let unstamped = records.iter().filter(|r| r.epoch.is_none()).count();
+    assert_eq!(
+        unstamped, 0,
+        "{algorithm}: every added element is eventually stamped with an epoch"
+    );
+    for i in 0..n {
+        let server = deployment.server(i);
+        let state = server.state();
+        for r in &records {
+            assert!(
+                state.contains(&r.id),
+                "{algorithm}: server {i} the_set is missing {:?} (Get-Global)",
+                r.id
+            );
+            assert!(
+                state.in_history(&r.id),
+                "{algorithm}: server {i} history is missing {:?} (Eventual-Get)",
+                r.id
+            );
+        }
+        // Property 1 (Consistent-Sets) and 5 (Unique-Epoch).
+        assert!(state.check_consistent_sets(), "{algorithm}: server {i} Consistent-Sets");
+        assert!(state.check_unique_epoch(), "{algorithm}: server {i} Unique-Epoch");
+    }
+
+    // Property 6 (Consistent-Gets): common epoch prefixes are identical.
+    let reference = deployment.server(0);
+    for i in 1..n {
+        let other = deployment.server(i);
+        assert!(
+            reference.state().check_consistent_with(other.state()),
+            "{algorithm}: server 0 and server {i} disagree on a common epoch"
+        );
+    }
+
+    // Property 7 (Add-before-Get): nothing in the_set that was not added by a
+    // client. The trace records every client add; forged ids would not be in
+    // it. Sample the reference server's history for membership.
+    let added_ids: std::collections::HashSet<ElementId> =
+        records.iter().map(|r| r.id).collect();
+    let state = reference.state();
+    for epoch in 1..=state.epoch() {
+        for e in state.epoch_elements(epoch).unwrap() {
+            assert!(
+                added_ids.contains(&e.id),
+                "{algorithm}: epoch {epoch} contains {:?} which no client added",
+                e.id
+            );
+        }
+    }
+
+    // Property 8 (Valid-Epoch): every epoch containing elements eventually has
+    // at least f+1 proofs from distinct servers (correct servers > f).
+    let mut proven = 0;
+    let mut with_elements = 0;
+    for epoch in 1..=state.epoch() {
+        let has_elements = !state.epoch_elements(epoch).unwrap().is_empty();
+        if has_elements {
+            with_elements += 1;
+            if state.proof_count(epoch) >= f + 1 {
+                proven += 1;
+            }
+        }
+    }
+    assert!(with_elements > 0, "{algorithm}: at least one non-empty epoch");
+    assert!(
+        proven as f64 >= 0.9 * with_elements as f64,
+        "{algorithm}: {proven}/{with_elements} element-bearing epochs reached f+1 proofs by {now}"
+    );
+}
+
+#[test]
+fn vanilla_satisfies_setchain_properties() {
+    check_all_properties(Algorithm::Vanilla, 101);
+}
+
+#[test]
+fn compresschain_satisfies_setchain_properties() {
+    check_all_properties(Algorithm::Compresschain, 202);
+}
+
+#[test]
+fn hashchain_satisfies_setchain_properties() {
+    check_all_properties(Algorithm::Hashchain, 303);
+}
+
+#[test]
+fn epochs_are_identical_across_servers_for_all_algorithms() {
+    // Stronger variant of Consistent-Gets: compare the *content* of every
+    // epoch id by id between two servers.
+    for algorithm in Algorithm::ALL {
+        let (deployment, _) = run(algorithm, 404);
+        let a = deployment.server(0);
+        let b = deployment.server(deployment.scenario.servers - 1);
+        let common = a.state().epoch().min(b.state().epoch());
+        assert!(common > 0, "{algorithm}: at least one epoch created");
+        for epoch in 1..=common {
+            let ida: std::collections::BTreeSet<ElementId> = a
+                .state()
+                .epoch_elements(epoch)
+                .unwrap()
+                .iter()
+                .map(|e| e.id)
+                .collect();
+            let idb: std::collections::BTreeSet<ElementId> = b
+                .state()
+                .epoch_elements(epoch)
+                .unwrap()
+                .iter()
+                .map(|e| e.id)
+                .collect();
+            assert_eq!(ida, idb, "{algorithm}: epoch {epoch} differs between servers");
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic_for_a_fixed_seed() {
+    let run_digest = |seed: u64| {
+        let (deployment, now) = run(Algorithm::Hashchain, seed);
+        let state_epoch = deployment.server(0).state().epoch();
+        (
+            deployment.trace.added_count(),
+            deployment.trace.committed_count_by(now),
+            state_epoch,
+        )
+    };
+    assert_eq!(run_digest(777), run_digest(777));
+}
