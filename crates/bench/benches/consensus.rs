@@ -54,9 +54,7 @@ fn bench_cluster_sizes(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("hashchain_5s", servers),
             &servers,
-            |b, &servers| {
-                b.iter(|| run_small(Algorithm::Hashchain, servers, 500.0, 5))
-            },
+            |b, &servers| b.iter(|| run_small(Algorithm::Hashchain, servers, 500.0, 5)),
         );
     }
     group.finish();

@@ -34,16 +34,20 @@ fn bench_signatures(c: &mut Criterion) {
 fn bench_merkle(c: &mut Criterion) {
     let mut group = c.benchmark_group("merkle");
     for leaves in [128usize, 1024] {
-        let items: Vec<Vec<u8>> = (0..leaves).map(|i| format!("tx-{i}").into_bytes()).collect();
+        let items: Vec<Vec<u8>> = (0..leaves)
+            .map(|i| format!("tx-{i}").into_bytes())
+            .collect();
         group.bench_with_input(BenchmarkId::new("build", leaves), &items, |b, items| {
             b.iter(|| MerkleTree::build(items))
         });
         let tree = MerkleTree::build(&items);
         let proof = tree.prove(leaves / 2);
         let root = tree.root();
-        group.bench_with_input(BenchmarkId::new("verify_proof", leaves), &items, |b, items| {
-            b.iter(|| proof.verify(&items[leaves / 2], &root))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("verify_proof", leaves),
+            &items,
+            |b, items| b.iter(|| proof.verify(&items[leaves / 2], &root)),
+        );
     }
     group.finish();
 }

@@ -9,9 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use setchain::{Element, ElementId};
 use setchain_crypto::{KeyRegistry, ProcessId};
-use setchain_exec::{
-    execute_epoch, validate_epoch, ExecutedChain, ExecutionConfig, Transaction,
-};
+use setchain_exec::{execute_epoch, validate_epoch, ExecutedChain, ExecutionConfig, Transaction};
 
 /// Decoded transfers for one epoch of `count` elements spread over 32 clients.
 fn epoch_txs(count: usize) -> Vec<Transaction> {
@@ -83,17 +81,13 @@ fn bench_end_to_end_epoch(c: &mut Criterion) {
             ("sequential", ExecutionConfig::sequential()),
             ("parallel_validation", ExecutionConfig::default()),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, size),
-                &txs,
-                |b, txs| {
-                    b.iter(|| {
-                        let mut chain = ExecutedChain::for_clients(config, 64, 10_000_000);
-                        chain.execute_epoch(1, txs);
-                        chain.state_root()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, size), &txs, |b, txs| {
+                b.iter(|| {
+                    let mut chain = ExecutedChain::for_clients(config, 64, 10_000_000);
+                    chain.execute_epoch(1, txs);
+                    chain.state_root()
+                })
+            });
         }
     }
     group.finish();

@@ -18,8 +18,9 @@
 //! ```
 
 use setchain::Algorithm;
-use setchain_bench::{banner, print_summary_table, summarize, summary_csv_rows, ExperimentCtx,
-    SUMMARY_CSV_HEADER};
+use setchain_bench::{
+    banner, print_summary_table, summarize, summary_csv_rows, ExperimentCtx, SUMMARY_CSV_HEADER,
+};
 use setchain_workload::{run_scenario, Scenario};
 
 fn main() {
@@ -48,7 +49,9 @@ fn main() {
         base()
             .with_label(format!("Hashchain 2f+1 signers (k={})", 2 * f + 1))
             .with_designated_signers(2 * f + 1),
-        base().with_label("Hashchain push batches").with_push_batches(),
+        base()
+            .with_label("Hashchain push batches")
+            .with_push_batches(),
         base().with_label("Hashchain light (no reversal)").light(),
     ];
 

@@ -1,8 +1,11 @@
 //! Runs every experiment (all tables and figures) in sequence.
 fn main() {
     let ctx = setchain_bench::ExperimentCtx::from_env();
-    println!("Running all experiments with scale = {} (SETCHAIN_SCALE), output in {}",
-        ctx.scale, ctx.out_dir.display());
+    println!(
+        "Running all experiments with scale = {} (SETCHAIN_SCALE), output in {}",
+        ctx.scale,
+        ctx.out_dir.display()
+    );
     let start = std::time::Instant::now();
     setchain_bench::figures::table1(&ctx);
     setchain_bench::figures::appendix_d(&ctx);
@@ -12,5 +15,8 @@ fn main() {
     setchain_bench::figures::fig2_limits(&ctx);
     let results = setchain_bench::figures::fig3_efficiency(&ctx);
     setchain_bench::figures::fig5_commit_times(&ctx, &results);
-    println!("\nAll experiments finished in {:.1} minutes.", start.elapsed().as_secs_f64() / 60.0);
+    println!(
+        "\nAll experiments finished in {:.1} minutes.",
+        start.elapsed().as_secs_f64() / 60.0
+    );
 }

@@ -7,8 +7,10 @@ use setchain_workload::{
     RunResult, Scenario, ThroughputSeries,
 };
 
-use crate::{banner, fmt_els, print_summary_table, summarize, summary_csv_rows, ExperimentCtx,
-    RunSummary, SUMMARY_CSV_HEADER};
+use crate::{
+    banner, fmt_els, print_summary_table, summarize, summary_csv_rows, ExperimentCtx, RunSummary,
+    SUMMARY_CSV_HEADER,
+};
 
 fn labelled(scenario: Scenario, label: String) -> Scenario {
     scenario.with_label(label)
@@ -24,15 +26,31 @@ fn run_and_summarize(ctx: &ExperimentCtx, scenario: Scenario) -> (RunResult, Run
 /// Table 1: the evaluated parameter space.
 pub fn table1(_ctx: &ExperimentCtx) {
     banner("Table 1: Parameters for Setchain evaluation");
-    println!("{:<18} {:<38} {}", "Name", "Description", "Values");
-    println!("{:<18} {:<38} {:?}", "sending_rate", "Adding rate (el/s)",
-        setchain_workload::scenario::table1::SENDING_RATES);
-    println!("{:<18} {:<38} {:?}", "collector_limit", "Collector size (el)",
-        setchain_workload::scenario::table1::COLLECTOR_LIMITS);
-    println!("{:<18} {:<38} {:?}", "server_count", "Number of servers",
-        setchain_workload::scenario::table1::SERVER_COUNTS);
-    println!("{:<18} {:<38} {:?}", "network_delay", "Delay increase (ms)",
-        setchain_workload::scenario::table1::NETWORK_DELAYS_MS);
+    println!("{:<18} {:<38} Values", "Name", "Description");
+    println!(
+        "{:<18} {:<38} {:?}",
+        "sending_rate",
+        "Adding rate (el/s)",
+        setchain_workload::scenario::table1::SENDING_RATES
+    );
+    println!(
+        "{:<18} {:<38} {:?}",
+        "collector_limit",
+        "Collector size (el)",
+        setchain_workload::scenario::table1::COLLECTOR_LIMITS
+    );
+    println!(
+        "{:<18} {:<38} {:?}",
+        "server_count",
+        "Number of servers",
+        setchain_workload::scenario::table1::SERVER_COUNTS
+    );
+    println!(
+        "{:<18} {:<38} {:?}",
+        "network_delay",
+        "Delay increase (ms)",
+        setchain_workload::scenario::table1::NETWORK_DELAYS_MS
+    );
 }
 
 /// Fig. 1 (three panels) and Table 2: throughput over time of the three
@@ -41,12 +59,28 @@ pub fn table1(_ctx: &ExperimentCtx) {
 pub fn fig1_throughput(ctx: &ExperimentCtx) {
     banner("Figure 1 + Table 2: throughput over time (10 servers, no added delay)");
     let panels: [(&str, f64, usize, Vec<Algorithm>); 3] = [
-        ("left: 5000 el/s, c=100", 5_000.0, 100,
-            vec![Algorithm::Vanilla, Algorithm::Compresschain, Algorithm::Hashchain]),
-        ("center: 10000 el/s, c=100", 10_000.0, 100,
-            vec![Algorithm::Compresschain, Algorithm::Hashchain]),
-        ("right: 10000 el/s, c=500", 10_000.0, 500,
-            vec![Algorithm::Compresschain, Algorithm::Hashchain]),
+        (
+            "left: 5000 el/s, c=100",
+            5_000.0,
+            100,
+            vec![
+                Algorithm::Vanilla,
+                Algorithm::Compresschain,
+                Algorithm::Hashchain,
+            ],
+        ),
+        (
+            "center: 10000 el/s, c=100",
+            10_000.0,
+            100,
+            vec![Algorithm::Compresschain, Algorithm::Hashchain],
+        ),
+        (
+            "right: 10000 el/s, c=500",
+            10_000.0,
+            500,
+            vec![Algorithm::Compresschain, Algorithm::Hashchain],
+        ),
     ];
     let mut table2_rows: Vec<String> = Vec::new();
     for (panel, rate, collector, algorithms) in panels {
@@ -175,8 +209,16 @@ pub fn fig2_limits(ctx: &ExperimentCtx) {
         fmt_els(analytical.compresschain()),
         fmt_els(analytical.hashchain())
     );
-    ctx.write_csv("fig2_left_series.csv", "label,time_s,committed_el_per_s", &csv_rows);
-    ctx.write_csv("fig2_left_summary.csv", SUMMARY_CSV_HEADER, &summary_csv_rows(&summaries));
+    ctx.write_csv(
+        "fig2_left_series.csv",
+        "label,time_s,committed_el_per_s",
+        &csv_rows,
+    );
+    ctx.write_csv(
+        "fig2_left_summary.csv",
+        SUMMARY_CSV_HEADER,
+        &summary_csv_rows(&summaries),
+    );
 }
 
 /// Fig. 2 (right): analytical throughput for block sizes from 0.5 to 128 MB
@@ -356,7 +398,8 @@ pub fn fig4_latency_cdf(ctx: &ExperimentCtx) {
             scenario.setchain_f(),
             scenario.servers,
         );
-        let stage_list: [(&str, fn(&setchain_workload::metrics::StageSample) -> Option<f64>); 5] = [
+        type StageProbe = fn(&setchain_workload::metrics::StageSample) -> Option<f64>;
+        let stage_list: [(&str, StageProbe); 5] = [
             ("first mempool", |s| s.first_mempool),
             ("f+1 mempools", |s| s.quorum_mempools),
             ("all mempools", |s| s.all_mempools),
@@ -405,12 +448,16 @@ pub fn appendix_d(ctx: &ExperimentCtx) {
         ("Vanilla".into(), AnalysisParams::default().vanilla(), 955.0),
         (
             "Compresschain c=100 (r=2.7)".into(),
-            AnalysisParams::default().with_collector(100).compresschain(),
+            AnalysisParams::default()
+                .with_collector(100)
+                .compresschain(),
             2_497.0,
         ),
         (
             "Compresschain c=500 (r=3.5)".into(),
-            AnalysisParams::default().with_collector(500).compresschain(),
+            AnalysisParams::default()
+                .with_collector(500)
+                .compresschain(),
             3_330.0,
         ),
         (
@@ -436,5 +483,9 @@ pub fn appendix_d(ctx: &ExperimentCtx) {
         p.hashchain() / p.vanilla(),
         p.hashchain() / p.compresschain()
     );
-    ctx.write_csv("appendix_d.csv", "configuration,computed_el_s,paper_el_s", &csv);
+    ctx.write_csv(
+        "appendix_d.csv",
+        "configuration,computed_el_s,paper_el_s",
+        &csv,
+    );
 }

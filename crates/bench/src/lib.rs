@@ -166,8 +166,15 @@ pub fn print_summary_table(ctx: &ExperimentCtx, summaries: &[RunSummary]) {
     let [c1, c2, c3] = ctx.checkpoints();
     println!(
         "{:<28} {:>9} {:>9} {:>14} {:>14} {:>7} {:>7} {:>7} {:>9}",
-        "scenario", "added", "committed", "avg tput", "peak tput",
-        format!("eff@{c1}s"), format!("eff@{c2}s"), format!("eff@{c3}s"), "wall"
+        "scenario",
+        "added",
+        "committed",
+        "avg tput",
+        "peak tput",
+        format!("eff@{c1}s"),
+        format!("eff@{c2}s"),
+        format!("eff@{c3}s"),
+        "wall"
     );
     for s in summaries {
         println!(

@@ -63,7 +63,10 @@ impl std::fmt::Display for DecompressError {
             DecompressError::Truncated => write!(f, "compressed stream truncated"),
             DecompressError::BadToken(t) => write!(f, "unknown token tag {t:#x}"),
             DecompressError::BadDistance { at, distance } => {
-                write!(f, "invalid back-reference distance {distance} at output offset {at}")
+                write!(
+                    f,
+                    "invalid back-reference distance {distance} at output offset {at}"
+                )
             }
             DecompressError::LengthMismatch { declared, actual } => {
                 write!(f, "declared length {declared} but produced {actual}")
@@ -273,13 +276,17 @@ mod tests {
 
     #[test]
     fn repetitive_roundtrip_and_shrinks() {
-        let data: Vec<u8> = std::iter::repeat(b"the quick brown fox ".as_slice())
-            .take(200)
+        let data: Vec<u8> = std::iter::repeat_n(b"the quick brown fox ".as_slice(), 200)
             .flatten()
             .copied()
             .collect();
         let c = compress(&data);
-        assert!(c.len() * 4 < data.len(), "compressed {} vs {}", c.len(), data.len());
+        assert!(
+            c.len() * 4 < data.len(),
+            "compressed {} vs {}",
+            c.len(),
+            data.len()
+        );
         assert_eq!(decompress(&c).unwrap(), data);
     }
 
@@ -343,7 +350,10 @@ mod tests {
         let mut pos = 0;
         read_u64(&c, &mut pos).unwrap();
         c[pos] = 0x7E;
-        assert!(matches!(decompress(&c), Err(DecompressError::BadToken(0x7E))));
+        assert!(matches!(
+            decompress(&c),
+            Err(DecompressError::BadToken(0x7E))
+        ));
     }
 
     #[test]
@@ -407,7 +417,9 @@ mod tests {
         }
         .to_string()
         .contains("declared"));
-        assert!(DecompressError::DeclaredTooLarge(5).to_string().contains("large"));
+        assert!(DecompressError::DeclaredTooLarge(5)
+            .to_string()
+            .contains("large"));
     }
 
     mod prop {

@@ -38,7 +38,18 @@ mod tests {
 
     #[test]
     fn roundtrip_edge_values() {
-        for v in [0u64, 1, 127, 128, 255, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             write_u64(&mut buf, v);
             let mut pos = 0;

@@ -94,11 +94,19 @@ impl MerkleTree {
 
     /// Builds an inclusion proof for leaf `index`. Panics if out of range.
     pub fn prove(&self, index: usize) -> MerkleProof {
-        assert!(index < self.len, "leaf index {index} out of range ({})", self.len);
+        assert!(
+            index < self.len,
+            "leaf index {index} out of range ({})",
+            self.len
+        );
         let mut path = Vec::new();
         let mut idx = index;
         for level in &self.levels[..self.levels.len() - 1] {
-            let sibling = if idx % 2 == 0 { idx + 1 } else { idx - 1 };
+            let sibling = if idx.is_multiple_of(2) {
+                idx + 1
+            } else {
+                idx - 1
+            };
             if sibling < level.len() {
                 path.push((level[sibling], sibling < idx));
             }

@@ -11,8 +11,8 @@
 
 use std::collections::BTreeMap;
 
-use setchain_crypto::Digest256;
 use setchain::{Element, SetchainState};
+use setchain_crypto::Digest256;
 
 use crate::account::{Address, WorldState};
 use crate::executor::{validate_and_execute, EpochReceipts, ExecutionConfig};

@@ -114,7 +114,10 @@ impl EpochReceipts {
 /// Phase 1: optimistic, stateless validation of every transaction in
 /// parallel. Returns one entry per transaction: `Ok(())` or the reason the
 /// transaction is already known to be void.
-pub fn validate_epoch(txs: &[Transaction], config: &ExecutionConfig) -> Vec<Result<(), VoidReason>> {
+pub fn validate_epoch(
+    txs: &[Transaction],
+    config: &ExecutionConfig,
+) -> Vec<Result<(), VoidReason>> {
     parallel_map(txs, config.threads, Transaction::check_stateless)
 }
 

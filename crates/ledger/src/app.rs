@@ -54,7 +54,8 @@ pub trait Application: Send + 'static {
 
     /// Called when an application timer armed through
     /// [`AppCtx::set_app_timer`] fires.
-    fn on_timer(&mut self, _token: TimerToken, _ctx: &mut AppCtx<'_, '_, '_, Self::Tx, Self::Msg>) {}
+    fn on_timer(&mut self, _token: TimerToken, _ctx: &mut AppCtx<'_, '_, '_, Self::Tx, Self::Msg>) {
+    }
 }
 
 /// Context handed to the application during callbacks.
@@ -101,7 +102,8 @@ where
     /// [`Application::on_timer`]. Tokens must be below 2^48.
     pub fn set_app_timer(&mut self, delay: SimDuration, token: TimerToken) {
         assert!(token < (1 << 48), "app timer token too large");
-        self.sim.set_timer(delay, crate::node::APP_TIMER_BASE | token);
+        self.sim
+            .set_timer(delay, crate::node::APP_TIMER_BASE | token);
     }
 
     /// Charges simulated CPU time to this node (hashing, compression,

@@ -174,7 +174,10 @@ mod tests {
         assert_eq!(mp.bytes(), 100);
         let reaped = mp.reap(1_000);
         assert_eq!(reaped.len(), 10);
-        assert_eq!(reaped.iter().map(|t| t.0).collect::<Vec<_>>(), (0..10).collect::<Vec<_>>());
+        assert_eq!(
+            reaped.iter().map(|t| t.0).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
         // Reap does not remove.
         assert_eq!(mp.len(), 10);
     }

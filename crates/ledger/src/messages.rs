@@ -209,7 +209,13 @@ mod tests {
         assert_ne!(pv, pc);
         assert_ne!(pc, c);
         // Height and round are bound.
-        assert_ne!(vote_sign_bytes(VoteKind::Prevote, 1, 0, &id), vote_sign_bytes(VoteKind::Prevote, 2, 0, &id));
-        assert_ne!(vote_sign_bytes(VoteKind::Prevote, 1, 0, &id), vote_sign_bytes(VoteKind::Prevote, 1, 1, &id));
+        assert_ne!(
+            vote_sign_bytes(VoteKind::Prevote, 1, 0, &id),
+            vote_sign_bytes(VoteKind::Prevote, 2, 0, &id)
+        );
+        assert_ne!(
+            vote_sign_bytes(VoteKind::Prevote, 1, 0, &id),
+            vote_sign_bytes(VoteKind::Prevote, 1, 1, &id)
+        );
     }
 }

@@ -31,7 +31,9 @@ use setchain_simnet::{Context, Process, SimDuration, TimerToken};
 use crate::app::{AppCtx, Application};
 use crate::byzantine::ByzMode;
 use crate::mempool::Mempool;
-use crate::messages::{certificate_sign_bytes, proposal_sign_bytes, vote_sign_bytes, NetMsg, VoteKind};
+use crate::messages::{
+    certificate_sign_bytes, proposal_sign_bytes, vote_sign_bytes, NetMsg, VoteKind,
+};
 use crate::trace::{BlockSummary, LedgerTrace};
 use crate::types::{Block, BlockId, LedgerConfig, TxData, TxId};
 
@@ -276,7 +278,10 @@ impl<A: Application> LedgerNode<A> {
             let half = peers.len() / 2;
             for (i, peer) in peers.iter().enumerate() {
                 let b = if i < half { block.clone() } else { alt.clone() };
-                let signature = sign(&self.keys, &proposal_sign_bytes(self.height, self.round, &b.id()));
+                let signature = sign(
+                    &self.keys,
+                    &proposal_sign_bytes(self.height, self.round, &b.id()),
+                );
                 ctx.send(
                     *peer,
                     NetMsg::Proposal {
@@ -288,7 +293,10 @@ impl<A: Application> LedgerNode<A> {
                 );
             }
             // Process our own copy of the primary block.
-            let signature = sign(&self.keys, &proposal_sign_bytes(self.height, self.round, &block.id()));
+            let signature = sign(
+                &self.keys,
+                &proposal_sign_bytes(self.height, self.round, &block.id()),
+            );
             ctx.send(
                 self.id,
                 NetMsg::Proposal {
@@ -301,7 +309,10 @@ impl<A: Application> LedgerNode<A> {
             return;
         }
 
-        let signature = sign(&self.keys, &proposal_sign_bytes(self.height, self.round, &block.id()));
+        let signature = sign(
+            &self.keys,
+            &proposal_sign_bytes(self.height, self.round, &block.id()),
+        );
         let msg = NetMsg::Proposal {
             height: self.height,
             round: self.round,
@@ -371,7 +382,11 @@ impl<A: Application> LedgerNode<A> {
             return;
         }
         let block_id = block.id();
-        if !verify(&self.registry, &proposal_sign_bytes(height, round, &block_id), &signature) {
+        if !verify(
+            &self.registry,
+            &proposal_sign_bytes(height, round, &block_id),
+            &signature,
+        ) {
             return;
         }
         ctx.consume_cpu(self.config.sig_verify_cost);
@@ -390,13 +405,19 @@ impl<A: Application> LedgerNode<A> {
         }
         self.proposal_store.insert((height, block_id), block);
         // Prevote only for the first proposal seen in this round.
-        let first = *self.first_proposal.entry((height, round)).or_insert(block_id);
+        let first = *self
+            .first_proposal
+            .entry((height, round))
+            .or_insert(block_id);
         if first == block_id && self.voted_prevote.insert((height, round)) {
             self.broadcast_vote(VoteKind::Prevote, height, round, block_id, ctx);
         }
         self.try_advance(height, round, block_id, ctx);
     }
 
+    // The six vote fields arrive pre-destructured from `NetMsg::Vote`;
+    // re-bundling them into a struct here would just mirror the message type.
+    #[allow(clippy::too_many_arguments)]
     fn on_vote(
         &mut self,
         kind: VoteKind,
@@ -451,7 +472,13 @@ impl<A: Application> LedgerNode<A> {
 
     /// Checks quorum conditions for (height, round, block id) and advances:
     /// prevote quorum → precommit; precommit quorum → commit.
-    fn try_advance(&mut self, height: u64, round: u32, block_id: BlockId, ctx: &mut Context<'_, M<A>>) {
+    fn try_advance(
+        &mut self,
+        height: u64,
+        round: u32,
+        block_id: BlockId,
+        ctx: &mut Context<'_, M<A>>,
+    ) {
         if height != self.height {
             return;
         }
@@ -495,7 +522,12 @@ impl<A: Application> LedgerNode<A> {
         }
     }
 
-    fn commit_block(&mut self, block: Block<A::Tx>, certificate: Vec<Signature>, ctx: &mut Context<'_, M<A>>) {
+    fn commit_block(
+        &mut self,
+        block: Block<A::Tx>,
+        certificate: Vec<Signature>,
+        ctx: &mut Context<'_, M<A>>,
+    ) {
         debug_assert_eq!(block.height, self.height);
         let now = ctx.now();
         let tx_ids: Vec<TxId> = block.txs.iter().map(|t| t.tx_id()).collect();
@@ -515,7 +547,9 @@ impl<A: Application> LedgerNode<A> {
 
         // Notify the application (new_block / FinalizeBlock).
         let block_for_app = block.clone();
-        self.with_app(ctx, |app, app_ctx| app.finalize_block(&block_for_app, app_ctx));
+        self.with_app(ctx, |app, app_ctx| {
+            app.finalize_block(&block_for_app, app_ctx)
+        });
 
         self.committed.insert(block.height, (block, certificate));
 
@@ -543,7 +577,12 @@ impl<A: Application> LedgerNode<A> {
             self.max_seen_height = height;
         }
         if height > self.height && peer != self.id && !self.byz.is_silent() {
-            ctx.send(peer, NetMsg::BlockSyncRequest { height: self.height });
+            ctx.send(
+                peer,
+                NetMsg::BlockSyncRequest {
+                    height: self.height,
+                },
+            );
         }
     }
 
@@ -562,7 +601,12 @@ impl<A: Application> LedgerNode<A> {
         }
     }
 
-    fn on_sync_response(&mut self, block: Block<A::Tx>, certificate: Vec<Signature>, ctx: &mut Context<'_, M<A>>) {
+    fn on_sync_response(
+        &mut self,
+        block: Block<A::Tx>,
+        certificate: Vec<Signature>,
+        ctx: &mut Context<'_, M<A>>,
+    ) {
         if block.height != self.height {
             return;
         }
@@ -591,7 +635,12 @@ impl<A: Application> LedgerNode<A> {
         // If still behind, keep pulling from any peer we know is ahead.
         if self.max_seen_height > self.height {
             if let Some(peer) = self.peers().first().copied() {
-                ctx.send(peer, NetMsg::BlockSyncRequest { height: self.height });
+                ctx.send(
+                    peer,
+                    NetMsg::BlockSyncRequest {
+                        height: self.height,
+                    },
+                );
             }
         }
     }
@@ -614,11 +663,10 @@ impl<A: Application> LedgerNode<A> {
                 }
                 ctx.set_timer(self.config.gossip_interval, TIMER_GOSSIP);
             }
-            TIMER_START_HEIGHT => {
-                if payload == self.height && self.round == 0 {
-                    self.start_round(ctx);
-                }
+            TIMER_START_HEIGHT if payload == self.height && self.round == 0 => {
+                self.start_round(ctx);
             }
+            TIMER_START_HEIGHT => {}
             TIMER_ROUND_TIMEOUT => {
                 let height = payload >> 16;
                 let round = (payload & 0xFFFF) as u32;
@@ -710,7 +758,7 @@ impl<A: Application> Process<M<A>> for LedgerNode<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use setchain_simnet::{NetworkConfig, Simulation, SimulationConfig, SimTime, Wire};
+    use setchain_simnet::{NetworkConfig, SimTime, Simulation, SimulationConfig, Wire};
 
     /// Minimal application used to exercise the ledger: transactions are
     /// (id, size) pairs, invalid ids are odd multiples of 1000, and every
@@ -755,7 +803,11 @@ mod tests {
             tx.id % 1000 != 999
         }
 
-        fn finalize_block(&mut self, block: &Block<TestTx>, _ctx: &mut AppCtx<'_, '_, '_, TestTx, TestMsg>) {
+        fn finalize_block(
+            &mut self,
+            block: &Block<TestTx>,
+            _ctx: &mut AppCtx<'_, '_, '_, TestTx, TestMsg>,
+        ) {
             self.blocks_seen += 1;
             for tx in &block.txs {
                 self.committed.push((block.height, tx.id));
@@ -832,17 +884,31 @@ mod tests {
     fn all_nodes_commit_same_transactions_in_same_order() {
         let mut cluster = build_cluster(4, vec![], 1);
         for i in 0..100u128 {
-            submit(&mut cluster.sim, 100 + i as u64 * 10, (i % 4) as usize, i, 200);
+            submit(
+                &mut cluster.sim,
+                100 + i as u64 * 10,
+                (i % 4) as usize,
+                i,
+                200,
+            );
         }
         cluster.sim.run_until(SimTime::from_secs(20));
         let reference = committed_sequence(&cluster, 0);
         assert_eq!(
-            reference.iter().map(|(_, id)| *id).collect::<HashSet<_>>().len(),
+            reference
+                .iter()
+                .map(|(_, id)| *id)
+                .collect::<HashSet<_>>()
+                .len(),
             100,
             "all 100 transactions commit exactly once"
         );
         for node in 1..cluster.n {
-            assert_eq!(committed_sequence(&cluster, node), reference, "node {node} diverged");
+            assert_eq!(
+                committed_sequence(&cluster, node),
+                reference,
+                "node {node} diverged"
+            );
         }
     }
 
@@ -902,12 +968,22 @@ mod tests {
     fn tolerates_silent_validator() {
         let mut cluster = build_cluster(4, vec![(3, ByzMode::Silent)], 6);
         for i in 0..50u128 {
-            submit(&mut cluster.sim, 100 + i as u64 * 20, (i % 3) as usize, i, 200);
+            submit(
+                &mut cluster.sim,
+                100 + i as u64 * 20,
+                (i % 3) as usize,
+                i,
+                200,
+            );
         }
         cluster.sim.run_until(SimTime::from_secs(30));
         let committed = committed_sequence(&cluster, 0);
         assert_eq!(
-            committed.iter().map(|(_, id)| *id).collect::<HashSet<_>>().len(),
+            committed
+                .iter()
+                .map(|(_, id)| *id)
+                .collect::<HashSet<_>>()
+                .len(),
             50
         );
         // The other correct nodes agree.
@@ -922,7 +998,10 @@ mod tests {
         submit(&mut cluster.sim, 100, 0, 7, 100);
         cluster.sim.run_until(SimTime::from_secs(30));
         let committed = committed_sequence(&cluster, 0);
-        assert!(committed.iter().any(|(_, id)| *id == 7), "tx eventually committed");
+        assert!(
+            committed.iter().any(|(_, id)| *id == 7),
+            "tx eventually committed"
+        );
         let node: &Node = cluster.sim.process(ProcessId::server(0)).unwrap();
         assert!(node.stats().round_timeouts >= 1);
     }
@@ -951,7 +1030,11 @@ mod tests {
         cluster.sim.run_until(SimTime::from_secs(20));
         let committed = committed_sequence(&cluster, 0);
         assert_eq!(
-            committed.iter().map(|(_, id)| *id).collect::<HashSet<_>>().len(),
+            committed
+                .iter()
+                .map(|(_, id)| *id)
+                .collect::<HashSet<_>>()
+                .len(),
             20
         );
     }
@@ -962,8 +1045,14 @@ mod tests {
         submit(&mut cluster.sim, 100, 0, 5, 100);
         cluster.sim.run_until(SimTime::from_secs(10));
         let tx = TxId(5);
-        let first = cluster.trace.first_mempool(&tx).expect("first mempool recorded");
-        let all = cluster.trace.kth_mempool(&tx, 4).expect("replicated to all mempools");
+        let first = cluster
+            .trace
+            .first_mempool(&tx)
+            .expect("first mempool recorded");
+        let all = cluster
+            .trace
+            .kth_mempool(&tx, 4)
+            .expect("replicated to all mempools");
         let ledger = cluster.trace.ledger_time(&tx).expect("committed");
         assert!(first <= all);
         assert!(all <= ledger);
@@ -980,9 +1069,17 @@ mod tests {
             ProcessId::server(1),
             ProcessId::server(2),
         ];
-        cluster.sim.add_partition(setchain_simnet::Partition::between(minority, majority));
+        cluster
+            .sim
+            .add_partition(setchain_simnet::Partition::between(minority, majority));
         for i in 0..40u128 {
-            submit(&mut cluster.sim, 100 + i as u64 * 50, (i % 3) as usize, i, 150);
+            submit(
+                &mut cluster.sim,
+                100 + i as u64 * 50,
+                (i % 3) as usize,
+                i,
+                150,
+            );
         }
         cluster.sim.run_until(SimTime::from_secs(10));
         cluster.sim.heal_all_partitions();
@@ -999,7 +1096,10 @@ mod tests {
         // Node 3 committed a prefix-consistent sequence equal to the
         // reference it caught up to.
         assert_eq!(behind, reference[..behind.len()].to_vec());
-        assert!(behind.len() >= 40, "node 3 caught up with pre-partition traffic");
+        assert!(
+            behind.len() >= 40,
+            "node 3 caught up with pre-partition traffic"
+        );
     }
 
     #[test]
@@ -1016,17 +1116,31 @@ mod tests {
         for n in [7usize, 10] {
             let mut cluster = build_cluster(n, vec![], 13 + n as u64);
             for i in 0..30u128 {
-                submit(&mut cluster.sim, 100 + i as u64 * 10, (i as usize) % n, i, 150);
+                submit(
+                    &mut cluster.sim,
+                    100 + i as u64 * 10,
+                    (i as usize) % n,
+                    i,
+                    150,
+                );
             }
             cluster.sim.run_until(SimTime::from_secs(15));
             let reference = committed_sequence(&cluster, 0);
             assert_eq!(
-                reference.iter().map(|(_, id)| *id).collect::<HashSet<_>>().len(),
+                reference
+                    .iter()
+                    .map(|(_, id)| *id)
+                    .collect::<HashSet<_>>()
+                    .len(),
                 30,
                 "n={n}"
             );
             for node in 1..n {
-                assert_eq!(committed_sequence(&cluster, node), reference, "n={n} node={node}");
+                assert_eq!(
+                    committed_sequence(&cluster, node),
+                    reference,
+                    "n={n} node={node}"
+                );
             }
         }
     }

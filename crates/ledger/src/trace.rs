@@ -89,7 +89,11 @@ impl LedgerTrace {
         if !self.enabled {
             return;
         }
-        self.inner.lock().committed.entry(tx).or_insert((height, at));
+        self.inner
+            .lock()
+            .committed
+            .entry(tx)
+            .or_insert((height, at));
     }
 
     /// Records a committed block summary (first observation per height wins).
@@ -97,7 +101,11 @@ impl LedgerTrace {
         if !self.enabled {
             return;
         }
-        self.inner.lock().blocks.entry(summary.height).or_insert(summary);
+        self.inner
+            .lock()
+            .blocks
+            .entry(summary.height)
+            .or_insert(summary);
     }
 
     /// Time the transaction first reached any mempool.

@@ -129,7 +129,10 @@ impl LightClient {
 
     /// Verifies an `EpochResponse` from a single server: checks the proofs
     /// and reports which of this client's elements the epoch confirms.
-    pub fn verify_response(&self, msg: &SetchainMsg) -> Option<(EpochVerification, Vec<ElementId>)> {
+    pub fn verify_response(
+        &self,
+        msg: &SetchainMsg,
+    ) -> Option<(EpochVerification, Vec<ElementId>)> {
         let SetchainMsg::EpochResponse {
             epoch,
             elements,
@@ -139,7 +142,14 @@ impl LightClient {
         else {
             return None;
         };
-        let verification = verify_epoch(&self.registry, self.servers, self.f, *epoch, elements, proofs);
+        let verification = verify_epoch(
+            &self.registry,
+            self.servers,
+            self.f,
+            *epoch,
+            elements,
+            proofs,
+        );
         let mine = if verification.is_verified() {
             elements
                 .iter()
@@ -169,7 +179,12 @@ mod tests {
         (reg, elements)
     }
 
-    fn proofs_from(reg: &KeyRegistry, signers: &[usize], epoch: u64, elements: &[Element]) -> Vec<EpochProof> {
+    fn proofs_from(
+        reg: &KeyRegistry,
+        signers: &[usize],
+        epoch: u64,
+        elements: &[Element],
+    ) -> Vec<EpochProof> {
         signers
             .iter()
             .map(|&i| make_epoch_proof(&reg.lookup(ProcessId::server(i)).unwrap(), epoch, elements))
@@ -272,6 +287,8 @@ mod tests {
         assert!(mine.is_empty());
 
         // Non-epoch responses are ignored.
-        assert!(client.verify_response(&SetchainMsg::Get { request_id: 9 }).is_none());
+        assert!(client
+            .verify_response(&SetchainMsg::Get { request_id: 9 })
+            .is_none());
     }
 }

@@ -153,7 +153,12 @@ impl Application for CompresschainApp {
             if validate {
                 // Decompress(B[i]) — charged as CPU time against the original
                 // (uncompressed) batch size.
-                ctx.consume_cpu(self.core.config.costs.decompress_cost(cb.original_size as usize));
+                ctx.consume_cpu(
+                    self.core
+                        .config
+                        .costs
+                        .decompress_cost(cb.original_size as usize),
+                );
             }
             // `if batch_original = ∅ then continue`
             if cb.elements.is_empty() && cb.proofs.is_empty() {
@@ -164,7 +169,9 @@ impl Application for CompresschainApp {
                 self.core.ingest_proof(*p, now, ctx);
             }
             // G: valid elements not yet in an epoch.
-            let g = self.core.extract_epoch_candidates(&cb.elements, validate, ctx);
+            let g = self
+                .core
+                .extract_epoch_candidates(&cb.elements, validate, ctx);
             let (_, proof) = self.core.create_epoch(g, now, ctx);
             // The epoch-proof goes back through the collector.
             self.collector.add_proof(proof);

@@ -53,7 +53,9 @@ impl CostModel {
 
     /// Cost of decompressing into `bytes` of data.
     pub fn decompress_cost(&self, bytes: usize) -> SimDuration {
-        SimDuration::from_micros(self.decompress_per_kib.as_micros() * (bytes as u64).div_ceil(1024))
+        SimDuration::from_micros(
+            self.decompress_per_kib.as_micros() * (bytes as u64).div_ceil(1024),
+        )
     }
 
     /// Cost of validating `count` elements.

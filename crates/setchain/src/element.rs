@@ -136,7 +136,11 @@ impl Element {
             state ^= state << 17;
             // Bias towards a small alphabet so batches compress like real
             // calldata (long zero runs and repeated selectors).
-            let nibble = if state % 3 == 0 { 0 } else { (state >> 8) % 16 };
+            let nibble = if state.is_multiple_of(3) {
+                0
+            } else {
+                (state >> 8) % 16
+            };
             out.push(HEX[nibble as usize]);
         }
         out.extend_from_slice(b"\"}");

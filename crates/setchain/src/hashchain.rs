@@ -418,7 +418,12 @@ impl HashchainApp {
     /// Processes one hash-batch whose position in the ledger order has been
     /// reached. `batch` is `None` only in light mode when contents are
     /// unavailable.
-    fn handle_hash_batch(&mut self, hb: HashBatch, batch: Option<Batch>, ctx: &mut Ctx<'_, '_, '_>) {
+    fn handle_hash_batch(
+        &mut self,
+        hb: HashBatch,
+        batch: Option<Batch>,
+        ctx: &mut Ctx<'_, '_, '_>,
+    ) {
         let now = ctx.now();
         let hash = hb.hash;
         let validate = self.core.config.hash_reversal;
@@ -445,7 +450,9 @@ impl HashchainApp {
             }
             // Valid elements join the_set immediately (they join history only
             // at consolidation).
-            let g = self.core.extract_epoch_candidates(&batch.elements, validate, ctx);
+            let g = self
+                .core
+                .extract_epoch_candidates(&batch.elements, validate, ctx);
             for e in &g {
                 self.core.state.insert(e.id);
             }

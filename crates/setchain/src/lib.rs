@@ -26,6 +26,26 @@
 //! deterministic [`setchain-simnet`](setchain_simnet) simulator. The
 //! `setchain-workload` crate builds full deployments (servers + injection
 //! clients + metrics) on top of this crate.
+//!
+//! # Example
+//!
+//! Epoch bookkeeping through the public state API:
+//!
+//! ```
+//! use setchain::{Algorithm, Element, ElementId, SetchainState};
+//! use setchain_crypto::{KeyPair, ProcessId};
+//!
+//! let keys = KeyPair::derive(ProcessId::client(0), 42);
+//! let elements: Vec<Element> = (0..3)
+//!     .map(|i| Element::new(&keys, ElementId::new(0, i), 64, i))
+//!     .collect();
+//!
+//! let mut state = SetchainState::new();
+//! assert_eq!(state.record_epoch(elements), 1);
+//! assert!(state.check_consistent_sets());
+//! assert!(state.check_unique_epoch());
+//! assert_eq!(Algorithm::ALL.len(), 3);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

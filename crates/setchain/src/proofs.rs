@@ -7,7 +7,9 @@
 //! (Property 8, Valid-Epoch).
 
 use serde::{Deserialize, Serialize};
-use setchain_crypto::{sign, verify, Digest512, KeyPair, KeyRegistry, ProcessId, Sha512, Signature};
+use setchain_crypto::{
+    sign, verify, Digest512, KeyPair, KeyRegistry, ProcessId, Sha512, Signature,
+};
 
 use crate::element::Element;
 

@@ -108,7 +108,12 @@ impl ServerCore {
     }
 
     /// Handles `get` and `get_epoch` requests from clients.
-    pub fn handle_get(&mut self, from: ProcessId, msg: &SetchainMsg, ctx: &mut Ctx<'_, '_, '_>) -> bool {
+    pub fn handle_get(
+        &mut self,
+        from: ProcessId,
+        msg: &SetchainMsg,
+        ctx: &mut Ctx<'_, '_, '_>,
+    ) -> bool {
         match msg {
             SetchainMsg::Get { request_id } => {
                 self.stats.gets_served += 1;

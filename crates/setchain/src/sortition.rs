@@ -81,7 +81,11 @@ pub fn select_committee(
         .collect();
     // Sort by key descending; ties (astronomically unlikely) break by id so
     // the outcome stays deterministic.
-    keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("keys are finite").then(b.1.0.cmp(&a.1.0)));
+    keyed.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("keys are finite")
+            .then(b.1 .0.cmp(&a.1 .0))
+    });
     let mut committee: Vec<ProcessId> = keyed
         .into_iter()
         .take(committee_size)
@@ -151,7 +155,10 @@ mod tests {
         // Asking for more members than staked candidates returns all of them.
         let all = select_committee(&seed, &pool, 10);
         assert_eq!(all.len(), 5);
-        assert!(!all.contains(&ProcessId::server(5)), "zero stake never selected");
+        assert!(
+            !all.contains(&ProcessId::server(5)),
+            "zero stake never selected"
+        );
         // Empty pool.
         assert!(select_committee(&seed, &[], 4).is_empty());
         // Zero-sized committee.

@@ -165,7 +165,12 @@ impl SetchainTrace {
 
     /// Number of elements added no later than `t`.
     pub fn added_count_by(&self, t: SimTime) -> usize {
-        self.inner.lock().added.values().filter(|&&at| at <= t).count()
+        self.inner
+            .lock()
+            .added
+            .values()
+            .filter(|&&at| at <= t)
+            .count()
     }
 }
 

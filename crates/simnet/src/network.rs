@@ -84,7 +84,10 @@ pub struct Partition {
 
 impl Partition {
     /// Builds a partition separating `side_a` from `side_b`.
-    pub fn between(side_a: impl IntoIterator<Item = ProcessId>, side_b: impl IntoIterator<Item = ProcessId>) -> Self {
+    pub fn between(
+        side_a: impl IntoIterator<Item = ProcessId>,
+        side_b: impl IntoIterator<Item = ProcessId>,
+    ) -> Self {
         Partition {
             side_a: side_a.into_iter().collect(),
             side_b: side_b.into_iter().collect(),
@@ -214,7 +217,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn ids() -> (ProcessId, ProcessId, ProcessId) {
-        (ProcessId::server(0), ProcessId::server(1), ProcessId::server(2))
+        (
+            ProcessId::server(0),
+            ProcessId::server(1),
+            ProcessId::server(2),
+        )
     }
 
     #[test]
@@ -237,9 +244,13 @@ mod tests {
         let mut fast = Network::new(NetworkConfig::lan());
         let cfgd = NetworkConfig::lan().with_extra_delay_ms(100);
         let mut slow = Network::new(cfgd);
-        let t_fast = fast.delivery_time(&mut rng, SimTime::ZERO, a, b, 10).unwrap();
+        let t_fast = fast
+            .delivery_time(&mut rng, SimTime::ZERO, a, b, 10)
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        let t_slow = slow.delivery_time(&mut rng, SimTime::ZERO, a, b, 10).unwrap();
+        let t_slow = slow
+            .delivery_time(&mut rng, SimTime::ZERO, a, b, 10)
+            .unwrap();
         assert_eq!((t_slow - t_fast).as_millis(), 100);
     }
 
@@ -250,7 +261,9 @@ mod tests {
         let mut net = Network::new(cfg);
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..10 {
-            assert!(net.delivery_time(&mut rng, SimTime::ZERO, a, a, 10).is_some());
+            assert!(net
+                .delivery_time(&mut rng, SimTime::ZERO, a, a, 10)
+                .is_some());
         }
         assert_eq!(net.dropped(), 0);
     }
@@ -261,7 +274,9 @@ mod tests {
         let mut net = Network::new(NetworkConfig::lan().with_loss_rate(1.0));
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..10 {
-            assert!(net.delivery_time(&mut rng, SimTime::ZERO, a, b, 10).is_none());
+            assert!(net
+                .delivery_time(&mut rng, SimTime::ZERO, a, b, 10)
+                .is_none());
         }
         assert_eq!(net.dropped(), 10);
     }
@@ -272,12 +287,20 @@ mod tests {
         let mut net = Network::new(NetworkConfig::lan());
         let mut rng = StdRng::seed_from_u64(4);
         net.add_partition(Partition::between([a], [b]));
-        assert!(net.delivery_time(&mut rng, SimTime::ZERO, a, b, 10).is_none());
-        assert!(net.delivery_time(&mut rng, SimTime::ZERO, b, a, 10).is_none());
+        assert!(net
+            .delivery_time(&mut rng, SimTime::ZERO, a, b, 10)
+            .is_none());
+        assert!(net
+            .delivery_time(&mut rng, SimTime::ZERO, b, a, 10)
+            .is_none());
         // Unrelated pair unaffected.
-        assert!(net.delivery_time(&mut rng, SimTime::ZERO, a, c, 10).is_some());
+        assert!(net
+            .delivery_time(&mut rng, SimTime::ZERO, a, c, 10)
+            .is_some());
         net.heal_all_partitions();
-        assert!(net.delivery_time(&mut rng, SimTime::ZERO, a, b, 10).is_some());
+        assert!(net
+            .delivery_time(&mut rng, SimTime::ZERO, a, b, 10)
+            .is_some());
     }
 
     #[test]

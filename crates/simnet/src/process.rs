@@ -28,8 +28,14 @@ pub trait Wire: Clone + Debug + Send + 'static {
 /// handler invocation and applied by the scheduler afterwards.
 #[derive(Debug)]
 pub(crate) enum Action<M> {
-    Send { to: ProcessId, msg: M },
-    SetTimer { delay: SimDuration, token: TimerToken },
+    Send {
+        to: ProcessId,
+        msg: M,
+    },
+    SetTimer {
+        delay: SimDuration,
+        token: TimerToken,
+    },
 }
 
 /// Execution context handed to a process while it handles an event.
@@ -118,8 +124,10 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
+    // The payload is never read; it exists so the test message has a body
+    // like a real wire message.
     #[derive(Clone, Debug)]
-    struct Ping(u32);
+    struct Ping(#[allow(dead_code)] u32);
 
     impl Wire for Ping {
         fn wire_size(&self) -> usize {

@@ -46,8 +46,15 @@ pub enum RunOutcome {
 }
 
 enum EventKind<M> {
-    Deliver { from: ProcessId, to: ProcessId, msg: M },
-    Timer { node: ProcessId, token: TimerToken },
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+    },
+    Timer {
+        node: ProcessId,
+        token: TimerToken,
+    },
 }
 
 struct Event<M> {
@@ -116,7 +123,10 @@ impl<M: Wire> Simulation<M> {
     /// Registers a process. Panics if the id is already taken or if the
     /// simulation has already started.
     pub fn add_process(&mut self, id: ProcessId, process: Box<dyn Process<M>>) {
-        assert!(!self.started, "cannot add processes after the simulation started");
+        assert!(
+            !self.started,
+            "cannot add processes after the simulation started"
+        );
         let prev = self.processes.insert(
             id,
             Slot {
@@ -231,16 +241,18 @@ impl<M: Wire> Simulation<M> {
             ..
         } = ctx;
         if !cpu_consumed.is_zero() {
-            let base = if slot.busy_until > now { slot.busy_until } else { now };
+            let base = if slot.busy_until > now {
+                slot.busy_until
+            } else {
+                now
+            };
             slot.busy_until = base + cpu_consumed;
         }
         for action in actions {
             match action {
                 Action::Send { to, msg } => {
                     let size = msg.wire_size();
-                    if let Some(at) =
-                        self.network.delivery_time(&mut self.rng, now, id, to, size)
-                    {
+                    if let Some(at) = self.network.delivery_time(&mut self.rng, now, id, to, size) {
                         self.push(at, EventKind::Deliver { from: id, to, msg });
                     }
                 }
@@ -326,7 +338,9 @@ mod tests {
     #[derive(Clone, Debug)]
     enum Msg {
         Ping(u64),
-        Pong(u64),
+        // The payload is never read; it mirrors Ping so both directions have
+        // a realistic body.
+        Pong(#[allow(dead_code)] u64),
         Big(usize),
     }
 
@@ -462,7 +476,11 @@ mod tests {
             let mut sim = ping_pong_sim(seed, 50, SimDuration::from_micros(30));
             sim.run_until_quiescent(SimTime::from_secs(10));
             let pinger: &Pinger = sim.process(ProcessId::server(0)).unwrap();
-            (pinger.pongs_received, pinger.last_pong_at, sim.events_processed())
+            (
+                pinger.pongs_received,
+                pinger.last_pong_at,
+                sim.events_processed(),
+            )
         };
         assert_eq!(run(7), run(7));
         // Different seeds give different schedules (jitter differs).
@@ -614,7 +632,10 @@ mod tests {
         }
         let mut sim: Simulation<Msg> = Simulation::new(SimulationConfig::default());
         sim.add_process(ProcessId::server(0), Box::new(Sender));
-        sim.add_process(ProcessId::server(1), Box::new(Receiver { arrivals: vec![] }));
+        sim.add_process(
+            ProcessId::server(1),
+            Box::new(Receiver { arrivals: vec![] }),
+        );
         sim.run_until_quiescent(SimTime::from_secs(5));
         let rx: &Receiver = sim.process(ProcessId::server(1)).unwrap();
         assert_eq!(rx.arrivals.len(), 2);

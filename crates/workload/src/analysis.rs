@@ -136,8 +136,16 @@ mod tests {
         // Paper: T_c[c=100] ≈ 2 497 el/s, T_c[c=500] ≈ 3 330 el/s.
         let c100 = AnalysisParams::default().with_collector(100);
         let c500 = AnalysisParams::default().with_collector(500);
-        assert!(close(c100.compresschain(), 2_497.0, 0.01), "{}", c100.compresschain());
-        assert!(close(c500.compresschain(), 3_330.0, 0.01), "{}", c500.compresschain());
+        assert!(
+            close(c100.compresschain(), 2_497.0, 0.01),
+            "{}",
+            c100.compresschain()
+        );
+        assert!(
+            close(c500.compresschain(), 3_330.0, 0.01),
+            "{}",
+            c500.compresschain()
+        );
     }
 
     #[test]
@@ -145,8 +153,16 @@ mod tests {
         // Paper: T_h[c=100] ≈ 27 157 el/s, T_h[c=500] ≈ 147 857 el/s.
         let c100 = AnalysisParams::default().with_collector(100);
         let c500 = AnalysisParams::default().with_collector(500);
-        assert!(close(c100.hashchain(), 27_157.0, 0.01), "{}", c100.hashchain());
-        assert!(close(c500.hashchain(), 147_857.0, 0.01), "{}", c500.hashchain());
+        assert!(
+            close(c100.hashchain(), 27_157.0, 0.01),
+            "{}",
+            c100.hashchain()
+        );
+        assert!(
+            close(c500.hashchain(), 147_857.0, 0.01),
+            "{}",
+            c500.hashchain()
+        );
     }
 
     #[test]
@@ -192,8 +208,12 @@ mod tests {
 
     #[test]
     fn more_servers_reduce_hashchain_throughput() {
-        let p4 = AnalysisParams::default().with_collector(500).with_servers(4);
-        let p10 = AnalysisParams::default().with_collector(500).with_servers(10);
+        let p4 = AnalysisParams::default()
+            .with_collector(500)
+            .with_servers(4);
+        let p10 = AnalysisParams::default()
+            .with_collector(500)
+            .with_servers(10);
         assert!(p4.hashchain() > p10.hashchain());
     }
 }

@@ -111,8 +111,8 @@ impl Deployment {
             LedgerTrace::disabled()
         };
 
-        let mut setchain_config = SetchainConfig::new(n)
-            .with_collector_limit(scenario.collector_limit);
+        let mut setchain_config =
+            SetchainConfig::new(n).with_collector_limit(scenario.collector_limit);
         setchain_config.collector_timeout = scenario.collector_timeout();
         if let Some(k) = scenario.designated_signers {
             setchain_config = setchain_config.with_designated_signers(k);
@@ -239,8 +239,11 @@ impl Deployment {
         let injection_end = SimTime::from_secs(scenario.injection_secs);
         for i in 0..n {
             let client_id = ProcessId::client(i);
-            let workload =
-                ArbitrumWorkload::for_client(&registry, client_id, scenario.seed ^ (i as u64) << 17);
+            let workload = ArbitrumWorkload::for_client(
+                &registry,
+                client_id,
+                scenario.seed ^ (i as u64) << 17,
+            );
             let driver = ClientDriver::new(
                 ProcessId::server(i),
                 workload,
@@ -266,7 +269,9 @@ impl Deployment {
         let id = ProcessId::server(i);
         match self.scenario.algorithm {
             Algorithm::Vanilla => ServerHandle::Vanilla(
-                self.sim.process::<LedgerNode<VanillaApp>>(id).expect("server exists"),
+                self.sim
+                    .process::<LedgerNode<VanillaApp>>(id)
+                    .expect("server exists"),
             ),
             Algorithm::Compresschain => ServerHandle::Compresschain(
                 self.sim

@@ -124,7 +124,9 @@ mod tests {
             (350.0..1100.0).contains(&std),
             "σ {std:.1} far from the paper's 753.5"
         );
-        assert!(elements.iter().all(|e| e.size >= MIN_SIZE && e.size <= MAX_SIZE));
+        assert!(elements
+            .iter()
+            .all(|e| e.size >= MIN_SIZE && e.size <= MAX_SIZE));
     }
 
     #[test]

@@ -18,6 +18,25 @@
 //!   percentiles and the per-stage latency CDF of Fig. 4.
 //! * [`analysis`] — the analytical throughput model of Appendix D.
 //! * [`sweep`] — runs independent scenarios across OS threads.
+//!
+//! # Example
+//!
+//! Describe a deployment and query the analytical model:
+//!
+//! ```
+//! use setchain::Algorithm;
+//! use setchain_workload::{analytical_throughput, AnalysisParams, Scenario};
+//!
+//! let scenario = Scenario::base(Algorithm::Hashchain).with_servers(10);
+//! assert_eq!(scenario.setchain_f(), 4); // f = ⌊(n−1)/2⌋
+//!
+//! // Appendix D ranks the algorithms: hashchain > compresschain > vanilla.
+//! let params = AnalysisParams::default();
+//! assert!(analytical_throughput(Algorithm::Hashchain, &params)
+//!     > analytical_throughput(Algorithm::Compresschain, &params));
+//! assert!(analytical_throughput(Algorithm::Compresschain, &params)
+//!     > analytical_throughput(Algorithm::Vanilla, &params));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,7 +50,7 @@ pub mod runner;
 pub mod scenario;
 pub mod sweep;
 
-pub use analysis::{AnalysisParams, analytical_throughput};
+pub use analysis::{analytical_throughput, AnalysisParams};
 pub use deploy::{Deployment, ServerHandle};
 pub use driver::{ClientDriver, RequestClient};
 pub use generator::ArbitrumWorkload;

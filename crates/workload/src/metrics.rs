@@ -156,12 +156,7 @@ pub struct StageLatencies {
 impl StageLatencies {
     /// Joins the Setchain trace with the ledger trace. `f` is the Setchain
     /// fault bound and `n` the number of servers.
-    pub fn compute(
-        trace: &SetchainTrace,
-        ledger_trace: &LedgerTrace,
-        f: usize,
-        n: usize,
-    ) -> Self {
+    pub fn compute(trace: &SetchainTrace, ledger_trace: &LedgerTrace, f: usize, n: usize) -> Self {
         let records: Vec<ElementRecord> = trace.element_records();
         let mut samples = Vec::with_capacity(records.len());
         for r in &records {
@@ -245,7 +240,11 @@ mod tests {
         for i in 0..100u64 {
             trace.record_add(id(i), t(i * 100));
             trace.record_epoch_assignment(id(i), i + 1, t(i * 100 + 10));
-            let commit = if i < 50 { t(i * 100 + 500) } else { SimTime::from_secs(80) };
+            let commit = if i < 50 {
+                t(i * 100 + 500)
+            } else {
+                SimTime::from_secs(80)
+            };
             trace.record_epoch_commit(i + 1, commit);
         }
         let eff = Efficiency::compute(&trace);
@@ -294,8 +293,16 @@ mod tests {
                     added + setchain_simnet::SimDuration::from_millis(10 * (v as u64 + 1)),
                 );
             }
-            ledger.record_commit(TxId(i as u128), 1, added + setchain_simnet::SimDuration::from_millis(1_000));
-            trace.record_epoch_assignment(id(i), 1, added + setchain_simnet::SimDuration::from_millis(1_000));
+            ledger.record_commit(
+                TxId(i as u128),
+                1,
+                added + setchain_simnet::SimDuration::from_millis(1_000),
+            );
+            trace.record_epoch_assignment(
+                id(i),
+                1,
+                added + setchain_simnet::SimDuration::from_millis(1_000),
+            );
         }
         trace.record_epoch_commit(1, t(5_000));
         let stages = StageLatencies::compute(&trace, &ledger, 1, n);

@@ -164,6 +164,9 @@ mod tests {
             .with_max_run_secs(20)
             .with_seed(14);
         let result = run_scenario(&scenario);
-        assert!(result.final_efficiency() < 0.9, "vanilla should be stressed");
+        assert!(
+            result.final_efficiency() < 0.9,
+            "vanilla should be stressed"
+        );
     }
 }

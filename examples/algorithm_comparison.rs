@@ -44,8 +44,6 @@ fn main() {
             analytical
         );
     }
-    println!(
-        "\nExpected ordering (paper): Hashchain > Compresschain > Vanilla, with Vanilla and"
-    );
+    println!("\nExpected ordering (paper): Hashchain > Compresschain > Vanilla, with Vanilla and");
     println!("Compresschain saturating well below the sending rate and Hashchain keeping up.");
 }

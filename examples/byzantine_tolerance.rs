@@ -42,7 +42,10 @@ fn main() {
 
     let added = deployment.trace.added_count();
     let committed = deployment.trace.committed_count_by(SimTime::from_secs(50));
-    println!("\nElements added: {added}, committed with >= f+1 = {} proofs: {committed}", f + 1);
+    println!(
+        "\nElements added: {added}, committed with >= f+1 = {} proofs: {committed}",
+        f + 1
+    );
 
     // The correct servers (0-3) agree on every common epoch.
     let reference = deployment.server(0);

@@ -38,7 +38,14 @@ fn main() {
     // A graduating class of 40 diplomas. A real deployment would store the
     // hash of the credential document; here the content seed stands in for it.
     let diplomas: Vec<Element> = (0..40)
-        .map(|i| Element::new(&university_keys, ElementId::new(200, i), 620, 0xACAD_0000 + i))
+        .map(|i| {
+            Element::new(
+                &university_keys,
+                ElementId::new(200, i),
+                620,
+                0xACAD_0000 + i,
+            )
+        })
         .collect();
     println!("Registering {} diplomas through server 1 …", diplomas.len());
 
@@ -70,7 +77,9 @@ fn main() {
             },
         ));
     }
-    deployment.sim.add_process(university, Box::new(RequestClient::new(script)));
+    deployment
+        .sim
+        .add_process(university, Box::new(RequestClient::new(script)));
 
     deployment.sim.run_until(SimTime::from_secs(32));
 
@@ -99,9 +108,14 @@ fn main() {
                 "Diploma {:?} found in epoch {epoch} ({elements} records, {proofs} proofs): {verdict:?}",
                 wanted.id
             );
-            println!("A single server response was enough: f + 1 = {} proofs bound the epoch.", f + 1);
+            println!(
+                "A single server response was enough: f + 1 = {} proofs bound the epoch.",
+                f + 1
+            );
         }
-        None => println!("Diploma not yet in a retrievable epoch — the employer should retry later."),
+        None => {
+            println!("Diploma not yet in a retrievable epoch — the employer should retry later.")
+        }
     }
 
     // Registry-wide summary.

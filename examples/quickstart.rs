@@ -25,7 +25,10 @@ fn main() {
     let mut deployment = Deployment::build(&scenario);
     let n = scenario.servers;
     let f = scenario.setchain_f();
-    println!("Deployment: {n} Hashchain servers, f = {f}, collector = {}", scenario.collector_limit);
+    println!(
+        "Deployment: {n} Hashchain servers, f = {f}, collector = {}",
+        scenario.collector_limit
+    );
 
     // 2. Create our own client identity and register it in the PKI.
     let me = ProcessId::client(100);
@@ -58,7 +61,9 @@ fn main() {
             epoch: 1,
         },
     ));
-    deployment.sim.add_process(me, Box::new(RequestClient::new(script)));
+    deployment
+        .sim
+        .add_process(me, Box::new(RequestClient::new(script)));
 
     // 4. Run the simulation.
     deployment.sim.run_until(SimTime::from_secs(25));
@@ -86,7 +91,10 @@ fn main() {
                     proofs.len(),
                     verdict
                 );
-                let mine = elements.iter().filter(|e| my_elements.iter().any(|m| m.id == e.id)).count();
+                let mine = elements
+                    .iter()
+                    .filter(|e| my_elements.iter().any(|m| m.id == e.id))
+                    .count();
                 println!("        {mine} of my 3 elements are in this verified epoch");
             }
             _ => {}

@@ -40,11 +40,8 @@ fn correct_servers_consistent(deployment: &Deployment, correct: &[usize]) {
 #[test]
 fn hashchain_tolerates_a_server_refusing_batch_service() {
     let scenario = scenario(Algorithm::Hashchain, 4, 1);
-    let deployment = Deployment::build_with_faults(
-        &scenario,
-        &[(3, ServerByzMode::RefuseBatchService)],
-        &[],
-    );
+    let deployment =
+        Deployment::build_with_faults(&scenario, &[(3, ServerByzMode::RefuseBatchService)], &[]);
     let deployment = run(deployment, 60);
     let records = deployment.trace.element_records();
     assert!(records.len() > 1_000);
@@ -52,8 +49,14 @@ fn hashchain_tolerates_a_server_refusing_batch_service() {
     // added through the refusing server cannot: only it holds their batch
     // contents, so no other server will sign those hashes — the client's
     // remedy (per the paper) is to retry with a different server.
-    let via_correct: Vec<_> = records.iter().filter(|r| r.id.client_index() != 3).collect();
-    let committed_correct = via_correct.iter().filter(|r| r.committed_at.is_some()).count();
+    let via_correct: Vec<_> = records
+        .iter()
+        .filter(|r| r.id.client_index() != 3)
+        .collect();
+    let committed_correct = via_correct
+        .iter()
+        .filter(|r| r.committed_at.is_some())
+        .count();
     assert!(
         committed_correct as f64 >= 0.90 * via_correct.len() as f64,
         "commits despite the refusing server: {committed_correct}/{}",
@@ -67,7 +70,11 @@ fn hashchain_tolerates_a_server_refusing_batch_service() {
 
 #[test]
 fn forged_epoch_proofs_are_never_counted() {
-    for algorithm in [Algorithm::Vanilla, Algorithm::Compresschain, Algorithm::Hashchain] {
+    for algorithm in [
+        Algorithm::Vanilla,
+        Algorithm::Compresschain,
+        Algorithm::Hashchain,
+    ] {
         let scenario = scenario(algorithm, 4, 2);
         let deployment =
             Deployment::build_with_faults(&scenario, &[(2, ServerByzMode::ForgeProofs)], &[]);
@@ -96,11 +103,8 @@ fn forged_epoch_proofs_are_never_counted() {
 #[test]
 fn invalid_elements_injected_by_a_server_never_enter_epochs() {
     let scenario = scenario(Algorithm::Vanilla, 4, 3);
-    let deployment = Deployment::build_with_faults(
-        &scenario,
-        &[(1, ServerByzMode::InjectInvalidElements)],
-        &[],
-    );
+    let deployment =
+        Deployment::build_with_faults(&scenario, &[(1, ServerByzMode::InjectInvalidElements)], &[]);
     let deployment = run(deployment, 45);
     // Every element in every epoch of a correct server must be a client-added
     // element recorded by the trace (forged ones are not in the trace).
@@ -123,20 +127,25 @@ fn invalid_elements_injected_by_a_server_never_enter_epochs() {
             checked += 1;
         }
     }
-    assert!(checked > 500, "epochs actually contained elements ({checked})");
+    assert!(
+        checked > 500,
+        "epochs actually contained elements ({checked})"
+    );
 }
 
 #[test]
 fn silent_ledger_validator_does_not_stop_the_setchain() {
     let scenario = scenario(Algorithm::Compresschain, 4, 4);
-    let deployment =
-        Deployment::build_with_faults(&scenario, &[], &[(3, ByzMode::Silent)]);
+    let deployment = Deployment::build_with_faults(&scenario, &[], &[(3, ByzMode::Silent)]);
     let deployment = run(deployment, 75);
     let records = deployment.trace.element_records();
     assert!(records.len() > 1_000);
     // A crashed validator loses the requests of the client talking to it; the
     // elements added through the three live servers all commit.
-    let via_live: Vec<_> = records.iter().filter(|r| r.id.client_index() != 3).collect();
+    let via_live: Vec<_> = records
+        .iter()
+        .filter(|r| r.id.client_index() != 3)
+        .collect();
     let committed_live = via_live.iter().filter(|r| r.committed_at.is_some()).count();
     assert!(
         committed_live as f64 >= 0.9 * via_live.len() as f64,
@@ -149,11 +158,8 @@ fn silent_ledger_validator_does_not_stop_the_setchain() {
 #[test]
 fn equivocating_proposer_does_not_split_the_setchain() {
     let scenario = scenario(Algorithm::Hashchain, 4, 5);
-    let deployment = Deployment::build_with_faults(
-        &scenario,
-        &[],
-        &[(1, ByzMode::EquivocatingProposer)],
-    );
+    let deployment =
+        Deployment::build_with_faults(&scenario, &[], &[(1, ByzMode::EquivocatingProposer)]);
     let deployment = run(deployment, 75);
     correct_servers_consistent(&deployment, &[0, 2, 3]);
     let committed = deployment.trace.committed_count_by(SimTime::from_secs(75));
@@ -163,26 +169,31 @@ fn equivocating_proposer_does_not_split_the_setchain() {
 #[test]
 fn a_server_dropping_client_adds_only_hurts_its_own_clients() {
     let scenario = scenario(Algorithm::Hashchain, 4, 6);
-    let deployment = Deployment::build_with_faults(
-        &scenario,
-        &[(2, ServerByzMode::DropClientAdds)],
-        &[],
-    );
+    let deployment =
+        Deployment::build_with_faults(&scenario, &[(2, ServerByzMode::DropClientAdds)], &[]);
     let deployment = run(deployment, 60);
     // Elements sent to server 2's local client are lost (the paper's remedy
     // is client retry with another server), but everything sent to the other
     // three servers commits.
     let records = deployment.trace.element_records();
-    let (to_faulty, to_correct): (Vec<&setchain::trace::ElementRecord>, Vec<&setchain::trace::ElementRecord>) =
-        records.iter().partition(|r| r.id.client_index() == 2);
+    let (to_faulty, to_correct): (
+        Vec<&setchain::trace::ElementRecord>,
+        Vec<&setchain::trace::ElementRecord>,
+    ) = records.iter().partition(|r| r.id.client_index() == 2);
     assert!(!to_faulty.is_empty() && !to_correct.is_empty());
-    let committed_correct = to_correct.iter().filter(|r| r.committed_at.is_some()).count();
+    let committed_correct = to_correct
+        .iter()
+        .filter(|r| r.committed_at.is_some())
+        .count();
     assert!(
         committed_correct as f64 >= 0.9 * to_correct.len() as f64,
         "{committed_correct}/{} elements via correct servers committed",
         to_correct.len()
     );
-    let committed_faulty = to_faulty.iter().filter(|r| r.committed_at.is_some()).count();
+    let committed_faulty = to_faulty
+        .iter()
+        .filter(|r| r.committed_at.is_some())
+        .count();
     assert_eq!(committed_faulty, 0, "dropped adds must not commit");
 }
 

@@ -41,11 +41,7 @@ fn replicas_of_different_servers_compute_identical_state_roots() {
                 chain
             })
             .collect();
-        let common = replicas
-            .iter()
-            .map(|c| c.executed_epochs())
-            .min()
-            .unwrap();
+        let common = replicas.iter().map(|c| c.executed_epochs()).min().unwrap();
         assert!(common > 0, "{algorithm}: at least one epoch executed");
         for epoch in 1..=common {
             let root = replicas[0].summary(epoch).unwrap().state_root;
@@ -73,8 +69,11 @@ fn every_epoch_element_gets_a_receipt() {
     let deployment = run(Algorithm::Hashchain, 62);
     let server = deployment.server(0);
     let state = server.state();
-    let mut chain =
-        ExecutedChain::for_clients(ExecutionConfig::default(), GENESIS_ACCOUNTS, GENESIS_BALANCE);
+    let mut chain = ExecutedChain::for_clients(
+        ExecutionConfig::default(),
+        GENESIS_ACCOUNTS,
+        GENESIS_BALANCE,
+    );
     chain.sync_from_setchain(state);
     let epoch_elements: usize = (1..=state.epoch())
         .map(|e| state.epoch_elements(e).unwrap().len())
@@ -98,12 +97,18 @@ fn incremental_sync_matches_one_shot_sync() {
     let deployment = run(Algorithm::Compresschain, 63);
     let server = deployment.server(1);
     let state = server.state();
-    let mut one_shot =
-        ExecutedChain::for_clients(ExecutionConfig::default(), GENESIS_ACCOUNTS, GENESIS_BALANCE);
+    let mut one_shot = ExecutedChain::for_clients(
+        ExecutionConfig::default(),
+        GENESIS_ACCOUNTS,
+        GENESIS_BALANCE,
+    );
     one_shot.sync_from_setchain(state);
     // Incremental: execute epoch by epoch via the element API.
-    let mut incremental =
-        ExecutedChain::for_clients(ExecutionConfig::default(), GENESIS_ACCOUNTS, GENESIS_BALANCE);
+    let mut incremental = ExecutedChain::for_clients(
+        ExecutionConfig::default(),
+        GENESIS_ACCOUNTS,
+        GENESIS_BALANCE,
+    );
     for epoch in 1..=state.epoch() {
         let elements = state.epoch_elements(epoch).unwrap();
         let txs: Vec<Transaction> = elements.iter().map(Transaction::from_element).collect();
@@ -125,8 +130,11 @@ fn executed_chain_follows_a_server_as_it_advances() {
         .with_max_run_secs(45)
         .with_seed(64);
     let mut deployment = Deployment::build(&scenario);
-    let mut follower =
-        ExecutedChain::for_clients(ExecutionConfig::default(), GENESIS_ACCOUNTS, GENESIS_BALANCE);
+    let mut follower = ExecutedChain::for_clients(
+        ExecutionConfig::default(),
+        GENESIS_ACCOUNTS,
+        GENESIS_BALANCE,
+    );
 
     deployment.sim.run_until(SimTime::from_secs(10));
     let first = follower.sync_from_setchain(deployment.server(0).state());
@@ -134,8 +142,11 @@ fn executed_chain_follows_a_server_as_it_advances() {
     let second = follower.sync_from_setchain(deployment.server(0).state());
     assert!(first > 0 && second > 0, "both syncs made progress");
 
-    let mut fresh =
-        ExecutedChain::for_clients(ExecutionConfig::default(), GENESIS_ACCOUNTS, GENESIS_BALANCE);
+    let mut fresh = ExecutedChain::for_clients(
+        ExecutionConfig::default(),
+        GENESIS_ACCOUNTS,
+        GENESIS_BALANCE,
+    );
     fresh.sync_from_setchain(deployment.server(0).state());
     assert_eq!(follower.executed_epochs(), fresh.executed_epochs());
     assert_eq!(follower.state_root(), fresh.state_root());

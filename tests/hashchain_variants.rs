@@ -82,7 +82,10 @@ fn designated_signers_reduce_hash_batch_signing() {
         .map(|e| d0.state().proofs_for(e).len())
         .max()
         .unwrap_or(0);
-    assert!(baseline_proofs == 10, "baseline max proofs {baseline_proofs}");
+    assert!(
+        baseline_proofs == 10,
+        "baseline max proofs {baseline_proofs}"
+    );
     assert!(
         variant_proofs <= 9,
         "variant must not collect more proofs than designated signers ({variant_proofs})"

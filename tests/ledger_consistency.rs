@@ -26,7 +26,10 @@ fn ledger_notifies_all_servers_consistently() {
         let heights: Vec<u64> = (0..4).map(|i| deployment.server(i).height()).collect();
         let min = *heights.iter().min().unwrap();
         let max = *heights.iter().max().unwrap();
-        assert!(min > 5, "{algorithm}: blocks were produced (heights {heights:?})");
+        assert!(
+            min > 5,
+            "{algorithm}: blocks were produced (heights {heights:?})"
+        );
         assert!(
             max - min <= 1,
             "{algorithm}: correct servers stay within one height of each other ({heights:?})"
@@ -47,7 +50,11 @@ fn ledger_add_eventually_notifies_and_commits() {
         .with_seed(51);
     let result = run_scenario(&scenario);
     assert!(result.added > 1_000);
-    assert!(result.final_efficiency() > 0.95, "eff={}", result.final_efficiency());
+    assert!(
+        result.final_efficiency() > 0.95,
+        "eff={}",
+        result.final_efficiency()
+    );
     assert!(result.all_committed_at.is_some());
 }
 
@@ -69,7 +76,9 @@ fn commit_latency_is_a_few_seconds_at_low_rate() {
         let median = stages
             .quantile(|s| s.committed, 0.5)
             .expect("median commit latency");
-        let p90 = stages.quantile(|s| s.committed, 0.9).expect("p90 commit latency");
+        let p90 = stages
+            .quantile(|s| s.committed, 0.9)
+            .expect("p90 commit latency");
         assert!(
             median < 8.0,
             "{algorithm}: median commit latency {median:.1}s unexpectedly high"
@@ -110,7 +119,11 @@ fn throughput_ordering_matches_the_paper() {
             .with_max_run_secs(40)
             .with_seed(53);
         let result = run_scenario(&scenario);
-        measured.push((algorithm, result.average_throughput(injection), sustained(&result)));
+        measured.push((
+            algorithm,
+            result.average_throughput(injection),
+            sustained(&result),
+        ));
     }
     let get = |a: Algorithm| *measured.iter().find(|(x, _, _)| *x == a).unwrap();
     let (_, vanilla, vanilla_sustained) = get(Algorithm::Vanilla);
@@ -175,7 +188,11 @@ fn network_delay_reduces_but_does_not_break_efficiency() {
     let fast = run_with_delay(0);
     let slow = run_with_delay(100);
     assert!(fast.final_efficiency() > 0.95);
-    assert!(slow.final_efficiency() > 0.9, "eff={}", slow.final_efficiency());
+    assert!(
+        slow.final_efficiency() > 0.9,
+        "eff={}",
+        slow.final_efficiency()
+    );
     // Commits finish no earlier with the extra delay.
     let fast_done = fast.all_committed_at.expect("fast run finished");
     let slow_done = slow.all_committed_at.expect("slow run finished");

@@ -36,7 +36,13 @@ fn end_to_end(algorithm: Algorithm, seed: u64) {
         .collect();
     let mut script: Vec<(SimTime, ProcessId, SetchainMsg)> = my_elements
         .iter()
-        .map(|e| (SimTime::from_millis(600), ProcessId::server(0), light.add(*e)))
+        .map(|e| {
+            (
+                SimTime::from_millis(600),
+                ProcessId::server(0),
+                light.add(*e),
+            )
+        })
         .collect();
     // Query a different server for a summary and for the first 20 epochs.
     script.push((SimTime::from_secs(25), ProcessId::server(2), light.get()));
@@ -47,7 +53,9 @@ fn end_to_end(algorithm: Algorithm, seed: u64) {
             light.get_epoch(epoch),
         ));
     }
-    deployment.sim.add_process(me, Box::new(RequestClient::new(script)));
+    deployment
+        .sim
+        .add_process(me, Box::new(RequestClient::new(script)));
     deployment.sim.run_until(SimTime::from_secs(32));
 
     let client: &RequestClient = deployment.sim.process(me).unwrap();
@@ -55,7 +63,11 @@ fn end_to_end(algorithm: Algorithm, seed: u64) {
     let mut verified_epochs = 0;
     let mut got_summary = false;
     for (_, from, response) in client.responses() {
-        assert_eq!(*from, ProcessId::server(2), "responses come from the queried server");
+        assert_eq!(
+            *from,
+            ProcessId::server(2),
+            "responses come from the queried server"
+        );
         if let SetchainMsg::GetResponse { snapshot, .. } = response {
             got_summary = true;
             assert!(snapshot.epoch > 0);
@@ -70,7 +82,10 @@ fn end_to_end(algorithm: Algorithm, seed: u64) {
         }
     }
     assert!(got_summary, "{algorithm}: get() summary received");
-    assert!(verified_epochs > 0, "{algorithm}: at least one epoch verified with f+1 proofs");
+    assert!(
+        verified_epochs > 0,
+        "{algorithm}: at least one epoch verified with f+1 proofs"
+    );
     assert_eq!(
         confirmed.len(),
         3,
@@ -114,7 +129,8 @@ fn fabricated_epoch_response_from_a_byzantine_server_is_rejected() {
 
     // One genuine signature from the attacker plus forged ones in other
     // servers' names.
-    let mut proofs: Vec<EpochProof> = vec![setchain::make_epoch_proof(&attacker_keys, 1, &fabricated)];
+    let mut proofs: Vec<EpochProof> =
+        vec![setchain::make_epoch_proof(&attacker_keys, 1, &fabricated)];
     for i in 0..2 {
         let mut forged = proofs[0];
         forged.signer = ProcessId::server(i);
@@ -122,5 +138,8 @@ fn fabricated_epoch_response_from_a_byzantine_server_is_rejected() {
         proofs.push(forged);
     }
     let verdict = verify_epoch(&deployment.registry, n, f, 1, &fabricated, &proofs);
-    assert!(!verdict.is_verified(), "fabricated epoch must not verify: {verdict:?}");
+    assert!(
+        !verdict.is_verified(),
+        "fabricated epoch must not verify: {verdict:?}"
+    );
 }

@@ -1,0 +1,258 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `bench_function`/`bench_with_input`,
+//! `Throughput`, `BenchmarkId`) with a plain warmup-then-measure timing loop
+//! instead of criterion's statistical machinery. Each benchmark reports the
+//! mean wall-clock time per iteration and, when a throughput was declared,
+//! the derived rate.
+//!
+//! The point is to keep the bench harness compiling, runnable, and honest
+//! enough to catch order-of-magnitude regressions in CI smoke runs; serious
+//! measurement should swap in the real crate (one line in the workspace
+//! manifest).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent measuring each benchmark (after warmup).
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// Top-level harness handle; one per `criterion_group!` run.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        run_one(&id.to_string(), None, &mut f);
+    }
+}
+
+/// Declared work-per-iteration, used to derive a rate from the mean time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted and ignored: the shim sizes its sample by wall-clock budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored, like `sample_size`.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.throughput, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// `function/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs the measured routine.
+pub struct Bencher {
+    /// Total time spent inside `iter` bodies this batch.
+    elapsed: Duration,
+    /// Iterations the harness asks for in the current batch.
+    iterations: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, f: &mut F) {
+    // Warmup: grow the batch size until one batch costs ~the warmup budget.
+    let mut iterations: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iterations,
+        };
+        f(&mut b);
+        if b.elapsed >= WARMUP_BUDGET || iterations >= 1 << 20 {
+            break;
+        }
+        iterations *= 2;
+    }
+
+    // Measure: run batches until the measurement budget is spent. The batch
+    // cap (and the zero-elapsed break) bound the loop even if the closure
+    // never calls `b.iter`, which would otherwise contribute zero time per
+    // pass and spin forever.
+    let mut total = Duration::ZERO;
+    let mut count: u64 = 0;
+    for _ in 0..10_000 {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iterations,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        count += iterations;
+        if total >= MEASURE_BUDGET || b.elapsed.is_zero() {
+            break;
+        }
+    }
+
+    let mean = total.as_secs_f64() / count.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) => format!("  ({}/s)", human_bytes(bytes as f64 / mean)),
+        Some(Throughput::Elements(n)) => format!("  ({:.3e} elem/s)", n as f64 / mean),
+        None => String::new(),
+    };
+    println!("bench {label:<50} {:>12}/iter{rate}", human_time(mean));
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn human_bytes(rate: f64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut rate = rate;
+    let mut unit = 0;
+    while rate >= 1024.0 && unit < UNITS.len() - 1 {
+        rate /= 1024.0;
+        unit += 1;
+    }
+    format!("{rate:.2} {}", UNITS[unit])
+}
+
+/// `criterion_group!(name, bench_fn, ...)`: bundles bench functions into one
+/// callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)`: the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` (and cargo's harness probing) pass
+            // flags like --test/--list; a smoke-run of every benchmark is
+            // wrong there, so only benchmark on a bare invocation.
+            let bench_args: Vec<String> = std::env::args().skip(1).collect();
+            if bench_args.iter().any(|a| a == "--test" || a == "--list") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_runs_the_routine() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        let mut runs = 0u64;
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("counter", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn id_and_units_format() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(human_time(2.5), "2.500 s");
+        assert_eq!(human_time(2.5e-3), "2.500 ms");
+        assert_eq!(human_time(2.5e-7), "250.0 ns");
+        assert_eq!(human_bytes(2048.0), "2.00 KiB");
+    }
+}

@@ -1,0 +1,241 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use:
+//!
+//! - `proptest! { #[test] fn name(x in strategy, ...) { body } }`, with an
+//!   optional leading `#![proptest_config(ProptestConfig::with_cases(n))]`
+//! - integer-range strategies (`0u64..8`), tuple strategies, `any::<T>()`,
+//!   and `proptest::collection::vec(strategy, size_range)` (nestable)
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`
+//!
+//! Each test runs `cases` deterministic random cases (seeded per case index,
+//! so failures reproduce without a persistence file). Unlike real proptest
+//! there is **no shrinking**: a failure reports the case index and re-running
+//! the test deterministically replays it.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+pub mod prelude;
+
+/// How a `proptest!` block runs; only `cases` is configurable.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of random values of one type. Real proptest separates
+/// strategies from value trees to support shrinking; without shrinking a
+/// strategy is just a seeded generation function.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_range!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_strategy_for_tuple {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_for_tuple!(A / 0);
+impl_strategy_for_tuple!(A / 0, B / 1);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+
+/// Uniform "any value of T" strategy, via the shim rand's `Standard` trait.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// `any::<T>()`: arbitrary value of a primitive type.
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Drives the deterministic case loop for one property. Used by the
+/// `proptest!` macro expansion; not part of real proptest's public API.
+pub fn run_cases<F: FnMut(&mut StdRng)>(config: &ProptestConfig, mut f: F) {
+    for case in 0..config.cases {
+        // Distinct, deterministic seed per case index.
+        let mut rng = StdRng::seed_from_u64(
+            0x5e7c_4a11_0000_0000 ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "proptest shim: case {case} of {} failed (seeding is deterministic; \
+                 re-running the test reproduces it)",
+                config.cases
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// `proptest! { ... }`: defines `#[test]` functions whose arguments are drawn
+/// from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                $crate::run_cases(&__config, |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), __rng);)+
+                    $body
+                });
+            }
+        )+
+    };
+}
+
+/// `prop_assert!`: like `assert!` (the shim's case loop catches the panic to
+/// report the failing case index).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!`: like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!`: like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as proptest;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_are_honored(x in 3u64..10, y in 0u8..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(
+            pairs in proptest::collection::vec((0u32..5, 10u32..20), 0..50),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(pairs.len() < 50);
+            for (a, b) in &pairs {
+                prop_assert!(*a < 5 && (10..20).contains(b));
+            }
+            let _ = flag;
+        }
+
+        #[test]
+        fn nested_vecs(rows in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..8), 1..6)) {
+            prop_assert!(!rows.is_empty() && rows.len() < 6);
+            prop_assert!(rows.iter().all(|r| r.len() < 8));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first: Vec<u64> = Vec::new();
+        crate::run_cases(&crate::ProptestConfig::with_cases(5), |rng| {
+            first.push(crate::Strategy::generate(&(0u64..1000), rng));
+        });
+        let mut second: Vec<u64> = Vec::new();
+        crate::run_cases(&crate::ProptestConfig::with_cases(5), |rng| {
+            second.push(crate::Strategy::generate(&(0u64..1000), rng));
+        });
+        assert_eq!(first, second);
+        // Different cases draw different values.
+        assert!(first.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,5 @@
+//! The names `use proptest::prelude::*` is expected to bring in.
+
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, ProptestConfig, Strategy,
+};

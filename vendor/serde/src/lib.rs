@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container building this workspace has no route to a crates.io mirror,
+//! and the codebase only uses serde for `#[derive(Serialize, Deserialize)]`
+//! markers (nothing is actually serialized to a wire format — the simulator
+//! passes messages in-memory). The derives therefore expand to nothing; the
+//! `#[serde(...)]` field attributes are accepted and ignored.
+//!
+//! Swapping in the real crate is a one-line change in the workspace manifest
+//! and requires no source edits.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`. Accepts and ignores `#[serde(...)]` attrs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`. Accepts and ignores `#[serde(...)]` attrs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
