@@ -1,0 +1,34 @@
+//! Criterion bench over the end-to-end add→epoch pipeline: committed
+//! elements per wall-clock second through vanilla, compresschain and
+//! hashchain deployments. The same harness backs the `pipeline` binary that
+//! writes `BENCH_pr2.json`; this bench is the interactive view of it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use setchain_bench::pipeline::{run_pipeline, PipelineConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for (algorithm, batch) in setchain_bench::pipeline::grid() {
+        let config = PipelineConfig::quick(algorithm, batch);
+        // One warm run to learn the committed-element count, declared as the
+        // group throughput so the report shows adds/sec directly.
+        let probe = run_pipeline(&config);
+        group.throughput(Throughput::Elements(probe.committed.max(1)));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(config.label()),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let result = run_pipeline(config);
+                    assert!(result.committed > 0, "{} committed nothing", config.label());
+                    result.committed
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! End-to-end pipeline benchmark: wall-clock adds/sec through the three
+//! Setchain servers, with JSON output and a CI regression gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! pipeline [--quick] [--repeats N] [--out FILE] [--check-baseline FILE]
+//! ```
+//!
+//! * `--quick` — shorter simulated runs (CI smoke mode).
+//! * `--repeats N` — best-of-N per grid point (default 3; 1 in quick mode).
+//! * `--out FILE` — write the measured grid as JSON.
+//! * `--check-baseline FILE` — read a previously committed JSON (e.g.
+//!   `BENCH_pr2.json`) and exit non-zero if any grid point regressed more
+//!   than 20% versus its `after` entry.
+
+use std::process::ExitCode;
+
+use setchain_bench::pipeline::{grid, run_pipeline_best_of, PipelineConfig, PipelineResult};
+
+struct Args {
+    quick: bool,
+    repeats: usize,
+    out: Option<String>,
+    check_baseline: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        repeats: 0,
+        out: None,
+        check_baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--repeats" => {
+                args.repeats = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--repeats takes a positive integer");
+            }
+            "--out" => args.out = Some(it.next().expect("--out takes a path")),
+            "--check-baseline" => {
+                args.check_baseline = Some(it.next().expect("--check-baseline takes a path"))
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    if args.repeats == 0 {
+        args.repeats = if args.quick { 1 } else { 3 };
+    }
+    args
+}
+
+/// Extracts `"<label>": { ... "adds_per_sec": <f64> ... }` from the given
+/// section of a baseline JSON file without a JSON dependency: the file is
+/// machine-written by this binary, so a scan for the section key, then the
+/// label key, then the first `adds_per_sec` number after it is reliable.
+fn baseline_adds_per_sec(json: &str, section: &str, label: &str) -> Option<f64> {
+    let after = json.split(&format!("\"{section}\"")).nth(1)?;
+    let at = after.split(&format!("\"{label}\"")).nth(1)?;
+    let num = at.split("\"adds_per_sec\":").nth(1)?;
+    let num = num
+        .trim_start()
+        .split(|c: char| c == ',' || c == '}' || c.is_whitespace())
+        .next()?;
+    num.parse().ok()
+}
+
+fn json_entry(label: &str, r: &PipelineResult) -> String {
+    format!(
+        "    \"{label}\": {{ \"added\": {}, \"committed\": {}, \"wall_secs\": {:.3}, \"adds_per_sec\": {:.1} }}",
+        r.added,
+        r.committed,
+        r.wall.as_secs_f64(),
+        r.adds_per_sec
+    )
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    println!(
+        "pipeline bench ({} mode, best of {})",
+        if args.quick { "quick" } else { "standard" },
+        args.repeats
+    );
+    println!(
+        "{:<20} {:>9} {:>9} {:>9} {:>14}",
+        "grid point", "added", "committed", "wall(s)", "adds/sec (wall)"
+    );
+
+    let mut entries: Vec<(String, PipelineResult)> = Vec::new();
+    for (algorithm, batch) in grid() {
+        let config = if args.quick {
+            PipelineConfig::quick(algorithm, batch)
+        } else {
+            PipelineConfig::standard(algorithm, batch)
+        };
+        let result = run_pipeline_best_of(&config, args.repeats);
+        println!(
+            "{:<20} {:>9} {:>9} {:>9.2} {:>14.0}",
+            config.label(),
+            result.added,
+            result.committed,
+            result.wall.as_secs_f64(),
+            result.adds_per_sec
+        );
+        entries.push((config.label(), result));
+    }
+
+    // The section key matches the mode ("quick" vs "after"), so a file
+    // written by `--quick --out` is directly usable as the baseline for a
+    // later `--quick --check-baseline` — and the file contains the section
+    // token exactly once, which keeps the dependency-free scanner reliable.
+    let section = if args.quick { "quick" } else { "after" };
+    if let Some(path) = &args.out {
+        let body: Vec<String> = entries.iter().map(|(l, r)| json_entry(l, r)).collect();
+        let json = format!(
+            "{{\n  \"{}\": {{\n{}\n  }}\n}}\n",
+            section,
+            body.join(",\n")
+        );
+        std::fs::write(path, json).expect("write --out file");
+        println!("[written: {path}]");
+    }
+
+    if let Some(path) = &args.check_baseline {
+        let json = std::fs::read_to_string(path).expect("read baseline file");
+        // Compare like with like: quick-mode runs check against the
+        // baseline's committed quick-mode section, standard runs against
+        // the standard `after` section.
+        let mut failed = false;
+        for (label, result) in &entries {
+            let Some(base) = baseline_adds_per_sec(&json, section, label) else {
+                println!("baseline: no \"{section}\" entry for {label}, skipping");
+                continue;
+            };
+            let floor = 0.8 * base;
+            let ok = result.adds_per_sec >= floor;
+            println!(
+                "baseline check {label}: measured {:.0} vs committed {:.0} (floor {:.0}) -> {}",
+                result.adds_per_sec,
+                base,
+                floor,
+                if ok { "ok" } else { "REGRESSION" }
+            );
+            // CI runners are slower and noisier than the machine that wrote
+            // the committed baseline; the gate compares quick-mode runs
+            // against the committed quick-mode floor scaled by the 20%
+            // tolerance the acceptance criteria name.
+            if !ok {
+                failed = true;
+            }
+        }
+        if failed {
+            eprintln!("pipeline bench: adds/sec regressed >20% vs {path}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

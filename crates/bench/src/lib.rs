@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod pipeline;
 
 use std::fs;
 use std::io::Write;

@@ -1,0 +1,173 @@
+//! End-to-end add→epoch pipeline benchmark harness.
+//!
+//! Measures *wall-clock* adds/sec through a full simulated deployment: one
+//! client per server injects elements, the servers run the configured
+//! algorithm over the simulated ledger, and the metric is committed elements
+//! divided by the host time the simulation took to execute. Unlike the
+//! simulated throughput figures (which report simulated el/s and are
+//! insensitive to host performance), this harness measures how fast the
+//! *implementation* pushes elements through the hot path — broadcast fan-out,
+//! signature verification, digest computation — and is the basis for the
+//! `BENCH_pr2.json` perf baseline and the CI regression gate.
+
+use std::time::{Duration, Instant};
+
+use setchain::Algorithm;
+use setchain_simnet::SimTime;
+use setchain_workload::{Deployment, Scenario};
+
+/// Parameters of one pipeline measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Algorithm under test.
+    pub algorithm: Algorithm,
+    /// Collector batch size (ignored by Vanilla).
+    pub batch: usize,
+    /// Total injection rate over all clients, elements/second (simulated).
+    pub rate: f64,
+    /// Number of servers (and injection clients).
+    pub servers: usize,
+    /// Simulated run duration; injection stops two seconds before the end.
+    pub sim_secs: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    /// Standard configuration for one algorithm/batch point: 4 servers,
+    /// a rate high enough that the hot path dominates, 10 simulated seconds.
+    pub fn standard(algorithm: Algorithm, batch: usize) -> Self {
+        let rate = match algorithm {
+            // Vanilla appends one ledger transaction per element and caps out
+            // far below the batched algorithms; drive it at a rate it can
+            // sustain so the measurement reflects pipeline cost, not backlog.
+            Algorithm::Vanilla => 1_000.0,
+            Algorithm::Compresschain | Algorithm::Hashchain => 5_000.0,
+        };
+        PipelineConfig {
+            algorithm,
+            batch,
+            rate,
+            servers: 4,
+            sim_secs: 10,
+            seed: 7,
+        }
+    }
+
+    /// Quick variant for CI smoke runs: same shape, shorter simulated run.
+    /// Compresschain is driven at a rate it can sustain without a mempool
+    /// backlog — in the standard run its epoch commits only appear late in
+    /// the window (proofs queue behind the batch backlog), which a short
+    /// run would record as zero committed elements.
+    pub fn quick(algorithm: Algorithm, batch: usize) -> Self {
+        let mut config = PipelineConfig {
+            sim_secs: 7,
+            ..Self::standard(algorithm, batch)
+        };
+        if algorithm == Algorithm::Compresschain {
+            config.rate = 1_000.0;
+        }
+        config
+    }
+
+    /// Label used in reports and JSON keys, e.g. `hashchain_b64`.
+    pub fn label(&self) -> String {
+        format!("{}_b{}", self.algorithm.name().to_lowercase(), self.batch)
+    }
+}
+
+/// Outcome of one pipeline measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineResult {
+    /// Elements injected by the clients.
+    pub added: u64,
+    /// Elements committed (reached an epoch) by the end of the run.
+    pub committed: u64,
+    /// Host wall-clock time the simulation took to execute.
+    pub wall: Duration,
+    /// Committed elements per wall-clock second — the headline metric.
+    pub adds_per_sec: f64,
+}
+
+/// Runs one deployment to completion and measures wall-clock adds/sec.
+///
+/// Deployment construction (PKI bootstrap, process allocation) is excluded
+/// from the measured window; only the event loop — the add→epoch pipeline
+/// itself — is timed.
+pub fn run_pipeline(config: &PipelineConfig) -> PipelineResult {
+    let scenario = Scenario::base(config.algorithm)
+        .with_servers(config.servers)
+        .with_rate(config.rate)
+        .with_collector(config.batch)
+        .with_injection_secs(config.sim_secs.saturating_sub(2).max(1))
+        .with_max_run_secs(config.sim_secs)
+        .with_seed(config.seed);
+    let mut deployment = Deployment::build(&scenario);
+    let start = Instant::now();
+    deployment
+        .sim
+        .run_until(SimTime::from_secs(config.sim_secs));
+    let wall = start.elapsed();
+    let committed = deployment
+        .trace
+        .committed_count_by(SimTime::from_secs(config.sim_secs)) as u64;
+    let added = deployment.trace.added_count() as u64;
+    PipelineResult {
+        added,
+        committed,
+        wall,
+        adds_per_sec: committed as f64 / wall.as_secs_f64().max(1e-9),
+    }
+}
+
+/// Runs `config` `repeats` times and keeps the best (highest adds/sec) run,
+/// which is the standard way to suppress scheduler noise in wall-clock
+/// benchmarks.
+pub fn run_pipeline_best_of(config: &PipelineConfig, repeats: usize) -> PipelineResult {
+    assert!(repeats >= 1, "at least one repeat required");
+    let mut best = run_pipeline(config);
+    for _ in 1..repeats {
+        let r = run_pipeline(config);
+        if r.adds_per_sec > best.adds_per_sec {
+            best = r;
+        }
+    }
+    best
+}
+
+/// The (algorithm, batch) grid recorded in `BENCH_pr2.json`: every algorithm
+/// at the two collector sizes the acceptance criteria reference.
+pub fn grid() -> Vec<(Algorithm, usize)> {
+    vec![
+        (Algorithm::Vanilla, 64),
+        (Algorithm::Compresschain, 64),
+        (Algorithm::Compresschain, 256),
+        (Algorithm::Hashchain, 64),
+        (Algorithm::Hashchain, 256),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_grid() {
+        let cfg = PipelineConfig::standard(Algorithm::Hashchain, 64);
+        assert_eq!(cfg.label(), "hashchain_b64");
+        assert_eq!(cfg.servers, 4);
+        let quick = PipelineConfig::quick(Algorithm::Vanilla, 64);
+        assert!(quick.sim_secs < cfg.sim_secs);
+        assert_eq!(grid().len(), 5);
+    }
+
+    #[test]
+    fn quick_pipeline_commits_elements() {
+        let mut cfg = PipelineConfig::quick(Algorithm::Hashchain, 64);
+        cfg.rate = 500.0;
+        let result = run_pipeline(&cfg);
+        assert!(result.added > 0, "clients injected nothing");
+        assert!(result.committed > 0, "nothing committed");
+        assert!(result.adds_per_sec > 0.0);
+    }
+}

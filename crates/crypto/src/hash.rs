@@ -94,6 +94,10 @@ const SHA256_K: [u32; 64] = [
     0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 ];
 
+const SHA256_INIT: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
 /// Streaming SHA-256 hasher.
 #[derive(Clone)]
 pub struct Sha256 {
@@ -113,14 +117,19 @@ impl Sha256 {
     /// Creates a hasher with the FIPS 180-4 initial state.
     pub fn new() -> Self {
         Sha256 {
-            state: [
-                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
-                0x5be0cd19,
-            ],
+            state: SHA256_INIT,
             buffer: [0u8; 64],
             buffer_len: 0,
             total_len: 0,
         }
+    }
+
+    /// Restores the hasher to its freshly-constructed state so it can be
+    /// reused for another input without re-allocating.
+    pub fn reset(&mut self) {
+        self.state = SHA256_INIT;
+        self.buffer_len = 0;
+        self.total_len = 0;
     }
 
     /// Absorbs `data` into the hash state.
@@ -151,6 +160,19 @@ impl Sha256 {
 
     /// Finishes the hash and returns the digest.
     pub fn finalize(mut self) -> Digest256 {
+        self.finalize_digest()
+    }
+
+    /// Finishes the hash, returns the digest, and resets the hasher for the
+    /// next input. This is the reuse primitive behind [`sha256_many`]: a
+    /// single hasher streams through many inputs with zero per-input setup.
+    pub fn finalize_reset(&mut self) -> Digest256 {
+        let digest = self.finalize_digest();
+        self.reset();
+        digest
+    }
+
+    fn finalize_digest(&mut self) -> Digest256 {
         let bit_len = self.total_len.wrapping_mul(8);
         // Padding: 0x80, zeros, 64-bit big-endian length.
         self.update(&[0x80]);
@@ -307,6 +329,17 @@ const SHA512_K: [u64; 80] = [
     0x6c44198c4a475817,
 ];
 
+const SHA512_INIT: [u64; 8] = [
+    0x6a09e667f3bcc908,
+    0xbb67ae8584caa73b,
+    0x3c6ef372fe94f82b,
+    0xa54ff53a5f1d36f1,
+    0x510e527fade682d1,
+    0x9b05688c2b3e6c1f,
+    0x1f83d9abfb41bd6b,
+    0x5be0cd19137e2179,
+];
+
 /// Streaming SHA-512 hasher.
 #[derive(Clone)]
 pub struct Sha512 {
@@ -326,20 +359,19 @@ impl Sha512 {
     /// Creates a hasher with the FIPS 180-4 initial state.
     pub fn new() -> Self {
         Sha512 {
-            state: [
-                0x6a09e667f3bcc908,
-                0xbb67ae8584caa73b,
-                0x3c6ef372fe94f82b,
-                0xa54ff53a5f1d36f1,
-                0x510e527fade682d1,
-                0x9b05688c2b3e6c1f,
-                0x1f83d9abfb41bd6b,
-                0x5be0cd19137e2179,
-            ],
+            state: SHA512_INIT,
             buffer: [0u8; 128],
             buffer_len: 0,
             total_len: 0,
         }
+    }
+
+    /// Restores the hasher to its freshly-constructed state so it can be
+    /// reused for another input without re-allocating.
+    pub fn reset(&mut self) {
+        self.state = SHA512_INIT;
+        self.buffer_len = 0;
+        self.total_len = 0;
     }
 
     /// Absorbs `data` into the hash state.
@@ -370,6 +402,18 @@ impl Sha512 {
 
     /// Finishes the hash and returns the digest.
     pub fn finalize(mut self) -> Digest512 {
+        self.finalize_digest()
+    }
+
+    /// Finishes the hash, returns the digest, and resets the hasher for the
+    /// next input (see [`Sha256::finalize_reset`]).
+    pub fn finalize_reset(&mut self) -> Digest512 {
+        let digest = self.finalize_digest();
+        self.reset();
+        digest
+    }
+
+    fn finalize_digest(&mut self) -> Digest512 {
         let bit_len = self.total_len.wrapping_mul(8);
         self.update(&[0x80]);
         while self.buffer_len != 112 {
@@ -435,6 +479,27 @@ pub fn sha512(data: &[u8]) -> Digest512 {
     let mut h = Sha512::new();
     h.update(data);
     h.finalize()
+}
+
+/// SHA-256 of many independent inputs through one reused hasher.
+///
+/// Equivalent to `inputs.map(sha256)` but allocation-free on the hashing
+/// side: a single hasher is reset between inputs instead of being
+/// constructed per input, and the output vector is the only allocation.
+/// The PKI bootstrap derives every key seed of a deployment through one
+/// pass of this function.
+pub fn sha256_many<'a, I>(inputs: I) -> Vec<Digest256>
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let inputs = inputs.into_iter();
+    let mut out = Vec::with_capacity(inputs.size_hint().0);
+    let mut h = Sha256::new();
+    for input in inputs {
+        h.update(input);
+        out.push(h.finalize_reset());
+    }
+    out
 }
 
 #[cfg(test)]
@@ -560,5 +625,45 @@ mod tests {
     fn different_inputs_different_digests() {
         assert_ne!(sha256(b"a"), sha256(b"b"));
         assert_ne!(sha512(b"a"), sha512(b"b"));
+    }
+
+    #[test]
+    fn reset_and_finalize_reset_match_fresh_hashers() {
+        let mut h = Sha256::new();
+        h.update(b"first input");
+        assert_eq!(h.finalize_reset(), sha256(b"first input"));
+        // The same hasher, reused, matches a fresh one.
+        h.update(b"second");
+        h.update(b" input");
+        assert_eq!(h.finalize_reset(), sha256(b"second input"));
+        // An explicit reset discards partial input.
+        h.update(b"to be discarded");
+        h.reset();
+        h.update(b"abc");
+        assert_eq!(
+            h.finalize_reset().to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+
+        let mut h512 = Sha512::new();
+        h512.update(b"x");
+        assert_eq!(h512.finalize_reset(), sha512(b"x"));
+        h512.update(b"to be discarded");
+        h512.reset();
+        h512.update(b"y");
+        assert_eq!(h512.finalize_reset(), sha512(b"y"));
+    }
+
+    #[test]
+    fn sha256_many_matches_one_shots() {
+        let inputs: Vec<Vec<u8>> = (0..50u32)
+            .map(|i| (0..i * 13).map(|j| (j % 251) as u8).collect())
+            .collect();
+        let digests = sha256_many(inputs.iter().map(|v| v.as_slice()));
+        assert_eq!(digests.len(), inputs.len());
+        for (input, digest) in inputs.iter().zip(&digests) {
+            assert_eq!(*digest, sha256(input));
+        }
+        assert!(sha256_many(std::iter::empty()).is_empty());
     }
 }

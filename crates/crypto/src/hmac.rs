@@ -9,66 +9,111 @@ use crate::hash::{Digest256, Digest512, Sha256, Sha512};
 const BLOCK_256: usize = 64;
 const BLOCK_512: usize = 128;
 
+/// A precomputed HMAC-SHA-256 key schedule.
+///
+/// HMAC spends two of its four-ish compression calls absorbing the padded
+/// key (`ipad` into the inner hash, `opad` into the outer). Those two
+/// absorptions depend only on the key, so verifying many messages under the
+/// same key — a collector batch signed by one client, a vote stream from one
+/// validator — can pay them once: `HmacSha256Key::new` captures the
+/// post-pad hasher states and [`mac`](Self::mac) clones them per message.
+#[derive(Clone)]
+pub struct HmacSha256Key {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl HmacSha256Key {
+    /// Precomputes the key schedule for `key`.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_256];
+        if key.len() > BLOCK_256 {
+            let d = {
+                let mut h = Sha256::new();
+                h.update(key);
+                h.finalize()
+            };
+            key_block[..32].copy_from_slice(d.as_bytes());
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_256];
+        let mut opad = [0u8; BLOCK_256];
+        for i in 0..BLOCK_256 {
+            ipad[i] = key_block[i] ^ 0x36;
+            opad[i] = key_block[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        HmacSha256Key { inner, outer }
+    }
+
+    /// HMAC-SHA-256 of `message` under this key.
+    pub fn mac(&self, message: &[u8]) -> Digest256 {
+        let mut h = self.inner.clone();
+        h.update(message);
+        let digest = h.finalize();
+        let mut o = self.outer.clone();
+        o.update(digest.as_bytes());
+        o.finalize()
+    }
+}
+
+/// A precomputed HMAC-SHA-512 key schedule (see [`HmacSha256Key`]).
+#[derive(Clone)]
+pub struct HmacSha512Key {
+    inner: Sha512,
+    outer: Sha512,
+}
+
+impl HmacSha512Key {
+    /// Precomputes the key schedule for `key`.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_512];
+        if key.len() > BLOCK_512 {
+            let d = {
+                let mut h = Sha512::new();
+                h.update(key);
+                h.finalize()
+            };
+            key_block[..64].copy_from_slice(d.as_bytes());
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_512];
+        let mut opad = [0u8; BLOCK_512];
+        for i in 0..BLOCK_512 {
+            ipad[i] = key_block[i] ^ 0x36;
+            opad[i] = key_block[i] ^ 0x5c;
+        }
+        let mut inner = Sha512::new();
+        inner.update(&ipad);
+        let mut outer = Sha512::new();
+        outer.update(&opad);
+        HmacSha512Key { inner, outer }
+    }
+
+    /// HMAC-SHA-512 of `message` under this key.
+    pub fn mac(&self, message: &[u8]) -> Digest512 {
+        let mut h = self.inner.clone();
+        h.update(message);
+        let digest = h.finalize();
+        let mut o = self.outer.clone();
+        o.update(digest.as_bytes());
+        o.finalize()
+    }
+}
+
 /// HMAC-SHA-256 of `message` under `key`.
 pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest256 {
-    let mut key_block = [0u8; BLOCK_256];
-    if key.len() > BLOCK_256 {
-        let d = {
-            let mut h = Sha256::new();
-            h.update(key);
-            h.finalize()
-        };
-        key_block[..32].copy_from_slice(d.as_bytes());
-    } else {
-        key_block[..key.len()].copy_from_slice(key);
-    }
-    let mut ipad = [0u8; BLOCK_256];
-    let mut opad = [0u8; BLOCK_256];
-    for i in 0..BLOCK_256 {
-        ipad[i] = key_block[i] ^ 0x36;
-        opad[i] = key_block[i] ^ 0x5c;
-    }
-    let inner = {
-        let mut h = Sha256::new();
-        h.update(&ipad);
-        h.update(message);
-        h.finalize()
-    };
-    let mut h = Sha256::new();
-    h.update(&opad);
-    h.update(inner.as_bytes());
-    h.finalize()
+    HmacSha256Key::new(key).mac(message)
 }
 
 /// HMAC-SHA-512 of `message` under `key`.
 pub fn hmac_sha512(key: &[u8], message: &[u8]) -> Digest512 {
-    let mut key_block = [0u8; BLOCK_512];
-    if key.len() > BLOCK_512 {
-        let d = {
-            let mut h = Sha512::new();
-            h.update(key);
-            h.finalize()
-        };
-        key_block[..64].copy_from_slice(d.as_bytes());
-    } else {
-        key_block[..key.len()].copy_from_slice(key);
-    }
-    let mut ipad = [0u8; BLOCK_512];
-    let mut opad = [0u8; BLOCK_512];
-    for i in 0..BLOCK_512 {
-        ipad[i] = key_block[i] ^ 0x36;
-        opad[i] = key_block[i] ^ 0x5c;
-    }
-    let inner = {
-        let mut h = Sha512::new();
-        h.update(&ipad);
-        h.update(message);
-        h.finalize()
-    };
-    let mut h = Sha512::new();
-    h.update(&opad);
-    h.update(inner.as_bytes());
-    h.finalize()
+    HmacSha512Key::new(key).mac(message)
 }
 
 #[cfg(test)]
@@ -135,5 +180,23 @@ mod tests {
     fn key_sensitivity() {
         assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
         assert_ne!(hmac_sha512(b"k1", b"m"), hmac_sha512(b"k2", b"m"));
+    }
+
+    #[test]
+    fn precomputed_keys_match_one_shots_across_messages() {
+        let key = [0x42u8; 32];
+        let k256 = HmacSha256Key::new(&key);
+        let k512 = HmacSha512Key::new(&key);
+        for len in [0usize, 1, 20, 63, 64, 65, 127, 128, 129, 1000] {
+            let msg: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            assert_eq!(k256.mac(&msg), hmac_sha256(&key, &msg), "len={len}");
+            assert_eq!(k512.mac(&msg), hmac_sha512(&key, &msg), "len={len}");
+        }
+        // Long keys go through the hash-the-key path.
+        let long_key = [0xAAu8; 200];
+        let k = HmacSha256Key::new(&long_key);
+        assert_eq!(k.mac(b"m"), hmac_sha256(&long_key, b"m"));
+        let k = HmacSha512Key::new(&long_key);
+        assert_eq!(k.mac(b"m"), hmac_sha512(&long_key, b"m"));
     }
 }

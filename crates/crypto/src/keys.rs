@@ -15,7 +15,7 @@ use parking_lot::RwLock;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
-use crate::hash::sha256;
+use crate::hash::{sha256, sha256_many};
 
 /// Identifier of a process (server or client) in the system.
 ///
@@ -126,10 +126,16 @@ impl KeyPair {
     /// Derives a key pair deterministically from a process id and a system
     /// seed, which is how the simulator provisions the PKI.
     pub fn derive(id: ProcessId, system_seed: u64) -> Self {
+        Self::from_seed(id, sha256(&Self::derive_material(id, system_seed)).0)
+    }
+
+    /// The byte material [`derive`](Self::derive) hashes into the secret
+    /// seed; shared with the batched bootstrap path.
+    fn derive_material(id: ProcessId, system_seed: u64) -> [u8; 16] {
         let mut material = [0u8; 16];
         material[..8].copy_from_slice(&system_seed.to_le_bytes());
         material[8..].copy_from_slice(&id.0.to_le_bytes());
-        Self::from_seed(id, sha256(&material).0)
+        material
     }
 }
 
@@ -159,13 +165,23 @@ impl KeyRegistry {
 
     /// Creates a registry pre-populated with `servers` server keys and
     /// `clients` client keys, all derived from `system_seed`.
+    ///
+    /// The secret seeds of the whole deployment are hashed in one
+    /// [`sha256_many`] pass over a reused hasher, byte-for-byte equivalent
+    /// to calling [`KeyPair::derive`] per process.
     pub fn bootstrap(system_seed: u64, servers: usize, clients: usize) -> Self {
         let reg = Self::new();
-        for i in 0..servers {
-            reg.register(KeyPair::derive(ProcessId::server(i), system_seed));
-        }
-        for i in 0..clients {
-            reg.register(KeyPair::derive(ProcessId::client(i), system_seed));
+        let ids: Vec<ProcessId> = (0..servers)
+            .map(ProcessId::server)
+            .chain((0..clients).map(ProcessId::client))
+            .collect();
+        let materials: Vec<[u8; 16]> = ids
+            .iter()
+            .map(|id| KeyPair::derive_material(*id, system_seed))
+            .collect();
+        let seeds = sha256_many(materials.iter().map(|m| m.as_slice()));
+        for (id, seed) in ids.into_iter().zip(seeds) {
+            reg.register(KeyPair::from_seed(id, seed.0));
         }
         reg
     }
@@ -240,6 +256,22 @@ mod tests {
         let a = KeyPair::generate(ProcessId::client(0), &mut rng);
         let b = KeyPair::generate(ProcessId::client(1), &mut rng);
         assert_ne!(a.public, b.public);
+    }
+
+    #[test]
+    fn bootstrap_matches_per_process_derivation() {
+        let reg = KeyRegistry::bootstrap(55, 3, 2);
+        for id in [
+            ProcessId::server(0),
+            ProcessId::server(2),
+            ProcessId::client(0),
+            ProcessId::client(1),
+        ] {
+            let batched = reg.lookup(id).expect("registered");
+            let individual = KeyPair::derive(id, 55);
+            assert_eq!(batched.secret.0, individual.secret.0, "{id}");
+            assert_eq!(batched.public, individual.public, "{id}");
+        }
     }
 
     #[test]

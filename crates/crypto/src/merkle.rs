@@ -10,19 +10,30 @@ use crate::hash::{Digest256, Sha256};
 const LEAF_PREFIX: u8 = 0x00;
 const NODE_PREFIX: u8 = 0x01;
 
-fn leaf_hash(data: &[u8]) -> Digest256 {
-    let mut h = Sha256::new();
+/// Streaming core of `leaf_hash`, reusing the caller's hasher (reset on
+/// return). [`MerkleTree::build`] feeds every leaf through one hasher; the
+/// one-shot wrappers below share this body so the domain separation cannot
+/// diverge between building and proof verification.
+fn leaf_hash_into(h: &mut Sha256, data: &[u8]) -> Digest256 {
     h.update(&[LEAF_PREFIX]);
     h.update(data);
-    h.finalize()
+    h.finalize_reset()
 }
 
-fn node_hash(left: &Digest256, right: &Digest256) -> Digest256 {
-    let mut h = Sha256::new();
+/// Streaming core of `node_hash` (see [`leaf_hash_into`]).
+fn node_hash_into(h: &mut Sha256, left: &Digest256, right: &Digest256) -> Digest256 {
     h.update(&[NODE_PREFIX]);
     h.update(left.as_bytes());
     h.update(right.as_bytes());
-    h.finalize()
+    h.finalize_reset()
+}
+
+fn leaf_hash(data: &[u8]) -> Digest256 {
+    leaf_hash_into(&mut Sha256::new(), data)
+}
+
+fn node_hash(left: &Digest256, right: &Digest256) -> Digest256 {
+    node_hash_into(&mut Sha256::new(), left, right)
 }
 
 /// A Merkle tree built over a list of byte strings.
@@ -55,14 +66,21 @@ impl MerkleTree {
                 len: 0,
             };
         }
+        // One hasher serves every leaf and node of the build, recycled
+        // between inputs by the `*_into` helpers.
+        let mut h = Sha256::new();
+        let mut leaves = Vec::with_capacity(items.len());
+        for item in items {
+            leaves.push(leaf_hash_into(&mut h, item.as_ref()));
+        }
         let mut levels: Vec<Vec<Digest256>> = Vec::new();
-        levels.push(items.iter().map(|i| leaf_hash(i.as_ref())).collect());
+        levels.push(leaves);
         while levels.last().expect("non-empty").len() > 1 {
             let prev = levels.last().expect("non-empty");
             let mut next = Vec::with_capacity(prev.len().div_ceil(2));
             for pair in prev.chunks(2) {
                 if pair.len() == 2 {
-                    next.push(node_hash(&pair[0], &pair[1]));
+                    next.push(node_hash_into(&mut h, &pair[0], &pair[1]));
                 } else {
                     // Odd node is promoted (Bitcoin-style duplication avoided
                     // to keep proofs unambiguous).

@@ -8,11 +8,13 @@
 //! registered secret cannot produce a signature that correct processes accept,
 //! and signatures bind the signer identity to the signed bytes.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use crate::hash::Digest512;
-use crate::hmac::hmac_sha512;
+use crate::hmac::{hmac_sha512, HmacSha512Key};
 use crate::keys::{KeyPair, KeyRegistry, ProcessId};
+use crate::parallel::{default_threads, parallel_map};
 
 /// Byte length of a signature (matches ed25519).
 pub const SIGNATURE_LEN: usize = 64;
@@ -68,18 +70,49 @@ pub fn sign(pair: &KeyPair, msg: &[u8]) -> Signature {
 /// match the signed bytes.
 pub fn verify(registry: &KeyRegistry, msg: &[u8], sig: &Signature) -> bool {
     match registry.lookup(sig.signer) {
-        Some(pair) => {
-            let expected = hmac_sha512(&pair.secret.0, msg);
-            // Constant-time-ish comparison; not security critical in the
-            // simulation but cheap to do properly.
-            let mut diff = 0u8;
-            for (a, b) in expected.0.iter().zip(sig.bytes.iter()) {
-                diff |= a ^ b;
-            }
-            diff == 0
-        }
+        Some(pair) => mac_matches(&hmac_sha512(&pair.secret.0, msg), sig),
         None => false,
     }
+}
+
+/// Constant-time-ish MAC comparison; not security critical in the
+/// simulation but cheap to do properly.
+fn mac_matches(expected: &Digest512, sig: &Signature) -> bool {
+    let mut diff = 0u8;
+    for (a, b) in expected.0.iter().zip(sig.bytes.iter()) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+/// Verifies a batch of `(message, signature)` pairs, returning one verdict
+/// per pair, in order. Semantically identical to calling [`verify`] on each
+/// pair, but the per-signer HMAC key schedule is computed once per distinct
+/// signer instead of once per signature, and large batches are checked in
+/// parallel (`parallel_map`, sequential below its `MIN_PARALLEL_LEN`
+/// threshold). This is the fast path for commit certificates and collector
+/// batches, where one signer vouches for many entries.
+pub fn verify_batch<'a, I>(registry: &KeyRegistry, items: I) -> Vec<bool>
+where
+    I: IntoIterator<Item = (&'a [u8], &'a Signature)>,
+{
+    let items: Vec<(&[u8], &Signature)> = items.into_iter().collect();
+    // One key schedule per distinct signer; unknown signers map to `None`
+    // and fail verification like `verify` does.
+    let mut keys: HashMap<ProcessId, Option<HmacSha512Key>> = HashMap::new();
+    for (_, sig) in &items {
+        keys.entry(sig.signer).or_insert_with(|| {
+            registry
+                .lookup(sig.signer)
+                .map(|pair| HmacSha512Key::new(&pair.secret.0))
+        });
+    }
+    parallel_map(&items, default_threads(), |(msg, sig)| {
+        match keys.get(&sig.signer).and_then(|k| k.as_ref()) {
+            Some(key) => mac_matches(&key.mac(msg), sig),
+            None => false,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -143,5 +176,32 @@ mod tests {
         let (_, s0, _) = setup();
         let sig = sign(&s0, b"m");
         assert_eq!(sig.wire_len(), 72);
+    }
+
+    #[test]
+    fn verify_batch_matches_individual_verify() {
+        let (reg, s0, s1) = setup();
+        let msgs: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; 10 + i as usize]).collect();
+        let mut sigs: Vec<Signature> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| sign(if i % 2 == 0 { &s0 } else { &s1 }, m))
+            .collect();
+        // Corrupt a few entries: forged MAC, unknown signer, wrong signer.
+        sigs[3] = Signature::forged(s0.id);
+        sigs[7].signer = ProcessId::server(50);
+        sigs[9].signer = if sigs[9].signer == s0.id {
+            s1.id
+        } else {
+            s0.id
+        };
+        let items: Vec<(&[u8], &Signature)> =
+            msgs.iter().map(|m| m.as_slice()).zip(sigs.iter()).collect();
+        let batched = verify_batch(&reg, items.iter().copied());
+        let individual: Vec<bool> = items.iter().map(|(m, s)| verify(&reg, m, s)).collect();
+        assert_eq!(batched, individual);
+        assert!(!batched[3] && !batched[7] && !batched[9]);
+        assert!(batched[0] && batched[1]);
+        assert!(verify_batch(&reg, std::iter::empty()).is_empty());
     }
 }

@@ -8,57 +8,15 @@
 //! locks), and `std::thread::scope` joins everything before returning — the
 //! pattern the HPC guides recommend for embarrassingly parallel loops when a
 //! work-stealing pool is not warranted.
+//!
+//! The implementation is hosted in `setchain_crypto::parallel` — the root of
+//! the crate graph — so the Setchain servers' batched element and signature
+//! validation can share it without a dependency cycle (`setchain-exec`
+//! depends on `setchain`, not the other way around). This module re-exports
+//! it under the historical `setchain_exec::parallel_map` path and keeps the
+//! behavioural tests close to the execution layer that relies on them.
 
-use std::num::NonZeroUsize;
-
-/// Number of worker threads to use by default: the available parallelism,
-/// capped so tiny inputs do not pay thread spawn costs for nothing.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-}
-
-/// Applies `f` to every item of `items`, producing the results in order.
-///
-/// With `threads <= 1` or a small input this degenerates to a sequential map
-/// (same results, no spawning). The function must be pure with respect to the
-/// slice: results are position-for-position identical to
-/// `items.iter().map(f).collect()`, which the tests and property tests below
-/// verify.
-pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    // Below this size the spawn overhead dominates any speedup.
-    const MIN_PARALLEL_LEN: usize = 256;
-    if threads <= 1 || items.len() < MIN_PARALLEL_LEN {
-        return items.iter().map(f).collect();
-    }
-    let workers = threads.min(items.len());
-    let chunk_len = items.len().div_ceil(workers);
-    let mut chunk_results: Vec<Vec<R>> = Vec::with_capacity(workers);
-    std::thread::scope(|scope| {
-        // One contiguous input chunk per worker; each worker produces its own
-        // output vector (no shared mutable state), and the chunks are
-        // concatenated in order afterwards.
-        let mut handles = Vec::with_capacity(workers);
-        for chunk in items.chunks(chunk_len) {
-            let f = &f;
-            handles.push(scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()));
-        }
-        for handle in handles {
-            chunk_results.push(handle.join().expect("validation worker panicked"));
-        }
-    });
-    let mut results = Vec::with_capacity(items.len());
-    for chunk in chunk_results {
-        results.extend(chunk);
-    }
-    results
-}
+pub use setchain_crypto::parallel::{default_threads, parallel_map, MIN_PARALLEL_LEN};
 
 #[cfg(test)]
 mod tests {
@@ -103,6 +61,16 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn threshold_is_exported() {
+        // The re-exported threshold must still gate the sequential fallback.
+        let just_below: Vec<u32> = (0..MIN_PARALLEL_LEN as u32 - 1).collect();
+        assert_eq!(
+            parallel_map(&just_below, 8, |x| x + 1).len(),
+            just_below.len()
+        );
     }
 
     proptest! {

@@ -98,6 +98,17 @@ where
         self.sim.send(to, NetMsg::App(msg));
     }
 
+    /// Sends one application-level message to every process in `peers`.
+    /// The payload is built once and Arc-shared: the send side and the event
+    /// queue hold a single copy, with per-recipient clones deferred to
+    /// delivery time (the last recipient takes the payload without one).
+    pub fn broadcast_app<I>(&mut self, peers: I, msg: AM)
+    where
+        I: IntoIterator<Item = ProcessId>,
+    {
+        self.sim.send_to_all(peers, NetMsg::App(msg));
+    }
+
     /// Arms an application timer; the token is returned verbatim in
     /// [`Application::on_timer`]. Tokens must be below 2^48.
     pub fn set_app_timer(&mut self, delay: SimDuration, token: TimerToken) {

@@ -24,8 +24,9 @@
 //! the default 1.25 s interval this yields the paper's ~0.8 blocks/s.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
-use setchain_crypto::{sign, verify, KeyPair, KeyRegistry, ProcessId, Signature};
+use setchain_crypto::{sign, verify, verify_batch, KeyPair, KeyRegistry, ProcessId, Signature};
 use setchain_simnet::{Context, Process, SimDuration, TimerToken};
 
 use crate::app::{AppCtx, Application};
@@ -272,40 +273,38 @@ impl<A: Application> LedgerNode<A> {
         if self.byz == ByzMode::EquivocatingProposer && block.len() >= 2 {
             // Send two conflicting blocks: one with all transactions, one
             // with the order of the first two swapped, split across peers.
+            // Each variant is built and signed exactly once and Arc-shared
+            // across its half of the recipients.
             let mut alt = block.clone();
             alt.txs.swap(0, 1);
-            let peers = self.peers();
-            let half = peers.len() / 2;
-            for (i, peer) in peers.iter().enumerate() {
-                let b = if i < half { block.clone() } else { alt.clone() };
-                let signature = sign(
-                    &self.keys,
-                    &proposal_sign_bytes(self.height, self.round, &b.id()),
-                );
-                ctx.send(
-                    *peer,
-                    NetMsg::Proposal {
-                        height: self.height,
-                        round: self.round,
-                        block: b,
-                        signature,
-                    },
-                );
-            }
-            // Process our own copy of the primary block.
+            let alt_signature = sign(
+                &self.keys,
+                &proposal_sign_bytes(self.height, self.round, &alt.id()),
+            );
             let signature = sign(
                 &self.keys,
                 &proposal_sign_bytes(self.height, self.round, &block.id()),
             );
-            ctx.send(
-                self.id,
-                NetMsg::Proposal {
-                    height: self.height,
-                    round: self.round,
-                    block,
-                    signature,
-                },
-            );
+            let alt_msg = Arc::new(NetMsg::Proposal {
+                height: self.height,
+                round: self.round,
+                block: alt,
+                signature: alt_signature,
+            });
+            let primary_msg = Arc::new(NetMsg::Proposal {
+                height: self.height,
+                round: self.round,
+                block,
+                signature,
+            });
+            let peers = self.peers();
+            let half = peers.len() / 2;
+            for (i, peer) in peers.iter().enumerate() {
+                let m = if i < half { &primary_msg } else { &alt_msg };
+                ctx.send_shared(*peer, Arc::clone(m));
+            }
+            // Process our own copy of the primary block.
+            ctx.send_shared(self.id, primary_msg);
             return;
         }
 
@@ -313,18 +312,19 @@ impl<A: Application> LedgerNode<A> {
             &self.keys,
             &proposal_sign_bytes(self.height, self.round, &block.id()),
         );
-        let msg = NetMsg::Proposal {
+        let msg = Arc::new(NetMsg::Proposal {
             height: self.height,
             round: self.round,
             block,
             signature,
-        };
+        });
         // Broadcast to peers and loop back to ourselves so the proposal is
-        // processed through the same code path everywhere.
+        // processed through the same code path everywhere. One shared
+        // payload serves every recipient.
         for peer in self.peers() {
-            ctx.send(peer, msg.clone());
+            ctx.send_shared(peer, Arc::clone(&msg));
         }
-        ctx.send(self.id, msg);
+        ctx.send_shared(self.id, msg);
     }
 
     fn broadcast_vote(
@@ -348,18 +348,18 @@ impl<A: Application> LedgerNode<A> {
             VoteKind::Precommit => certificate_sign_bytes(height, &block_id),
         };
         let signature = sign(&self.keys, &bytes);
-        let msg = NetMsg::Vote {
+        let msg = Arc::new(NetMsg::Vote {
             kind,
             height,
             round,
             block_id,
             voter: self.id,
             signature,
-        };
+        });
         for peer in self.peers() {
-            ctx.send(peer, msg.clone());
+            ctx.send_shared(peer, Arc::clone(&msg));
         }
-        ctx.send(self.id, msg);
+        ctx.send_shared(self.id, msg);
     }
 
     fn on_proposal(
@@ -501,11 +501,12 @@ impl<A: Application> LedgerNode<A> {
             .unwrap_or(0);
         if precommit_count >= quorum {
             if have_block {
+                // Take the block out instead of cloning it: commit_block
+                // clears all per-height consensus state right after anyway.
                 let block = self
                     .proposal_store
-                    .get(&(height, block_id))
-                    .expect("checked above")
-                    .clone();
+                    .remove(&(height, block_id))
+                    .expect("checked above");
                 let cert = self
                     .precommit_sigs
                     .get(&(height, block_id))
@@ -545,11 +546,9 @@ impl<A: Application> LedgerNode<A> {
         self.stats.blocks_committed += 1;
         self.stats.txs_committed += block.len() as u64;
 
-        // Notify the application (new_block / FinalizeBlock).
-        let block_for_app = block.clone();
-        self.with_app(ctx, |app, app_ctx| {
-            app.finalize_block(&block_for_app, app_ctx)
-        });
+        // Notify the application (new_block / FinalizeBlock). The block is a
+        // local here, so the application borrows it directly — no copy.
+        self.with_app(ctx, |app, app_ctx| app.finalize_block(&block, app_ctx));
 
         self.committed.insert(block.height, (block, certificate));
 
@@ -611,13 +610,18 @@ impl<A: Application> LedgerNode<A> {
             return;
         }
         // Verify the commit certificate: 2f+1 valid signatures from distinct
-        // validators over (height, block id).
+        // validators over (height, block id). All entries sign the same
+        // bytes, so the batched verifier shares the per-signer HMAC setup.
         let block_id = block.id();
         let bytes = certificate_sign_bytes(block.height, &block_id);
         let validators = self.config.validator_ids();
+        let verdicts = verify_batch(
+            &self.registry,
+            certificate.iter().map(|sig| (bytes.as_slice(), sig)),
+        );
         let mut signers: HashSet<ProcessId> = HashSet::new();
-        for sig in &certificate {
-            if validators.contains(&sig.signer) && verify(&self.registry, &bytes, sig) {
+        for (sig, ok) in certificate.iter().zip(verdicts) {
+            if ok && validators.contains(&sig.signer) {
                 signers.insert(sig.signer);
             }
         }
@@ -656,9 +660,9 @@ impl<A: Application> LedgerNode<A> {
             TIMER_GOSSIP => {
                 if !self.pending_gossip.is_empty() && !self.byz.is_silent() {
                     let txs = std::mem::take(&mut self.pending_gossip);
-                    let msg = NetMsg::TxGossip { txs };
+                    let msg = Arc::new(NetMsg::TxGossip { txs });
                     for peer in self.peers() {
-                        ctx.send(peer, msg.clone());
+                        ctx.send_shared(peer, Arc::clone(&msg));
                     }
                 }
                 ctx.set_timer(self.config.gossip_interval, TIMER_GOSSIP);

@@ -3,7 +3,7 @@
 use std::fmt::Debug;
 
 use serde::{Deserialize, Serialize};
-use setchain_crypto::{framed_hash, Digest256, ProcessId};
+use setchain_crypto::{Digest256, ProcessId, Sha256};
 use setchain_simnet::{SimDuration, SimTime};
 
 /// Identifier of a ledger transaction, unique within a run.
@@ -68,14 +68,23 @@ impl<T: TxData> Block<T> {
 
     /// Deterministic identifier: hash of height, proposer and the ordered
     /// transaction ids.
+    ///
+    /// Streams straight into one hasher with the same length framing as
+    /// `framed_hash` (so the digest format is unchanged) without building a
+    /// vector of byte strings first — this runs on every proposal receipt
+    /// and block sync.
     pub fn id(&self) -> BlockId {
-        let mut parts: Vec<Vec<u8>> = Vec::with_capacity(self.txs.len() + 2);
-        parts.push(self.height.to_le_bytes().to_vec());
-        parts.push(self.proposer.0.to_le_bytes().to_vec());
-        for tx in &self.txs {
-            parts.push(tx.tx_id().0.to_le_bytes().to_vec());
+        fn frame(h: &mut Sha256, bytes: &[u8]) {
+            h.update(&(bytes.len() as u64).to_le_bytes());
+            h.update(bytes);
         }
-        BlockId(framed_hash(&parts))
+        let mut h = Sha256::new();
+        frame(&mut h, &self.height.to_le_bytes());
+        frame(&mut h, &self.proposer.0.to_le_bytes());
+        for tx in &self.txs {
+            frame(&mut h, &tx.tx_id().0.to_le_bytes());
+        }
+        BlockId(h.finalize())
     }
 }
 
@@ -190,6 +199,26 @@ mod tests {
         assert_eq!(b1.len(), 2);
         assert!(!b1.is_empty());
         assert_eq!(b1.payload_bytes(), 30);
+    }
+
+    #[test]
+    fn block_id_matches_framed_hash_format() {
+        // The streaming implementation must keep producing the digest the
+        // original `framed_hash`-based construction produced.
+        let b = Block {
+            height: 9,
+            proposer: ProcessId::server(2),
+            proposed_at: SimTime::ZERO,
+            txs: vec![DummyTx(11, 10), DummyTx(22, 20), DummyTx(33, 5)],
+        };
+        let mut parts: Vec<Vec<u8>> = vec![
+            b.height.to_le_bytes().to_vec(),
+            b.proposer.0.to_le_bytes().to_vec(),
+        ];
+        for tx in &b.txs {
+            parts.push(tx.tx_id().0.to_le_bytes().to_vec());
+        }
+        assert_eq!(b.id().0, setchain_crypto::framed_hash(&parts));
     }
 
     #[test]

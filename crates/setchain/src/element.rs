@@ -10,7 +10,7 @@
 //! while the resident representation stays compact.
 
 use serde::{Deserialize, Serialize};
-use setchain_crypto::{hmac_sha256, KeyPair, KeyRegistry, ProcessId};
+use setchain_crypto::{hmac_sha256, HmacSha256Key, KeyPair, KeyRegistry, ProcessId};
 
 /// Unique identifier of an element: the creating client's index in the high
 /// bits and a per-client sequence number in the low bits.
@@ -89,10 +89,15 @@ impl Element {
         }
     }
 
+    /// Size sanity check shared by every validation path.
+    pub fn size_in_bounds(&self) -> bool {
+        self.size != 0 && self.size <= 1_000_000
+    }
+
     /// The paper's `valid_element(e)`: checks the client authenticator
     /// against the PKI registry and sanity-checks the size.
     pub fn is_valid(&self, registry: &KeyRegistry) -> bool {
-        if self.size == 0 || self.size > 1_000_000 {
+        if !self.size_in_bounds() {
             return false;
         }
         let Some(pair) = registry.lookup(self.client) else {
@@ -105,6 +110,17 @@ impl Element {
         }
         let msg = Self::auth_message(self.id, self.size, self.content_seed);
         let mac = hmac_sha256(&pair.secret.0, &msg);
+        u64::from_le_bytes(mac.0[..8].try_into().expect("8 bytes")) == self.auth
+    }
+
+    /// Authenticator check against a precomputed HMAC key schedule for the
+    /// claimed client. Callers are responsible for the size check and for
+    /// having resolved the schedule from the *claimed* client's registered
+    /// (non-server) key — that is what batched server-side validation does,
+    /// paying the key schedule once per client instead of once per element.
+    pub fn auth_matches(&self, key: &HmacSha256Key) -> bool {
+        let msg = Self::auth_message(self.id, self.size, self.content_seed);
+        let mac = key.mac(&msg);
         u64::from_le_bytes(mac.0[..8].try_into().expect("8 bytes")) == self.auth
     }
 
@@ -282,6 +298,22 @@ mod tests {
             "expected a Brotli-like ratio (paper: 2.5-3.5), got {:.2}",
             stats.ratio()
         );
+    }
+
+    #[test]
+    fn auth_matches_agrees_with_is_valid() {
+        let reg = registry();
+        let keys = client_keys(&reg, 0);
+        let schedule = HmacSha256Key::new(&keys.secret.0);
+        let good = Element::new(&keys, ElementId::new(0, 1), 438, 99);
+        assert!(good.auth_matches(&schedule));
+        let mut tampered = good;
+        tampered.content_seed ^= 1;
+        assert!(!tampered.auth_matches(&schedule));
+        let forged = Element::forged(keys.id, ElementId::new(0, 2), 200);
+        assert!(!forged.auth_matches(&schedule));
+        assert!(good.size_in_bounds());
+        assert!(!Element::forged(keys.id, ElementId::new(0, 3), 0).size_in_bounds());
     }
 
     #[test]

@@ -115,8 +115,10 @@ struct PendingRequest {
 pub struct HashchainApp {
     core: ServerCore,
     collector: Collector,
-    /// `hash_to_batch`: batches whose contents this server knows.
-    hash_to_batch: HashMap<Digest512, Batch>,
+    /// `hash_to_batch`: batches whose contents this server knows. Stored
+    /// behind `Arc` so repeated queue processing (one pass per hash-batch
+    /// signer) shares the contents instead of cloning the element vector.
+    hash_to_batch: HashMap<Digest512, Arc<Batch>>,
     /// `hash_to_signers`: servers whose hash-batches for a hash have been
     /// observed on the ledger.
     hash_to_signers: HashMap<Digest512, HashSet<ProcessId>>,
@@ -222,51 +224,50 @@ impl HashchainApp {
         if let Some(shared) = &self.shared_registry {
             shared.register(hash, batch.clone());
         }
-        self.hash_to_batch.insert(hash, batch);
+        let batch = Arc::new(batch);
+        self.hash_to_batch.insert(hash, Arc::clone(&batch));
         ctx.consume_cpu(self.core.config.costs.sign);
         let hb = HashBatch::new(&self.core.keys, hash);
         self.my_signed.insert(hash);
         self.core.stats.batches_flushed += 1;
         let tx = SetchainTx::HashBatch(hb);
         let tx_id = setchain_ledger::TxData::tx_id(&tx);
-        if let Some(batch) = self.hash_to_batch.get(&hash) {
-            for e in &batch.elements {
-                self.core.trace.record_tx_assignment(e.id, tx_id);
-            }
+        for e in &batch.elements {
+            self.core.trace.record_tx_assignment(e.id, tx_id);
         }
         ctx.append(tx);
         // Push-based dissemination variant: ship the batch contents to every
         // other server out of band, so that when the hash-batch lands in a
         // block they already hold the contents and skip `Request_batch`.
+        // The batch is cloned into the message once and Arc-shared across
+        // all recipients by `broadcast_app`.
         if self.core.config.push_batches {
-            if let Some(batch) = self.hash_to_batch.get(&hash).cloned() {
-                for i in 0..self.core.config.servers {
-                    let peer = ProcessId::server(i);
-                    if peer == self.core.id() {
-                        continue;
-                    }
-                    ctx.send_app(
-                        peer,
-                        SetchainMsg::PushBatch {
-                            hash,
-                            elements: batch.elements.clone(),
-                            proofs: batch.proofs.clone(),
-                        },
-                    );
-                }
-            }
+            let me = self.core.id();
+            let peers = (0..self.core.config.servers)
+                .map(ProcessId::server)
+                .filter(|p| *p != me);
+            ctx.broadcast_app(
+                peers,
+                SetchainMsg::PushBatch {
+                    hash,
+                    elements: batch.elements.clone(),
+                    proofs: batch.proofs.clone(),
+                },
+            );
         }
     }
 
     /// Looks up the batch contents for `hash`, consulting the shared registry
-    /// in light mode.
-    fn lookup_batch(&mut self, hash: &Digest512) -> Option<Batch> {
+    /// in light mode. The returned `Arc` is a refcount bump, not a copy of
+    /// the batch contents.
+    fn lookup_batch(&mut self, hash: &Digest512) -> Option<Arc<Batch>> {
         if let Some(b) = self.hash_to_batch.get(hash) {
-            return Some(b.clone());
+            return Some(Arc::clone(b));
         }
         if let Some(shared) = &self.shared_registry {
             if let Some(b) = shared.get(hash) {
-                self.hash_to_batch.insert(*hash, b.clone());
+                let b = Arc::new(b);
+                self.hash_to_batch.insert(*hash, Arc::clone(&b));
                 return Some(b);
             }
         }
@@ -421,7 +422,7 @@ impl HashchainApp {
     fn handle_hash_batch(
         &mut self,
         hb: HashBatch,
-        batch: Option<Batch>,
+        batch: Option<Arc<Batch>>,
         ctx: &mut Ctx<'_, '_, '_>,
     ) {
         let now = ctx.now();
@@ -464,8 +465,12 @@ impl HashchainApp {
         let enough = signers.len() >= self.core.config.proof_quorum();
         if enough && !self.consolidated.contains(&hash) {
             self.consolidated.insert(hash);
-            let elements = batch.map(|b| b.elements).unwrap_or_default();
-            let g = self.core.extract_epoch_candidates(&elements, validate, ctx);
+            let g = match &batch {
+                Some(b) => self
+                    .core
+                    .extract_epoch_candidates(&b.elements, validate, ctx),
+                None => Vec::new(),
+            };
             let (_, proof) = self.core.create_epoch(g, now, ctx);
             // Epoch-proofs are only emitted by the designated signer set (all
             // servers unless the 2f+1 variant is configured); every server
@@ -560,7 +565,7 @@ impl Application for HashchainApp {
                 let batch = Batch { elements, proofs };
                 ctx.consume_cpu(self.core.config.costs.hash_cost(batch.wire_size()));
                 if batch_hash(&batch.elements, &batch.proofs) == hash {
-                    self.hash_to_batch.insert(hash, batch);
+                    self.hash_to_batch.insert(hash, Arc::new(batch));
                     self.prefetched.remove(&hash);
                     if head_waiting {
                         self.waiting = None;
@@ -591,7 +596,7 @@ impl Application for HashchainApp {
                 if batch_hash(&batch.elements, &batch.proofs) != hash {
                     return;
                 }
-                self.hash_to_batch.insert(hash, batch);
+                self.hash_to_batch.insert(hash, Arc::new(batch));
                 self.prefetched.remove(&hash);
                 let head_waiting = self
                     .waiting

@@ -77,7 +77,15 @@ pub fn epoch_hash(epoch: u64, elements: &[Element]) -> Digest512 {
 
 /// Creates the epoch-proof `p_v(i) = Sign_v(Hash(i, elements))`.
 pub fn make_epoch_proof(keys: &KeyPair, epoch: u64, elements: &[Element]) -> EpochProof {
-    let digest = epoch_hash(epoch, elements);
+    make_epoch_proof_for_digest(keys, epoch, &epoch_hash(epoch, elements))
+}
+
+/// Creates an epoch-proof over an already-computed epoch digest.
+///
+/// Servers cache the digest of every epoch they record
+/// ([`crate::SetchainState::epoch_digest`]), so signing and verifying proofs
+/// does not re-hash the epoch's elements at every site.
+pub fn make_epoch_proof_for_digest(keys: &KeyPair, epoch: u64, digest: &Digest512) -> EpochProof {
     EpochProof {
         epoch,
         signer: keys.id,
@@ -94,13 +102,23 @@ pub fn verify_epoch_proof(
     proof: &EpochProof,
     elements: &[Element],
 ) -> bool {
+    verify_epoch_proof_digest(registry, servers, proof, &epoch_hash(proof.epoch, elements))
+}
+
+/// [`verify_epoch_proof`] against a cached epoch digest: same verdict, no
+/// re-hash of the epoch elements.
+pub fn verify_epoch_proof_digest(
+    registry: &KeyRegistry,
+    servers: usize,
+    proof: &EpochProof,
+    digest: &Digest512,
+) -> bool {
     if proof.signature.signer != proof.signer {
         return false;
     }
     if !proof.signer.is_server() || proof.signer.server_index() >= servers {
         return false;
     }
-    let digest = epoch_hash(proof.epoch, elements);
     verify(registry, digest.as_bytes(), &proof.signature)
 }
 

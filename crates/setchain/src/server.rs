@@ -1,15 +1,17 @@
 //! Code shared by the three Setchain server implementations: client `add` /
 //! `get` handling, epoch-proof bookkeeping and epoch creation.
 
-use setchain_crypto::{KeyPair, KeyRegistry, ProcessId, Signature};
+use std::collections::HashMap;
+
+use setchain_crypto::{parallel_map, HmacSha256Key, KeyPair, KeyRegistry, ProcessId, Signature};
 use setchain_ledger::AppCtx;
 use setchain_simnet::SimTime;
 
 use crate::byzantine::ServerByzMode;
 use crate::config::SetchainConfig;
-use crate::element::Element;
+use crate::element::{Element, ElementId};
 use crate::messages::SetchainMsg;
-use crate::proofs::{make_epoch_proof, verify_epoch_proof, EpochProof};
+use crate::proofs::{make_epoch_proof_for_digest, verify_epoch_proof_digest, EpochProof};
 use crate::state::SetchainState;
 use crate::trace::SetchainTrace;
 use crate::tx::SetchainTx;
@@ -62,6 +64,20 @@ pub struct ServerCore {
     pub byz: ServerByzMode,
     /// Counters.
     pub stats: ServerStats,
+    /// Precomputed HMAC key schedules, one per registered (non-server)
+    /// client this server has validated elements from. Populated lazily;
+    /// bounded by the number of clients.
+    client_keys: HashMap<ProcessId, HmacSha256Key>,
+    /// Memoized validation verdicts: an element's authenticator digest is
+    /// checked exactly once per server. The exact validated element is
+    /// stored alongside the verdict so a Byzantine peer re-sending a
+    /// tampered element under a known id still fails validation. Verdicts
+    /// that depend on registry *absence* (unknown client) are never cached,
+    /// so a client registered later is still picked up; replacing an
+    /// already-registered key mid-run is not supported by the caches.
+    validity_cache: HashMap<ElementId, (Element, bool)>,
+    /// Worker threads for batched parallel validation (resolved once).
+    threads: usize,
 }
 
 impl ServerCore {
@@ -81,12 +97,106 @@ impl ServerCore {
             trace,
             byz,
             stats: ServerStats::default(),
+            client_keys: HashMap::new(),
+            validity_cache: HashMap::new(),
+            threads: setchain_crypto::default_threads(),
         }
     }
 
     /// This server's process id.
     pub fn id(&self) -> ProcessId {
         self.keys.id
+    }
+
+    /// Resolves (and caches) the HMAC key schedule for a registered
+    /// non-server client. Unknown or server ids are never cached, so a
+    /// client registered later is still picked up.
+    fn client_key(&mut self, client: ProcessId) -> Option<&HmacSha256Key> {
+        if !self.client_keys.contains_key(&client) {
+            let pair = self.registry.lookup(client)?;
+            if pair.id.is_server() {
+                return None;
+            }
+            self.client_keys
+                .insert(client, HmacSha256Key::new(&pair.secret.0));
+        }
+        self.client_keys.get(&client)
+    }
+
+    /// Validates one element, memoized: semantically identical to
+    /// `element.is_valid(&self.registry)` but the authenticator digest is
+    /// computed at most once per element per server, and the per-client HMAC
+    /// key schedule is shared across elements.
+    pub fn element_valid(&mut self, element: &Element) -> bool {
+        if let Some((cached, verdict)) = self.validity_cache.get(&element.id) {
+            if cached == element {
+                return *verdict;
+            }
+        }
+        let key = self.client_key(element.client);
+        let (verdict, cacheable) = Self::verdict_with_key(element, key);
+        if cacheable {
+            self.validity_cache.insert(element.id, (*element, verdict));
+        }
+        verdict
+    }
+
+    /// The one verdict rule shared by the single-element and batched paths:
+    /// `key` is the claimed client's resolved schedule (`None` for unknown
+    /// clients and server-claimed elements). The second value says whether
+    /// the verdict is stable enough to memoize: verdicts backed by a key
+    /// schedule or by an intrinsic property (degenerate size, server-claimed)
+    /// are; a `false` that merely reflects the client being absent from the
+    /// registry is not — the client may register later, and `is_valid` would
+    /// then change its answer.
+    fn verdict_with_key(element: &Element, key: Option<&HmacSha256Key>) -> (bool, bool) {
+        if !element.size_in_bounds() || element.client.is_server() {
+            return (false, true);
+        }
+        match key {
+            Some(key) => (element.auth_matches(key), true),
+            None => (false, false),
+        }
+    }
+
+    /// Validates a batch of elements, returning one verdict per element in
+    /// order — the batched core of server-side validation. Memoized verdicts
+    /// are served from the cache; the misses are checked through
+    /// `parallel_map` (sequential below its `MIN_PARALLEL_LEN` threshold)
+    /// with per-client precomputed HMAC key schedules.
+    pub fn validate_elements(&mut self, elements: &[Element]) -> Vec<bool> {
+        let mut verdicts = vec![false; elements.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, e) in elements.iter().enumerate() {
+            match self.validity_cache.get(&e.id) {
+                Some((cached, verdict)) if cached == e => verdicts[i] = *verdict,
+                _ => misses.push(i),
+            }
+        }
+        if misses.is_empty() {
+            return verdicts;
+        }
+        // Warm the per-client key schedules single-threaded (the distinct
+        // client set is tiny next to the batch), then fan the authenticator
+        // checks out over the batch.
+        for &i in &misses {
+            let _ = self.client_key(elements[i].client);
+        }
+        let pending: Vec<Element> = misses.iter().map(|&i| elements[i]).collect();
+        let keys = &self.client_keys;
+        // A key-schedule miss after the warm-up above means the client is
+        // unknown (or server-claimed); `verdict_with_key` applies the same
+        // rule as the single-element path.
+        let checked = parallel_map(&pending, self.threads, |e| {
+            Self::verdict_with_key(e, keys.get(&e.client))
+        });
+        for (&i, (e, (verdict, cacheable))) in misses.iter().zip(pending.iter().zip(checked)) {
+            verdicts[i] = verdict;
+            if cacheable {
+                self.validity_cache.insert(e.id, (*e, verdict));
+            }
+        }
+        verdicts
     }
 
     /// The paper's `add(e)` precondition: `valid_element(e) ∧ e ∉ the_set`.
@@ -98,7 +208,7 @@ impl ServerCore {
             return false;
         }
         ctx.consume_cpu(self.config.costs.validate_element);
-        if !element.is_valid(&self.registry) || self.state.contains(&element.id) {
+        if !self.element_valid(element) || self.state.contains(&element.id) {
             self.stats.adds_rejected += 1;
             return false;
         }
@@ -134,7 +244,7 @@ impl ServerCore {
                     .epoch_elements(*epoch)
                     .map(|e| e.to_vec())
                     .unwrap_or_default();
-                let proofs = self.state.proofs_for(*epoch);
+                let proofs = self.state.proofs_for(*epoch).to_vec();
                 ctx.send_app(
                     from,
                     SetchainMsg::EpochResponse {
@@ -156,11 +266,13 @@ impl ServerCore {
     /// the experiment trace.
     pub fn ingest_proof(&mut self, proof: EpochProof, now: SimTime, ctx: &mut Ctx<'_, '_, '_>) {
         ctx.consume_cpu(self.config.costs.verify_signature);
-        let Some(elements) = self.state.epoch_elements(proof.epoch) else {
+        // The digest of every recorded epoch is cached at creation time, so
+        // verifying the up-to-n proofs of an epoch re-hashes nothing.
+        let Some(digest) = self.state.epoch_digest(proof.epoch) else {
             self.stats.proofs_rejected += 1;
             return;
         };
-        if !verify_epoch_proof(&self.registry, self.config.servers, &proof, elements) {
+        if !verify_epoch_proof_digest(&self.registry, self.config.servers, &proof, digest) {
             self.stats.proofs_rejected += 1;
             return;
         }
@@ -190,7 +302,10 @@ impl ServerCore {
         let bytes: usize = stamped.iter().map(|e| e.wire_size()).sum();
         ctx.consume_cpu(self.config.costs.hash_cost(bytes));
         ctx.consume_cpu(self.config.costs.sign);
-        let mut proof = make_epoch_proof(&self.keys, epoch, stamped);
+        // Sign over the digest `record_epoch` just cached — the one place
+        // the epoch's elements are actually hashed.
+        let digest = self.state.epoch_digest(epoch).expect("just created");
+        let mut proof = make_epoch_proof_for_digest(&self.keys, epoch, digest);
         if self.byz == ServerByzMode::ForgeProofs {
             proof.signature = Signature::forged(self.keys.id);
         }
@@ -200,6 +315,10 @@ impl ServerCore {
     /// Filters the elements of a batch/block down to the set `G` that forms a
     /// new epoch: valid elements (unless `validate` is false, for the light
     /// ablations) that are not yet in `history`, de-duplicated.
+    ///
+    /// Validation of the deduplicated candidates goes through
+    /// [`validate_elements`](Self::validate_elements): batched, parallel
+    /// above the `MIN_PARALLEL_LEN` threshold, memoized per element.
     pub fn extract_epoch_candidates(
         &mut self,
         elements: &[Element],
@@ -210,17 +329,187 @@ impl ServerCore {
             ctx.consume_cpu(self.config.costs.validate_cost(elements.len()));
         }
         let mut seen = std::collections::HashSet::new();
-        let mut out = Vec::new();
+        let mut candidates = Vec::new();
         for e in elements {
             if self.state.in_history(&e.id) || !seen.insert(e.id) {
                 continue;
             }
-            if validate && !e.is_valid(&self.registry) {
+            candidates.push(*e);
+        }
+        if !validate {
+            return candidates;
+        }
+        let verdicts = self.validate_elements(&candidates);
+        let mut out = Vec::with_capacity(candidates.len());
+        for (e, ok) in candidates.into_iter().zip(verdicts) {
+            if ok {
+                out.push(e);
+            } else {
                 self.stats.elements_rejected += 1;
-                continue;
             }
-            out.push(*e);
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::ElementId;
+
+    fn core_with(seed: u64, servers: usize, clients: usize) -> (ServerCore, KeyRegistry) {
+        let registry = KeyRegistry::bootstrap(seed, servers, clients);
+        let keys = registry.lookup(ProcessId::server(0)).unwrap();
+        let core = ServerCore::new(
+            keys,
+            registry.clone(),
+            SetchainConfig::new(servers),
+            SetchainTrace::new(),
+            ServerByzMode::Correct,
+        );
+        (core, registry)
+    }
+
+    /// Builds an element from a compact spec: `(client index, sequence,
+    /// size, kind)` where kind 0 = valid, 1 = forged authenticator,
+    /// 2 = tampered size, 3 = signed with a server key, 4 = signed with a
+    /// *different* client's key (a Byzantine client impersonation), and the
+    /// client index may point outside the registered set.
+    fn element_from_spec(
+        registry: &KeyRegistry,
+        clients: usize,
+        spec: (usize, u64, u32, u8),
+    ) -> Element {
+        let (client_idx, seq, size, kind) = spec;
+        let client = ProcessId::client(client_idx);
+        let id = ElementId::new(client_idx as u32, seq);
+        match kind {
+            1 => Element::forged(client, id, size),
+            2 => {
+                let keys = registry
+                    .lookup(ProcessId::client(client_idx % clients))
+                    .unwrap();
+                let mut e = Element::new(&keys, id, size.max(1), seq);
+                e.size = e.size.wrapping_add(7);
+                e.client = client;
+                e
+            }
+            3 => {
+                let keys = registry.lookup(ProcessId::server(0)).unwrap();
+                let mut e = Element::new(&keys, id, size, seq);
+                // Keep the server as the claimed signer.
+                e.client = ProcessId::server(0);
+                e
+            }
+            4 => {
+                let other = registry
+                    .lookup(ProcessId::client((client_idx + 1) % clients))
+                    .unwrap();
+                let mut e = Element::new(&other, id, size, seq);
+                e.client = client; // claims a client whose key did not sign
+                e
+            }
+            _ => match registry.lookup(client) {
+                Some(keys) => Element::new(&keys, id, size, seq),
+                None => Element::forged(client, id, size),
+            },
+        }
+    }
+
+    #[test]
+    fn batched_validation_matches_sequential_above_parallel_threshold() {
+        let clients = 5usize;
+        let (mut core, registry) = core_with(17, 4, clients);
+        core.threads = 4; // force the parallel path even on a 1-core host
+        let n = setchain_crypto::MIN_PARALLEL_LEN + 64;
+        let elements: Vec<Element> = (0..n)
+            .map(|i| {
+                element_from_spec(
+                    &registry,
+                    clients,
+                    (
+                        i % (clients + 2),
+                        i as u64,
+                        100 + (i % 900) as u32,
+                        (i % 5) as u8,
+                    ),
+                )
+            })
+            .collect();
+        let sequential: Vec<bool> = elements.iter().map(|e| e.is_valid(&registry)).collect();
+        let batched = core.validate_elements(&elements);
+        assert_eq!(batched, sequential);
+        assert!(sequential.iter().any(|v| *v), "some valid elements");
+        assert!(sequential.iter().any(|v| !*v), "some invalid elements");
+        // Second pass is served from the memo and must agree.
+        assert_eq!(core.validate_elements(&elements), sequential);
+    }
+
+    #[test]
+    fn late_client_registration_is_picked_up() {
+        let (mut core, registry) = core_with(31, 2, 1);
+        let late = KeyPair::derive(ProcessId::client(5), 777);
+        let e = Element::new(&late, ElementId::new(5, 1), 300, 1);
+        // Unknown client: invalid through every path, and not memoized.
+        assert!(!core.element_valid(&e));
+        assert_eq!(core.validate_elements(&[e]), vec![false]);
+        // Once the client registers, the same element validates.
+        registry.register(late);
+        assert!(core.element_valid(&e));
+        assert_eq!(core.validate_elements(&[e]), vec![true]);
+    }
+
+    #[test]
+    fn memo_does_not_trust_tampered_resends_under_a_known_id() {
+        let (mut core, registry) = core_with(23, 4, 2);
+        let keys = registry.lookup(ProcessId::client(0)).unwrap();
+        let good = Element::new(&keys, ElementId::new(0, 1), 400, 9);
+        assert!(core.element_valid(&good));
+        // Same id, different contents: the cached verdict must not leak.
+        let mut tampered = good;
+        tampered.content_seed ^= 0xFF;
+        assert!(!core.element_valid(&tampered));
+        // And the original still validates afterwards.
+        assert!(core.element_valid(&good));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Batched parallel validation accepts/rejects exactly the same
+            /// element sets as the sequential `is_valid` path, for arbitrary
+            /// mixes of valid, forged, tampered, server-signed and
+            /// Byzantine-impersonated elements — including duplicate ids,
+            /// unknown clients and degenerate sizes.
+            #[test]
+            fn prop_batched_validation_equals_sequential(
+                specs in proptest::collection::vec(
+                    (0usize..8, 0u64..32, 0u32..2000, 0u8..5),
+                    0..120,
+                ),
+                threads in 1usize..8,
+                seed in 1u64..500,
+            ) {
+                let clients = 5usize;
+                let (mut core, registry) = core_with(seed, 4, clients);
+                core.threads = threads;
+                let elements: Vec<Element> = specs
+                    .iter()
+                    .map(|s| element_from_spec(&registry, clients, *s))
+                    .collect();
+                let sequential: Vec<bool> =
+                    elements.iter().map(|e| e.is_valid(&registry)).collect();
+                let batched = core.validate_elements(&elements);
+                prop_assert_eq!(&batched, &sequential);
+                // Re-validation through the memo is stable.
+                prop_assert_eq!(&core.validate_elements(&elements), &sequential);
+                // The single-element memoized path agrees too.
+                for (e, expected) in elements.iter().zip(&sequential) {
+                    prop_assert_eq!(core.element_valid(e), *expected);
+                }
+            }
+        }
     }
 }

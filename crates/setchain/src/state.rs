@@ -4,11 +4,11 @@
 
 use std::collections::{HashMap, HashSet};
 
-use setchain_crypto::ProcessId;
+use setchain_crypto::Digest512;
 
 use crate::element::{Element, ElementId};
 use crate::messages::GetSnapshot;
-use crate::proofs::EpochProof;
+use crate::proofs::{epoch_hash, EpochProof};
 
 /// The four components of a Setchain returned by `get()`:
 /// `(the_set, history, epoch, proofs)`.
@@ -20,10 +20,16 @@ pub struct SetchainState {
     epoch: u64,
     /// `history[i - 1]` holds the elements stamped with epoch `i`.
     history: Vec<Vec<Element>>,
+    /// `epoch_digests[i - 1]` caches `Hash(i, history[i])`, computed exactly
+    /// once when the epoch is recorded. Every proof made or verified for the
+    /// epoch reuses it instead of re-hashing the elements.
+    epoch_digests: Vec<Digest512>,
     /// Reverse index: element id → epoch it was stamped with.
     element_epoch: HashMap<ElementId, u64>,
-    /// Epoch-proofs received, per epoch and per signer.
-    proofs: HashMap<u64, HashMap<ProcessId, EpochProof>>,
+    /// Epoch-proofs received, per epoch, at most one per signer. The inner
+    /// collection is a `Vec` so `proofs_for` can hand out a borrowed slice;
+    /// signer sets are tiny (≤ n servers) so the linear dedup is cheap.
+    proofs: HashMap<u64, Vec<EpochProof>>,
 }
 
 impl SetchainState {
@@ -94,15 +100,29 @@ impl SetchainState {
             self.the_set.insert(e.id);
             self.element_epoch.insert(e.id, self.epoch);
         }
+        // The epoch digest is computed exactly once, here; every proof site
+        // (signing our own proof, verifying up to n peer proofs) reuses it.
+        self.epoch_digests.push(epoch_hash(self.epoch, &elements));
         self.history.push(elements);
         self.epoch
+    }
+
+    /// The cached digest `Hash(i, history[i])` of epoch `i` (1-based), if the
+    /// epoch exists.
+    pub fn epoch_digest(&self, epoch: u64) -> Option<&Digest512> {
+        if epoch == 0 || epoch > self.epoch {
+            return None;
+        }
+        self.epoch_digests.get((epoch - 1) as usize)
     }
 
     /// Records an epoch-proof. Returns the number of distinct signers now
     /// known for that epoch.
     pub fn add_proof(&mut self, proof: EpochProof) -> usize {
         let per_epoch = self.proofs.entry(proof.epoch).or_default();
-        per_epoch.entry(proof.signer).or_insert(proof);
+        if !per_epoch.iter().any(|p| p.signer == proof.signer) {
+            per_epoch.push(proof);
+        }
         per_epoch.len()
     }
 
@@ -111,12 +131,11 @@ impl SetchainState {
         self.proofs.get(&epoch).map(|m| m.len()).unwrap_or(0)
     }
 
-    /// The proofs held for `epoch`.
-    pub fn proofs_for(&self, epoch: u64) -> Vec<EpochProof> {
-        self.proofs
-            .get(&epoch)
-            .map(|m| m.values().copied().collect())
-            .unwrap_or_default()
+    /// The proofs held for `epoch`, borrowed — no clone per call. Callers
+    /// that need ownership (e.g. to ship the proofs to a client) copy
+    /// explicitly with `.to_vec()`.
+    pub fn proofs_for(&self, epoch: u64) -> &[EpochProof] {
+        self.proofs.get(&epoch).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Total number of proofs held across all epochs.
@@ -196,7 +215,7 @@ mod tests {
     use super::*;
     use crate::element::ElementId;
     use crate::proofs::make_epoch_proof;
-    use setchain_crypto::KeyRegistry;
+    use setchain_crypto::{KeyRegistry, ProcessId};
 
     fn elements(range: std::ops::Range<u64>) -> Vec<Element> {
         let reg = KeyRegistry::bootstrap(1, 1, 1);
@@ -239,6 +258,22 @@ mod tests {
         let epoch2 = st.record_epoch(elements(5..8));
         assert_eq!(epoch2, 2);
         assert!(st.check_unique_epoch());
+    }
+
+    #[test]
+    fn epoch_digests_are_cached_and_match_recomputation() {
+        let mut st = SetchainState::new();
+        assert!(st.epoch_digest(0).is_none());
+        assert!(st.epoch_digest(1).is_none());
+        let es = elements(0..5);
+        st.record_epoch(es.clone());
+        st.record_epoch(elements(5..7));
+        assert_eq!(st.epoch_digest(1), Some(&epoch_hash(1, &es)));
+        assert_eq!(
+            st.epoch_digest(2),
+            Some(&epoch_hash(2, st.epoch_elements(2).unwrap()))
+        );
+        assert!(st.epoch_digest(3).is_none());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use std::any::Any;
 use std::fmt::Debug;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use setchain_crypto::ProcessId;
@@ -26,11 +27,17 @@ pub trait Wire: Clone + Debug + Send + 'static {
 
 /// Actions a process can ask the simulation to perform. Collected during a
 /// handler invocation and applied by the scheduler afterwards.
+///
+/// Messages are carried as `Arc<M>` so that fan-out sends (broadcasts to all
+/// peers) enqueue one shared payload with a refcount bump per recipient
+/// instead of deep-cloning the message per peer. The scheduler hands each
+/// recipient an owned `M` at delivery time: the last reference is unwrapped
+/// without a copy, so point-to-point messages are never cloned at all.
 #[derive(Debug)]
 pub(crate) enum Action<M> {
     Send {
         to: ProcessId,
-        msg: M,
+        msg: Arc<M>,
     },
     SetTimer {
         delay: SimDuration,
@@ -65,18 +72,31 @@ impl<'a, M> Context<'a, M> {
     /// Sends `msg` to `to`. Delivery time is decided by the network model;
     /// the message may be lost if loss or partitions are configured.
     pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.send_shared(to, Arc::new(msg));
+    }
+
+    /// Sends an already-`Arc`-wrapped message: the send itself is a refcount
+    /// bump, and the queue holds one shared payload for all recipients.
+    /// Ownership is materialized lazily at delivery, so the final recipient
+    /// (and every point-to-point or lost message) never clones; earlier
+    /// recipients of a broadcast clone then. This is the fan-out primitive —
+    /// wrap the message once, then `send_shared` a clone of the `Arc` to
+    /// every recipient.
+    pub fn send_shared(&mut self, to: ProcessId, msg: Arc<M>) {
         self.actions.push(Action::Send { to, msg });
     }
 
-    /// Sends a copy of `msg` to every process in `peers` (excluding no one;
-    /// include or exclude self in the iterator as desired).
+    /// Sends `msg` to every process in `peers` (excluding no one; include or
+    /// exclude self in the iterator as desired). The payload is wrapped in
+    /// an `Arc` once and shared across the queue (see
+    /// [`send_shared`](Self::send_shared) for when clones still happen).
     pub fn send_to_all<I>(&mut self, peers: I, msg: M)
     where
         I: IntoIterator<Item = ProcessId>,
-        M: Clone,
     {
+        let msg = Arc::new(msg);
         for peer in peers {
-            self.send(peer, msg.clone());
+            self.send_shared(peer, Arc::clone(&msg));
         }
     }
 

@@ -9,6 +9,7 @@
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -49,7 +50,11 @@ enum EventKind<M> {
     Deliver {
         from: ProcessId,
         to: ProcessId,
-        msg: M,
+        /// Shared payload: a broadcast enqueues one allocation for all
+        /// recipients. Ownership is materialized at delivery time
+        /// (`Arc::try_unwrap`), so the last — often the only — recipient
+        /// takes the message without a copy.
+        msg: Arc<M>,
     },
     Timer {
         node: ProcessId,
@@ -190,7 +195,14 @@ impl<M: Wire> Simulation<M> {
     /// tests and by workload drivers that are not modelled as actors).
     pub fn schedule_message(&mut self, at: SimTime, from: ProcessId, to: ProcessId, msg: M) {
         assert!(at >= self.now, "cannot schedule in the past");
-        self.push(at, EventKind::Deliver { from, to, msg });
+        self.push(
+            at,
+            EventKind::Deliver {
+                from,
+                to,
+                msg: Arc::new(msg),
+            },
+        );
     }
 
     /// Schedules a timer for `node` from outside the simulation.
@@ -288,6 +300,11 @@ impl<M: Wire> Simulation<M> {
         self.events_processed += 1;
         match event.kind {
             EventKind::Deliver { from, to, msg } => {
+                // Take ownership of the payload: free for the last holder of
+                // a shared broadcast payload and for all point-to-point
+                // messages; earlier broadcast recipients clone here, lazily,
+                // instead of at send time.
+                let msg = Arc::try_unwrap(msg).unwrap_or_else(|shared| (*shared).clone());
                 self.run_handler(to, |p, ctx| p.on_message(from, msg, ctx));
             }
             EventKind::Timer { node, token } => {

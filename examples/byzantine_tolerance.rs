@@ -87,7 +87,7 @@ fn main() {
             f,
             1,
             elements,
-            &state.proofs_for(1),
+            state.proofs_for(1),
         );
         println!("light-client verification of epoch 1: {verdict:?}");
     }

@@ -106,11 +106,23 @@ impl BenchmarkId {
             parameter: parameter.to_string(),
         }
     }
+
+    /// Parameter-only id, like the real crate's `BenchmarkId::from_parameter`.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for BenchmarkId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{}", self.function, self.parameter)
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
     }
 }
 
