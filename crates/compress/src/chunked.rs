@@ -1,0 +1,418 @@
+//! Framed, chunk-parallel LZ77 format.
+//!
+//! The single-stream format of [`crate::lz77`] is inherently sequential:
+//! every token may reference bytes produced by any earlier token.
+//! Compresschain flushes batches on a hot path and decompresses every batch
+//! delivered through the ledger, so this module adds a *chunked* framing
+//! that splits the input into independent chunks, each compressed as its own
+//! single stream. Chunks share no window, so they compress and decompress in
+//! parallel through [`setchain_crypto::parallel_map_min`], one worker per
+//! chunk, with per-thread [`crate::Compressor`] scratch.
+//!
+//! # Wire format
+//!
+//! All integers are LEB128 varints ([`crate::varint`]):
+//!
+//! ```text
+//! chunked := magic total_len chunk_count chunk{chunk_count}
+//! chunk   := compressed_len stream          (stream: crate::lz77 format)
+//! magic   := varint(CHUNKED_MAGIC)
+//! ```
+//!
+//! `CHUNKED_MAGIC` is larger than [`MAX_DECLARED`], the cap the single-stream
+//! decoder enforces on its leading `original_len` varint — so no valid
+//! single stream starts with the magic, and [`crate::decompress_any`] can
+//! dispatch on the first varint alone. Frame validation is strict: the
+//! chunk count may not exceed `total_len` (every chunk of a well-formed
+//! frame holds at least one byte), every chunk must decompress, the
+//! concatenated output must have exactly `total_len` bytes, and no bytes may
+//! follow the last chunk.
+//!
+//! Byte budget: the frame header costs `5 + len(total_len) + len(chunk_count)`
+//! bytes plus one `compressed_len` varint per chunk — a few bytes per 64 KiB
+//! chunk, which is why Compresschain's `CompressedBatch` accounting charges
+//! the whole frame, headers included.
+
+use crate::lz77::{decompress, Compressor, DecompressError, MAX_DECLARED};
+use crate::varint::{read_u64, write_u64};
+
+/// Marker distinguishing chunked frames from single streams. Deliberately
+/// greater than [`MAX_DECLARED`] (the single-stream decoder rejects any
+/// stream whose leading varint exceeds that), so the two formats are
+/// unambiguous from the first varint.
+pub const CHUNKED_MAGIC: u64 = 0x43_484E_4B31; // "CHNK1", read as a number
+
+/// Default chunk length: 64 KiB balances parallel grain against the loss of
+/// cross-chunk matches (the match window is per-chunk).
+pub const DEFAULT_CHUNK_LEN: usize = 64 * 1024;
+
+/// Chunk counts at or below this are compressed/decompressed sequentially;
+/// above it the per-chunk work (tens of microseconds per 64 KiB) comfortably
+/// amortizes a scoped-thread fan-out.
+const MIN_PARALLEL_CHUNKS: usize = 2;
+
+const _: () = assert!(CHUNKED_MAGIC > MAX_DECLARED);
+
+/// Compresses `data` as a chunked frame with [`DEFAULT_CHUNK_LEN`] chunks.
+///
+/// ```
+/// use setchain_compress::{compress_chunked, decompress_chunked, decompress_any};
+/// let data: Vec<u8> = b"setchain ".iter().copied().cycle().take(100_000).collect();
+/// let frame = compress_chunked(&data);
+/// assert!(frame.len() < data.len());
+/// assert_eq!(decompress_chunked(&frame).unwrap(), data);
+/// // The sniffing entry point accepts chunked frames too.
+/// assert_eq!(decompress_any(&frame).unwrap(), data);
+/// ```
+pub fn compress_chunked(data: &[u8]) -> Vec<u8> {
+    compress_chunked_with(data, DEFAULT_CHUNK_LEN)
+}
+
+/// Compresses `data` as a chunked frame with the given chunk length.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` or `data` is longer than [`MAX_DECLARED`].
+pub fn compress_chunked_with(data: &[u8], chunk_len: usize) -> Vec<u8> {
+    assert!(chunk_len > 0, "chunk length must be positive");
+    assert!(
+        data.len() as u64 <= MAX_DECLARED,
+        "input exceeds MAX_DECLARED"
+    );
+    let chunks: Vec<&[u8]> = data.chunks(chunk_len).collect();
+    let compressed: Vec<Vec<u8>> = setchain_crypto::parallel_map_min(
+        &chunks,
+        setchain_crypto::default_threads(),
+        MIN_PARALLEL_CHUNKS + 1,
+        |chunk| crate::lz77::compress(chunk),
+    );
+    let body: usize = compressed.iter().map(|c| c.len() + 10).sum();
+    let mut out = Vec::with_capacity(body + 24);
+    write_u64(&mut out, CHUNKED_MAGIC);
+    write_u64(&mut out, data.len() as u64);
+    write_u64(&mut out, chunks.len() as u64);
+    for chunk in &compressed {
+        write_u64(&mut out, chunk.len() as u64);
+        out.extend_from_slice(chunk);
+    }
+    out
+}
+
+/// Decompresses a chunked frame produced by [`compress_chunked`] /
+/// [`compress_chunked_with`]. Chunks are decompressed in parallel and every
+/// frame invariant is validated (see the module docs); malformed input
+/// returns a [`DecompressError`], never panics.
+pub fn decompress_chunked(data: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    let mut out = Vec::new();
+    decompress_chunked_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompress_chunked`] into a caller-owned buffer (cleared first) — the
+/// hot-path variant: a server that decompresses every delivered batch reuses
+/// one buffer and performs no per-batch allocation. Single-threaded hosts
+/// (and small frames) decode straight into `out`; multicore hosts fan the
+/// chunks out and concatenate. Returns the decompressed length; `out` holds
+/// partial data on error.
+pub fn decompress_chunked_into(data: &[u8], out: &mut Vec<u8>) -> Result<usize, DecompressError> {
+    out.clear();
+    let mut pos = 0usize;
+    let magic = read_u64(data, &mut pos).ok_or(DecompressError::Truncated)?;
+    if magic != CHUNKED_MAGIC {
+        return Err(DecompressError::NotChunked);
+    }
+    let total = read_u64(data, &mut pos).ok_or(DecompressError::Truncated)?;
+    if total > MAX_DECLARED {
+        return Err(DecompressError::DeclaredTooLarge(total));
+    }
+    let chunk_count = read_u64(data, &mut pos).ok_or(DecompressError::Truncated)?;
+    if chunk_count > total {
+        // Every chunk of a well-formed frame decompresses to >= 1 byte.
+        return Err(DecompressError::BadChunkCount(chunk_count));
+    }
+    // ...and occupies at least 1 frame byte (its length varint), so a count
+    // exceeding the remaining frame bytes is Byzantine — reject it *before*
+    // sizing any allocation by it.
+    if chunk_count > (data.len() - pos) as u64 {
+        return Err(DecompressError::BadChunkCount(chunk_count));
+    }
+
+    // Scan the frame for the chunk boundaries first; decompression of the
+    // chunk bodies then runs over independent slices.
+    let mut bodies: Vec<&[u8]> = Vec::with_capacity(chunk_count as usize);
+    for _ in 0..chunk_count {
+        let len = read_u64(data, &mut pos).ok_or(DecompressError::Truncated)? as usize;
+        let end = pos.checked_add(len).ok_or(DecompressError::Truncated)?;
+        if end > data.len() {
+            return Err(DecompressError::Truncated);
+        }
+        bodies.push(&data[pos..end]);
+        pos = end;
+    }
+    if pos != data.len() {
+        return Err(DecompressError::TrailingBytes(data.len() - pos));
+    }
+
+    let threads = setchain_crypto::default_threads();
+    if threads <= 1 || bodies.len() <= MIN_PARALLEL_CHUNKS {
+        // Sequential fast path: decode each chunk directly into `out`.
+        out.reserve(total as usize);
+        for body in &bodies {
+            crate::lz77::decompress_into(body, out)?;
+        }
+    } else {
+        let parts: Vec<Result<Vec<u8>, DecompressError>> =
+            setchain_crypto::parallel_map_min(&bodies, threads, MIN_PARALLEL_CHUNKS + 1, |body| {
+                decompress(body)
+            });
+        out.reserve(total as usize);
+        for part in parts {
+            out.extend_from_slice(&part?);
+        }
+    }
+    if out.len() as u64 != total {
+        return Err(DecompressError::LengthMismatch {
+            declared: total as usize,
+            actual: out.len(),
+        });
+    }
+    Ok(out.len())
+}
+
+/// True if `data` starts with the chunked-frame magic.
+pub fn is_chunked(data: &[u8]) -> bool {
+    let mut pos = 0usize;
+    read_u64(data, &mut pos) == Some(CHUNKED_MAGIC)
+}
+
+/// Decompresses either wire format: chunked frames are detected by their
+/// magic, everything else is treated as a single stream. See the module docs
+/// for why the dispatch is unambiguous.
+pub fn decompress_any(data: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    if is_chunked(data) {
+        decompress_chunked(data)
+    } else {
+        decompress(data)
+    }
+}
+
+/// Compresses `data` through caller-owned scratch, chunked but sequential —
+/// for callers that manage their own [`Compressor`] and prefer deterministic
+/// single-thread execution (e.g. the discrete-event simulator's tests).
+/// Produces bytes identical to [`compress_chunked_with`].
+pub fn compress_chunked_into(
+    compressor: &mut Compressor,
+    data: &[u8],
+    chunk_len: usize,
+    out: &mut Vec<u8>,
+) {
+    assert!(chunk_len > 0, "chunk length must be positive");
+    assert!(
+        data.len() as u64 <= MAX_DECLARED,
+        "input exceeds MAX_DECLARED"
+    );
+    write_u64(out, CHUNKED_MAGIC);
+    write_u64(out, data.len() as u64);
+    write_u64(out, data.len().div_ceil(chunk_len) as u64);
+    let mut body = Vec::new();
+    for chunk in data.chunks(chunk_len) {
+        body.clear();
+        compressor.compress_into(chunk, &mut body);
+        write_u64(out, body.len() as u64);
+        out.extend_from_slice(&body);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lz77::compress as compress_single;
+
+    fn sample(len: usize) -> Vec<u8> {
+        // Compressible, structured, non-trivial content.
+        (0..len)
+            .map(|i| match i % 7 {
+                0..=3 => b'a' + (i % 4) as u8,
+                4 => b'0' + ((i / 7) % 10) as u8,
+                _ => b' ',
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunked_roundtrip_across_sizes() {
+        for len in [
+            0usize,
+            1,
+            100,
+            DEFAULT_CHUNK_LEN - 1,
+            DEFAULT_CHUNK_LEN,
+            300_000,
+        ] {
+            let data = sample(len);
+            let frame = compress_chunked(&data);
+            assert_eq!(decompress_chunked(&frame).unwrap(), data, "len={len}");
+            assert_eq!(decompress_any(&frame).unwrap(), data, "len={len}");
+        }
+    }
+
+    #[test]
+    fn small_chunk_lengths_roundtrip() {
+        let data = sample(10_000);
+        for chunk_len in [1usize, 7, 100, 4096] {
+            let frame = compress_chunked_with(&data, chunk_len);
+            assert_eq!(decompress_chunked(&frame).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn sequential_into_matches_parallel_bytes() {
+        let data = sample(200_000);
+        let mut compressor = Compressor::new();
+        let mut seq = Vec::new();
+        compress_chunked_into(&mut compressor, &data, DEFAULT_CHUNK_LEN, &mut seq);
+        assert_eq!(seq, compress_chunked(&data));
+    }
+
+    #[test]
+    fn single_stream_is_not_mistaken_for_chunked() {
+        let data = sample(5_000);
+        let single = compress_single(&data);
+        assert!(!is_chunked(&single));
+        assert!(is_chunked(&compress_chunked(&data)));
+        assert_eq!(decompress_any(&single).unwrap(), data);
+        assert!(matches!(
+            decompress_chunked(&single),
+            Err(DecompressError::NotChunked)
+        ));
+    }
+
+    #[test]
+    fn bad_total_length_rejected() {
+        let mut frame = Vec::new();
+        write_u64(&mut frame, CHUNKED_MAGIC);
+        write_u64(&mut frame, MAX_DECLARED + 1);
+        write_u64(&mut frame, 0);
+        assert!(matches!(
+            decompress_chunked(&frame),
+            Err(DecompressError::DeclaredTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn excessive_chunk_count_rejected() {
+        let mut frame = Vec::new();
+        write_u64(&mut frame, CHUNKED_MAGIC);
+        write_u64(&mut frame, 4); // four bytes total...
+        write_u64(&mut frame, 5); // ...but five chunks
+        assert!(matches!(
+            decompress_chunked(&frame),
+            Err(DecompressError::BadChunkCount(5))
+        ));
+    }
+
+    #[test]
+    fn chunk_count_beyond_frame_bytes_rejected_before_allocation() {
+        // A ~15-byte frame claiming 64Mi chunks passes the count<=total
+        // check but must be rejected against the remaining frame length
+        // before anything is allocated with the claimed capacity.
+        let mut frame = Vec::new();
+        write_u64(&mut frame, CHUNKED_MAGIC);
+        write_u64(&mut frame, MAX_DECLARED);
+        write_u64(&mut frame, MAX_DECLARED); // chunk_count == total
+        assert!(matches!(
+            decompress_chunked(&frame),
+            Err(DecompressError::BadChunkCount(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_chunk_rejected() {
+        let data = sample(50_000);
+        let mut frame = compress_chunked_with(&data, 8 * 1024);
+        frame.truncate(frame.len() - 5);
+        assert!(decompress_chunked(&frame).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let data = sample(10_000);
+        let mut frame = compress_chunked(&data);
+        frame.push(0x00);
+        assert!(matches!(
+            decompress_chunked(&frame),
+            Err(DecompressError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn tampered_declared_total_is_caught() {
+        let data = sample(10_000);
+        let frame = compress_chunked(&data);
+        // Rebuild the frame with a wrong total; chunk bodies unchanged.
+        let mut pos = 0;
+        assert_eq!(read_u64(&frame, &mut pos), Some(CHUNKED_MAGIC));
+        let _total = read_u64(&frame, &mut pos).unwrap();
+        let rest = &frame[pos..];
+        let mut forged = Vec::new();
+        write_u64(&mut forged, CHUNKED_MAGIC);
+        write_u64(&mut forged, 9_999);
+        forged.extend_from_slice(rest);
+        assert!(matches!(
+            decompress_chunked(&forged),
+            Err(DecompressError::LengthMismatch { .. }) | Err(DecompressError::BadChunkCount(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_inner_stream_rejected_not_panicking() {
+        let data = sample(30_000);
+        let mut frame = compress_chunked_with(&data, 4 * 1024);
+        // Flip a byte inside the first chunk body (past the three header
+        // varints and the first chunk-length varint).
+        let idx = 20.min(frame.len() - 1);
+        frame[idx] ^= 0xFF;
+        let _ = decompress_chunked(&frame); // must return, not panic
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Old-format and chunked-format compression are interchangeable:
+            /// both decompress (through their own decoders and through
+            /// `decompress_any`) to the original input.
+            #[test]
+            fn old_vs_chunked_equivalence(
+                data in proptest::collection::vec(any::<u8>(), 0..8192),
+                chunk_len in 1usize..3000,
+            ) {
+                let single = compress_single(&data);
+                let chunked = compress_chunked_with(&data, chunk_len);
+                prop_assert_eq!(crate::lz77::decompress(&single).unwrap(), data.clone());
+                prop_assert_eq!(decompress_chunked(&chunked).unwrap(), data.clone());
+                prop_assert_eq!(decompress_any(&single).unwrap(), data.clone());
+                prop_assert_eq!(decompress_any(&chunked).unwrap(), data);
+            }
+
+            /// The chunked decoder never panics on arbitrary bytes, with or
+            /// without a valid magic prefix.
+            #[test]
+            fn chunked_decoder_never_panics(
+                data in proptest::collection::vec(any::<u8>(), 0..512),
+                prepend_magic in any::<bool>(),
+            ) {
+                let mut frame = Vec::new();
+                if prepend_magic {
+                    write_u64(&mut frame, CHUNKED_MAGIC);
+                }
+                frame.extend_from_slice(&data);
+                let _ = decompress_chunked(&frame);
+                let _ = decompress_any(&frame);
+            }
+        }
+    }
+}

@@ -9,17 +9,45 @@
 //! asserting this). Only the *ratio* matters to the reproduction — it is what
 //! determines how many elements fit in a ledger block.
 //!
+//! # Wire formats
+//!
+//! Two formats share one token alphabet:
+//!
+//! * **Single stream** ([`lz77`]) — `original_len` varint followed by
+//!   literal-run / back-reference tokens. Sequential by construction:
+//!   every back-reference may point into any earlier output.
+//! * **Chunked frame** ([`chunked`]) — a magic varint, the total length, a
+//!   chunk count, and then each chunk as an independent single stream with
+//!   its own length prefix. Chunks share no match window, so both
+//!   compression and decompression fan out across cores via
+//!   [`setchain_crypto::parallel_map_min`].
+//!
+//! The chunked magic is larger than the maximum length the single-stream
+//! decoder accepts, so the formats are unambiguous from the first varint and
+//! [`decompress_any`] handles either. Compression state lives in a reusable
+//! [`Compressor`] (hash-chain tables allocated once, not per batch); the
+//! convenience free functions keep one per thread.
+//!
 //! The public API mirrors what the algorithm pseudocode needs:
-//! [`compress`] / [`decompress`] plus a [`Codec`] trait so experiments can
-//! swap in the identity codec ("Compresschain light", Fig. 2 left ablation).
+//! [`compress`] / [`decompress`] / [`compress_chunked`] /
+//! [`decompress_chunked`] plus a [`Codec`] trait so experiments can swap in
+//! the identity codec ("Compresschain light", Fig. 2 left ablation).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chunked;
 pub mod lz77;
 pub mod varint;
 
-pub use lz77::{compress, decompress, CompressionStats, DecompressError};
+pub use chunked::{
+    compress_chunked, compress_chunked_into, compress_chunked_with, decompress_any,
+    decompress_chunked, decompress_chunked_into, is_chunked, CHUNKED_MAGIC, DEFAULT_CHUNK_LEN,
+};
+pub use lz77::{
+    compress, decompress, decompress_into, CompressionStats, Compressor, DecompressError,
+    MAX_DECLARED,
+};
 
 /// A reversible byte-level codec.
 ///
@@ -34,7 +62,8 @@ pub trait Codec: Send + Sync {
     fn name(&self) -> &'static str;
 }
 
-/// LZ77-based codec (the Brotli stand-in).
+/// LZ77-based codec producing single streams (the Brotli stand-in). Decoding
+/// sniffs the format, so it also accepts chunked frames.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Lz77Codec;
 
@@ -44,11 +73,31 @@ impl Codec for Lz77Codec {
     }
 
     fn decode(&self, data: &[u8]) -> Option<Vec<u8>> {
-        decompress(data).ok()
+        decompress_any(data).ok()
     }
 
     fn name(&self) -> &'static str {
         "lz77"
+    }
+}
+
+/// LZ77 codec producing chunked frames ([`DEFAULT_CHUNK_LEN`] chunks,
+/// compressed and decompressed in parallel). Decoding sniffs the format, so
+/// it also accepts single streams.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChunkedLz77Codec;
+
+impl Codec for ChunkedLz77Codec {
+    fn encode(&self, data: &[u8]) -> Vec<u8> {
+        compress_chunked(data)
+    }
+
+    fn decode(&self, data: &[u8]) -> Option<Vec<u8>> {
+        decompress_any(data).ok()
+    }
+
+    fn name(&self) -> &'static str {
+        "lz77-chunked"
     }
 }
 
@@ -104,6 +153,25 @@ mod tests {
     }
 
     #[test]
+    fn chunked_codec_roundtrip_and_cross_decode() {
+        let chunked = ChunkedLz77Codec;
+        let single = Lz77Codec;
+        let data: Vec<u8> = b"setchain epoch "
+            .iter()
+            .copied()
+            .cycle()
+            .take(150_000)
+            .collect();
+        let frame = chunked.encode(&data);
+        assert_eq!(chunked.decode(&frame).unwrap(), data);
+        // Either codec decodes either format.
+        assert_eq!(single.decode(&frame).unwrap(), data);
+        assert_eq!(chunked.decode(&single.encode(&data)).unwrap(), data);
+        assert_eq!(chunked.name(), "lz77-chunked");
+        assert!(compression_ratio(&chunked, &data) > 2.0);
+    }
+
+    #[test]
     fn ratio_of_empty_is_one() {
         assert_eq!(compression_ratio(&Lz77Codec, b""), 1.0);
     }
@@ -112,6 +180,7 @@ mod tests {
     fn repetitive_data_compresses_well() {
         let data = vec![b'a'; 10_000];
         assert!(compression_ratio(&Lz77Codec, &data) > 20.0);
+        assert!(compression_ratio(&ChunkedLz77Codec, &data) > 20.0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! LZ77 compressor with a hash-chain match finder.
 //!
-//! Stream format (all integers are LEB128 varints, see [`crate::varint`]):
+//! Single-stream format (all integers are LEB128 varints, see
+//! [`crate::varint`]):
 //!
 //! ```text
 //! stream   := original_len token*
@@ -12,7 +13,22 @@
 //! Decompression validates every distance/length against the bytes produced
 //! so far and fails with [`DecompressError`] rather than panicking, because
 //! Compresschain servers decompress batches appended by possibly Byzantine
-//! peers (Algorithm Compresschain, line 20).
+//! peers (Algorithm Compresschain, line 20). The parallel *chunked* framing
+//! that wraps this stream lives in [`crate::chunked`].
+//!
+//! # Match finder
+//!
+//! Compression runs through a [`Compressor`], which owns the `head`/`prev`
+//! hash-chain tables and reuses them across calls — callers on a hot path
+//! (Compresschain flushes a batch every few milliseconds) pay no per-batch
+//! table allocation. Match candidates come from a 5-byte multiplicative
+//! hash computed once per position (the table update and the candidate
+//! lookup share it); match extension compares 8 bytes per step via `u64`
+//! loads; a one-step *lazy match* check (as in DEFLATE) trades a literal
+//! for a longer match starting one byte later when that wins; a token-cost
+//! filter drops matches whose encoding would outweigh them; and LZ4-style
+//! skip acceleration strides through incompressible regions so high-entropy
+//! calldata costs far less than compressible text.
 
 use crate::varint::{read_u64, write_u64};
 
@@ -23,13 +39,24 @@ const MAX_MATCH: usize = 1 << 15;
 /// Sliding-window size for back-references.
 const WINDOW: usize = 1 << 16;
 /// Number of hash-chain buckets (power of two).
-const HASH_BUCKETS: usize = 1 << 15;
+const HASH_BUCKETS: usize = 1 << 14;
 /// Maximum chain positions examined per match attempt; bounds worst-case
 /// compressor time on adversarial input.
-const MAX_CHAIN: usize = 32;
+const MAX_CHAIN: usize = 1;
+/// Matches at least this long skip the lazy one-byte-later probe: they are
+/// long enough that deferring them almost never pays.
+const LAZY_THRESHOLD: usize = 32;
+/// Skip acceleration (as in LZ4): after `1 << ACCEL_LOG` consecutive
+/// positions without a match, the search cursor starts stepping by more than
+/// one byte, so incompressible regions (high-entropy calldata) cost far less
+/// than compressible ones.
+const ACCEL_LOG: u32 = 2;
 
 const TOKEN_LITERAL: u8 = 0x00;
 const TOKEN_MATCH: u8 = 0x01;
+
+/// Sentinel for "no position" in the hash-chain tables.
+const EMPTY: u32 = u32::MAX;
 
 /// Error returned when a compressed stream is malformed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +82,13 @@ pub enum DecompressError {
     /// The declared length is unreasonably large (defence against memory
     /// exhaustion from Byzantine input).
     DeclaredTooLarge(u64),
+    /// A chunked frame was expected but the stream does not start with the
+    /// chunked magic (see [`crate::chunked`]).
+    NotChunked,
+    /// A chunked frame declared more chunks than its total length allows.
+    BadChunkCount(u64),
+    /// A chunked frame carried bytes after its last declared chunk.
+    TrailingBytes(usize),
 }
 
 impl std::fmt::Display for DecompressError {
@@ -72,6 +106,11 @@ impl std::fmt::Display for DecompressError {
                 write!(f, "declared length {declared} but produced {actual}")
             }
             DecompressError::DeclaredTooLarge(n) => write!(f, "declared length {n} too large"),
+            DecompressError::NotChunked => write!(f, "stream is not a chunked frame"),
+            DecompressError::BadChunkCount(n) => write!(f, "chunk count {n} exceeds total length"),
+            DecompressError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after the last chunk")
+            }
         }
     }
 }
@@ -79,153 +118,412 @@ impl std::fmt::Display for DecompressError {
 impl std::error::Error for DecompressError {}
 
 /// Upper bound accepted for the declared decompressed size (64 MiB), far
-/// above any batch the Setchain algorithms produce.
-const MAX_DECLARED: u64 = 64 * 1024 * 1024;
+/// above any batch the Setchain algorithms produce. Compression inputs are
+/// bounded by the same value so every compressed stream decompresses.
+pub const MAX_DECLARED: u64 = 64 * 1024 * 1024;
 
-fn hash4(data: &[u8]) -> usize {
-    // Multiplicative hash over the next 4 bytes.
-    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
-    (v.wrapping_mul(2654435761) >> 17) as usize & (HASH_BUCKETS - 1)
+#[inline]
+fn hash5(data: &[u8], i: usize) -> usize {
+    // Multiplicative hash over the next 5 bytes (read as one 8-byte word;
+    // callers guarantee `i + 8 <= data.len()`). Five bytes rather than four
+    // sharply cuts false candidates on small-alphabet data like hex
+    // calldata, where 4-grams repeat by chance long before they repeat
+    // usefully.
+    let v = u64::from_le_bytes(data[i..i + 8].try_into().expect("8 bytes")) & 0xFF_FFFF_FFFF;
+    (v.wrapping_mul(0x9E37_79B1_85EB_CA87) >> 50) as usize & (HASH_BUCKETS - 1)
 }
 
-/// Compresses `data`. The output always starts with the original length so
-/// decompression can pre-allocate and validate.
-pub fn compress(data: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(data.len() / 2 + 16);
-    write_u64(&mut out, data.len() as u64);
-    if data.is_empty() {
-        return out;
+/// Length of the common prefix of `data[a..]` and `data[b..]`, capped at
+/// `max`. Requires `b + max <= data.len()` and `a < b`. Compares 8 bytes per
+/// step through `u64` loads, then settles the tail byte-wise.
+#[inline]
+fn common_prefix_len(data: &[u8], a: usize, b: usize, max: usize) -> usize {
+    let mut len = 0usize;
+    while len + 8 <= max {
+        let x = u64::from_le_bytes(data[a + len..a + len + 8].try_into().expect("8 bytes"));
+        let y = u64::from_le_bytes(data[b + len..b + len + 8].try_into().expect("8 bytes"));
+        let diff = x ^ y;
+        if diff != 0 {
+            return len + (diff.trailing_zeros() / 8) as usize;
+        }
+        len += 8;
+    }
+    while len < max && data[a + len] == data[b + len] {
+        len += 1;
+    }
+    len
+}
+
+/// Reusable LZ77 compressor.
+///
+/// Owns the hash-chain `head`/`prev` tables (~384 KiB) so repeated
+/// compressions — one per Compresschain batch flush, one per chunk of the
+/// chunked format — do not reallocate them. Only the `head` table is cleared
+/// per call: chains are entered exclusively through `head`, and every
+/// position linked into a chain writes its `prev` slot first, so stale
+/// `prev` entries from earlier inputs are never reachable. Output therefore
+/// depends only on the input, never on compressor history.
+///
+/// ```
+/// let mut c = setchain_compress::Compressor::new();
+/// let data = b"to be or not to be, that is the question".repeat(8);
+/// let packed = c.compress(&data);
+/// assert!(packed.len() < data.len());
+/// assert_eq!(setchain_compress::decompress(&packed).unwrap(), data);
+/// ```
+pub struct Compressor {
+    /// `head[h]`: most recent position whose 5-byte hash is `h`.
+    head: Vec<u32>,
+    /// `prev[i % WINDOW]`: previous position in the same chain as `i`.
+    prev: Vec<u32>,
+}
+
+impl Default for Compressor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Compressor {
+    /// Creates a compressor with freshly allocated scratch tables.
+    pub fn new() -> Self {
+        Compressor {
+            head: vec![EMPTY; HASH_BUCKETS],
+            // The chain table is only materialized when the configured
+            // search depth actually follows chains.
+            prev: vec![EMPTY; if MAX_CHAIN > 1 { WINDOW } else { 0 }],
+        }
     }
 
-    // head[h] = most recent position with hash h; prev[i % WINDOW] = previous
-    // position in the same chain.
-    let mut head = vec![usize::MAX; HASH_BUCKETS];
-    let mut prev = vec![usize::MAX; WINDOW];
+    /// Compresses `data` into a new buffer (single-stream format).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is longer than [`MAX_DECLARED`] — such a stream
+    /// could never be decompressed, so refusing to build it keeps
+    /// `decompress(compress(x)) == x` unconditional.
+    pub fn compress(&mut self, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len() / 2 + 16);
+        self.compress_into(data, &mut out);
+        out
+    }
 
-    let mut literal_start = 0usize;
-    let mut i = 0usize;
-
-    let flush_literals = |out: &mut Vec<u8>, start: usize, end: usize| {
-        if end > start {
-            out.push(TOKEN_LITERAL);
-            write_u64(out, (end - start) as u64);
-            out.extend_from_slice(&data[start..end]);
+    /// Compresses `data`, appending the stream to `out` (which is not
+    /// cleared). Panics on inputs longer than [`MAX_DECLARED`], like
+    /// [`Self::compress`].
+    pub fn compress_into(&mut self, data: &[u8], out: &mut Vec<u8>) {
+        assert!(
+            data.len() as u64 <= MAX_DECLARED,
+            "input exceeds MAX_DECLARED"
+        );
+        write_u64(out, data.len() as u64);
+        if data.is_empty() {
+            return;
         }
-    };
+        self.head.fill(EMPTY);
 
-    while i < data.len() {
-        let mut best_len = 0usize;
-        let mut best_dist = 0usize;
+        // Positions at or past this limit are not indexed or searched (the
+        // hash reads an 8-byte word); matches may still *extend* into the
+        // tail, which is emitted as literals otherwise.
+        let hash_end = data.len().saturating_sub(7);
+        let mut literal_start = 0usize;
+        let mut i = 0usize;
+        // Consecutive positions searched without finding a match; drives the
+        // skip acceleration.
+        let mut miss_streak = 0u32;
 
-        if i + MIN_MATCH <= data.len() {
-            let h = hash4(&data[i..]);
-            let mut candidate = head[h];
-            let mut steps = 0;
-            while candidate != usize::MAX && steps < MAX_CHAIN {
-                let dist = i - candidate;
-                if dist > WINDOW {
+        while i < hash_end {
+            let cand = self.insert_and_candidate(data, i);
+            let (first_len, first_dist) = self.eval_chain(data, i, cand, MAX_CHAIN);
+
+            if first_len == 0 {
+                // No match: step ahead — faster the longer the current
+                // incompressible run is. Skipped positions are not indexed
+                // (they cost hash work and rarely become useful match
+                // sources inside a junk run).
+                i += 1 + (miss_streak >> ACCEL_LOG) as usize;
+                miss_streak += 1;
+                continue;
+            }
+            miss_streak = 0;
+
+            // Lazy match (DEFLATE-style): a match starting one byte later
+            // may be longer; if so, the current byte joins the literal run.
+            // The probe only examines the freshest candidate — it needs to
+            // notice clearly better matches, not exhaust the search space.
+            let mut start = i;
+            let mut best_len = first_len;
+            let mut best_dist = first_dist;
+            let mut indexed_to = i;
+            while best_len < LAZY_THRESHOLD && start + 1 < hash_end {
+                let probe_cand = self.insert_and_candidate(data, start + 1);
+                indexed_to = start + 1;
+                let (next_len, next_dist) = self.eval_chain(data, start + 1, probe_cand, 1);
+                if next_len > best_len {
+                    start += 1;
+                    best_len = next_len;
+                    best_dist = next_dist;
+                } else {
                     break;
                 }
-                // Compare forward from candidate.
-                let max_len = (data.len() - i).min(MAX_MATCH);
-                let mut len = 0usize;
-                while len < max_len && data[candidate + len] == data[i + len] {
-                    len += 1;
-                }
-                if len > best_len {
-                    best_len = len;
-                    best_dist = dist;
-                    if len >= MAX_MATCH {
-                        break;
-                    }
-                }
-                candidate = prev[candidate % WINDOW];
-                steps += 1;
             }
-        }
 
-        if best_len >= MIN_MATCH {
-            flush_literals(&mut out, literal_start, i);
+            flush_literals(data, out, literal_start, start);
             out.push(TOKEN_MATCH);
-            write_u64(&mut out, best_len as u64);
-            write_u64(&mut out, best_dist as u64);
-            // Insert hash entries for every position covered by the match so
-            // later data can reference into it.
-            let end = i + best_len;
-            while i < end && i + MIN_MATCH <= data.len() {
-                let h = hash4(&data[i..]);
-                prev[i % WINDOW] = head[h];
-                head[h] = i;
-                i += 1;
+            write_u64(out, best_len as u64);
+            write_u64(out, best_dist as u64);
+            // Index the positions covered by the match so later data can
+            // reference into it; `indexed_to` and earlier are already in.
+            let end = start + best_len;
+            for pos in (indexed_to + 1)..end.min(hash_end) {
+                self.insert(data, pos);
             }
             i = end;
             literal_start = i;
-        } else {
-            if i + MIN_MATCH <= data.len() {
-                let h = hash4(&data[i..]);
-                prev[i % WINDOW] = head[h];
-                head[h] = i;
+        }
+        flush_literals(data, out, literal_start, data.len());
+    }
+
+    /// Walks the hash chain starting at `candidate` looking for the longest
+    /// match for position `i` worth emitting, returning `(len, dist)` —
+    /// `(0, 0)` when nothing qualifies. A candidate qualifies when it
+    /// reaches `MIN_MATCH` *and* its token is shorter than the bytes it
+    /// replaces (a 4-byte match at a three-varint-byte distance would expand
+    /// the stream).
+    #[inline]
+    fn eval_chain(
+        &self,
+        data: &[u8],
+        i: usize,
+        mut candidate: u32,
+        max_chain: usize,
+    ) -> (usize, usize) {
+        let max_len = (data.len() - i).min(MAX_MATCH);
+        // Primed so that only candidates able to reach MIN_MATCH are ever
+        // fully extended: a candidate must first agree at `i + best_len`.
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut steps = 0;
+        while candidate != EMPTY && steps < max_chain {
+            let c = candidate as usize;
+            let dist = i - c;
+            if dist > WINDOW {
+                break;
             }
-            i += 1;
+            // A candidate can only beat the current best if it agrees at the
+            // position where the best match ended; checking that one byte
+            // first skips the full extension for most chain entries.
+            if data.get(c + best_len) == data.get(i + best_len) {
+                let len = common_prefix_len(data, c, i, max_len);
+                if len > best_len {
+                    best_len = len;
+                    best_dist = dist;
+                    if len >= max_len {
+                        break;
+                    }
+                }
+            }
+            steps += 1;
+            if steps >= max_chain {
+                break;
+            }
+            candidate = self.prev[c & (WINDOW - 1)];
+        }
+        // Token-cost filter: tag + len varint + dist varint must undercut
+        // the match length, or the "match" bloats the stream.
+        let min_worth = match best_dist {
+            0..128 => MIN_MATCH,
+            128..16_384 => MIN_MATCH + 1,
+            _ => MIN_MATCH + 2,
+        };
+        if best_dist != 0 && best_len >= min_worth {
+            (best_len, best_dist)
+        } else {
+            (0, 0)
         }
     }
-    flush_literals(&mut out, literal_start, data.len());
-    out
+
+    /// Links position `i` into its hash chain and returns the previous chain
+    /// head — the freshest match candidate for `i`. One hash computation
+    /// serves both the index update and the search. Re-linking an
+    /// already-linked position is a no-op that still returns its candidate
+    /// (a self-referential chain entry would otherwise cycle).
+    #[inline]
+    fn insert_and_candidate(&mut self, data: &[u8], i: usize) -> u32 {
+        let h = hash5(data, i);
+        let cand = self.head[h];
+        if cand == i as u32 {
+            return if MAX_CHAIN > 1 {
+                self.prev[i & (WINDOW - 1)]
+            } else {
+                EMPTY
+            };
+        }
+        // With a depth-1 search the `prev` chain is never followed, so the
+        // store (a random access into a 256 KiB table) is compiled out.
+        if MAX_CHAIN > 1 {
+            self.prev[i & (WINDOW - 1)] = cand;
+        }
+        self.head[h] = i as u32;
+        cand
+    }
+
+    /// Links position `pos` into its hash chain. Callers must not link the
+    /// same position twice (the cover-range loop in `compress_into` only
+    /// visits fresh positions).
+    #[inline]
+    fn insert(&mut self, data: &[u8], pos: usize) {
+        let h = hash5(data, pos);
+        if MAX_CHAIN > 1 {
+            self.prev[pos & (WINDOW - 1)] = self.head[h];
+        }
+        self.head[h] = pos as u32;
+    }
 }
 
-/// Decompresses a stream produced by [`compress`].
+fn flush_literals(data: &[u8], out: &mut Vec<u8>, start: usize, end: usize) {
+    if end > start {
+        out.push(TOKEN_LITERAL);
+        write_u64(out, (end - start) as u64);
+        out.extend_from_slice(&data[start..end]);
+    }
+}
+
+std::thread_local! {
+    /// Per-thread compressor scratch backing the [`compress`] free function
+    /// (and, through it, the chunked format's parallel workers).
+    static SCRATCH: std::cell::RefCell<Compressor> = std::cell::RefCell::new(Compressor::new());
+}
+
+/// Compresses `data` (single-stream format). The output always starts with
+/// the original length so decompression can pre-allocate and validate.
+///
+/// Uses a per-thread reusable [`Compressor`]; callers that want explicit
+/// control over scratch ownership use [`Compressor::compress`] directly.
+/// Panics on inputs longer than [`MAX_DECLARED`].
+///
+/// ```
+/// use setchain_compress::{compress, decompress};
+/// let data = b"abcabcabcabcabcabcabcabc";
+/// let packed = compress(data);
+/// assert_eq!(decompress(&packed).unwrap(), data);
+/// ```
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    SCRATCH.with(|c| c.borrow_mut().compress(data))
+}
+
+/// Decompresses a single stream produced by [`compress`]. For the chunked
+/// framing use [`crate::chunked::decompress_chunked`], or
+/// [`crate::decompress_any`] to accept either format.
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    let mut out = Vec::new();
+    decompress_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses a single stream, *appending* to `out` (hot-path variant: a
+/// reused buffer makes repeated decompression allocation-free). Distances
+/// resolve only against bytes this stream appended, never against earlier
+/// buffer contents. Returns the number of bytes appended; on error the
+/// buffer is truncated back to its original length.
+pub fn decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<usize, DecompressError> {
+    let base = out.len();
+    let result = decompress_append(data, out, base);
+    if result.is_err() {
+        out.truncate(base);
+    }
+    result
+}
+
+/// Varint read with a single-byte fast path: almost every varint in a real
+/// stream (tags aside, the lengths and distances of short matches) fits one
+/// byte, and the decoder reads three per token.
+#[inline]
+fn read_varint_fast(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let b = *data.get(*pos)?;
+    if b < 0x80 {
+        *pos += 1;
+        return Some(b as u64);
+    }
+    read_u64(data, pos)
+}
+
+fn decompress_append(
+    data: &[u8],
+    out: &mut Vec<u8>,
+    base: usize,
+) -> Result<usize, DecompressError> {
     let mut pos = 0usize;
     let declared = read_u64(data, &mut pos).ok_or(DecompressError::Truncated)?;
     if declared > MAX_DECLARED {
         return Err(DecompressError::DeclaredTooLarge(declared));
     }
     let declared = declared as usize;
-    let mut out = Vec::with_capacity(declared);
+    out.reserve(declared);
 
     while pos < data.len() {
         let tag = data[pos];
         pos += 1;
         match tag {
             TOKEN_LITERAL => {
-                let len = read_u64(data, &mut pos).ok_or(DecompressError::Truncated)? as usize;
-                if pos + len > data.len() {
+                let len =
+                    read_varint_fast(data, &mut pos).ok_or(DecompressError::Truncated)? as usize;
+                // checked_add: a Byzantine length near usize::MAX must fail
+                // cleanly, not overflow the bound check.
+                let end = pos.checked_add(len).ok_or(DecompressError::Truncated)?;
+                if end > data.len() {
                     return Err(DecompressError::Truncated);
                 }
-                out.extend_from_slice(&data[pos..pos + len]);
-                pos += len;
+                out.extend_from_slice(&data[pos..end]);
+                pos = end;
             }
             TOKEN_MATCH => {
-                let len = read_u64(data, &mut pos).ok_or(DecompressError::Truncated)? as usize;
-                let dist = read_u64(data, &mut pos).ok_or(DecompressError::Truncated)? as usize;
-                if dist == 0 || dist > out.len() {
+                let len =
+                    read_varint_fast(data, &mut pos).ok_or(DecompressError::Truncated)? as usize;
+                let dist =
+                    read_varint_fast(data, &mut pos).ok_or(DecompressError::Truncated)? as usize;
+                let produced = out.len() - base;
+                if dist == 0 || dist > produced {
                     return Err(DecompressError::BadDistance {
-                        at: out.len(),
+                        at: produced,
                         distance: dist,
                     });
                 }
-                if out.len() + len > MAX_DECLARED as usize {
-                    return Err(DecompressError::DeclaredTooLarge((out.len() + len) as u64));
+                // Same overflow discipline as the literal path: reject any
+                // length that would carry the output past MAX_DECLARED
+                // before doing arithmetic or allocation with it.
+                if len as u64 > MAX_DECLARED || (produced + len) as u64 > MAX_DECLARED {
+                    return Err(DecompressError::DeclaredTooLarge(len as u64));
                 }
                 let start = out.len() - dist;
-                // Overlapping copies (dist < len) are legal and must be done
-                // byte by byte.
-                for k in 0..len {
-                    let b = out[start + k];
-                    out.push(b);
+                if dist >= len {
+                    // Non-overlapping copy: one bulk extend.
+                    out.extend_from_within(start..start + len);
+                } else {
+                    // Overlapping copy (dist < len): the bytes from `start`
+                    // onward are a repeating pattern of period `dist`.
+                    // Bulk-copy the available suffix repeatedly; the
+                    // available run doubles each round.
+                    let mut remaining = len;
+                    while remaining > 0 {
+                        let take = (out.len() - start).min(remaining);
+                        out.extend_from_within(start..start + take);
+                        remaining -= take;
+                    }
                 }
             }
             other => return Err(DecompressError::BadToken(other)),
         }
     }
 
-    if out.len() != declared {
+    let produced = out.len() - base;
+    if produced != declared {
         return Err(DecompressError::LengthMismatch {
             declared,
-            actual: out.len(),
+            actual: produced,
         });
     }
-    Ok(out)
+    Ok(produced)
 }
 
 /// Summary of a compression operation, used by experiment reports.
@@ -248,6 +546,14 @@ impl CompressionStats {
     }
 
     /// Compression ratio `original / compressed`.
+    ///
+    /// ```
+    /// let stats = setchain_compress::CompressionStats { original: 300, compressed: 100 };
+    /// assert_eq!(stats.ratio(), 3.0);
+    /// // The degenerate empty measurement reports a neutral ratio.
+    /// let empty = setchain_compress::CompressionStats { original: 0, compressed: 0 };
+    /// assert_eq!(empty.ratio(), 1.0);
+    /// ```
     pub fn ratio(&self) -> f64 {
         if self.compressed == 0 {
             return 1.0;
@@ -333,6 +639,44 @@ mod tests {
         // "aaaa..." forces dist=1, len>1 overlapping copies.
         let data = vec![b'a'; 1000];
         assert_eq!(decompress(&compress(&data)).unwrap(), data);
+        // Period-3 pattern exercises the doubling overlap copy path.
+        let pattern: Vec<u8> = b"xyz".iter().copied().cycle().take(5000).collect();
+        assert_eq!(decompress(&compress(&pattern)).unwrap(), pattern);
+    }
+
+    #[test]
+    fn compressor_reuse_is_history_independent() {
+        // Compressing B after A must give the same bytes as compressing B
+        // with a fresh compressor: stale table entries are never reachable.
+        let a: Vec<u8> = (0..40_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let b: Vec<u8> = b"abcdefgh".iter().copied().cycle().take(30_000).collect();
+        let mut reused = Compressor::new();
+        let _ = reused.compress(&a);
+        let with_history = reused.compress(&b);
+        let fresh = Compressor::new().compress(&b);
+        assert_eq!(with_history, fresh);
+        assert_eq!(decompress(&with_history).unwrap(), b);
+    }
+
+    #[test]
+    fn compress_into_appends_without_clearing() {
+        let mut c = Compressor::new();
+        let mut out = vec![0xAA, 0xBB];
+        c.compress_into(b"hello hello hello hello", &mut out);
+        assert_eq!(&out[..2], &[0xAA, 0xBB]);
+        assert_eq!(
+            decompress(&out[2..]).unwrap(),
+            b"hello hello hello hello".to_vec()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_DECLARED")]
+    fn oversized_input_is_refused() {
+        // Claim a huge length without allocating 64 MiB of real data: a
+        // zero-length slice can't trigger it, so build just past the bound.
+        let data = vec![0u8; MAX_DECLARED as usize + 1];
+        let _ = compress(&data);
     }
 
     #[test]
@@ -391,6 +735,33 @@ mod tests {
     }
 
     #[test]
+    fn huge_token_lengths_rejected_without_overflow_or_allocation() {
+        // Byzantine literal length near u64::MAX: the bound check must fail
+        // cleanly instead of overflowing `pos + len`.
+        let mut s = Vec::new();
+        write_u64(&mut s, 10);
+        s.push(TOKEN_LITERAL);
+        write_u64(&mut s, u64::MAX);
+        assert!(matches!(decompress(&s), Err(DecompressError::Truncated)));
+
+        // Byzantine match length: must be rejected before any arithmetic or
+        // output allocation uses it (dist=1 would otherwise drive the
+        // overlap copy toward 2^64 bytes).
+        let mut s = Vec::new();
+        write_u64(&mut s, 10);
+        s.push(TOKEN_LITERAL);
+        write_u64(&mut s, 1);
+        s.push(b'x');
+        s.push(TOKEN_MATCH);
+        write_u64(&mut s, u64::MAX);
+        write_u64(&mut s, 1);
+        assert!(matches!(
+            decompress(&s),
+            Err(DecompressError::DeclaredTooLarge(_))
+        ));
+    }
+
+    #[test]
     fn stats_ratio() {
         let stats = CompressionStats {
             original: 100,
@@ -420,6 +791,13 @@ mod tests {
         assert!(DecompressError::DeclaredTooLarge(5)
             .to_string()
             .contains("large"));
+        assert!(DecompressError::NotChunked.to_string().contains("chunked"));
+        assert!(DecompressError::BadChunkCount(7)
+            .to_string()
+            .contains("chunk count"));
+        assert!(DecompressError::TrailingBytes(3)
+            .to_string()
+            .contains("trailing"));
     }
 
     mod prop {
@@ -444,6 +822,17 @@ mod tests {
             fn decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
                 // Arbitrary bytes fed to the decoder must return, not panic.
                 let _ = decompress(&data);
+            }
+
+            #[test]
+            fn reused_compressor_matches_fresh(
+                first in proptest::collection::vec(any::<u8>(), 0..2048),
+                second in proptest::collection::vec(0u8..16, 0..2048),
+            ) {
+                let mut reused = Compressor::new();
+                let _ = reused.compress(&first);
+                let fresh = Compressor::new().compress(&second);
+                prop_assert_eq!(reused.compress(&second), fresh);
             }
         }
     }

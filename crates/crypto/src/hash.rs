@@ -174,12 +174,20 @@ impl Sha256 {
 
     fn finalize_digest(&mut self) -> Digest256 {
         let bit_len = self.total_len.wrapping_mul(8);
-        // Padding: 0x80, zeros, 64-bit big-endian length.
-        self.update(&[0x80]);
-        while self.buffer_len != 56 {
-            self.update(&[0x00]);
+        // Padding: 0x80, zeros, 64-bit big-endian length — written straight
+        // into the block buffer (a byte-at-a-time `update` loop here would
+        // cost as much as the compression itself on short inputs, and every
+        // HMAC finalizes two short hashes).
+        let n = self.buffer_len;
+        self.buffer[n] = 0x80;
+        if n + 1 > 56 {
+            self.buffer[n + 1..].fill(0);
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffer[..56].fill(0);
+        } else {
+            self.buffer[n + 1..56].fill(0);
         }
-        // Manually absorb the length without touching total_len bookkeeping.
         self.buffer[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buffer;
         self.compress(&block);
@@ -415,9 +423,17 @@ impl Sha512 {
 
     fn finalize_digest(&mut self) -> Digest512 {
         let bit_len = self.total_len.wrapping_mul(8);
-        self.update(&[0x80]);
-        while self.buffer_len != 112 {
-            self.update(&[0x00]);
+        // Same direct padding as Sha256::finalize_digest (0x80, zeros,
+        // 128-bit big-endian length), skipping the per-byte update path.
+        let n = self.buffer_len;
+        self.buffer[n] = 0x80;
+        if n + 1 > 112 {
+            self.buffer[n + 1..].fill(0);
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffer[..112].fill(0);
+        } else {
+            self.buffer[n + 1..112].fill(0);
         }
         self.buffer[112..128].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buffer;

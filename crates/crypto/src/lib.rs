@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fxhash;
 pub mod hash;
 pub mod hmac;
 pub mod keys;
@@ -27,11 +28,12 @@ pub mod merkle;
 pub mod parallel;
 pub mod signature;
 
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use hash::{sha256, sha256_many, sha512, Digest256, Digest512, Sha256, Sha512};
 pub use hmac::{hmac_sha256, hmac_sha512, HmacSha256Key, HmacSha512Key};
 pub use keys::{KeyPair, KeyRegistry, ProcessId, PublicKey, SecretKey};
 pub use merkle::{framed_hash, merkle_root, MerkleProof, MerkleTree};
-pub use parallel::{default_threads, parallel_map, MIN_PARALLEL_LEN};
+pub use parallel::{default_threads, parallel_map, parallel_map_min, MIN_PARALLEL_LEN};
 pub use signature::{sign, verify, verify_batch, Signature, SIGNATURE_LEN};
 
 /// Length in bytes of an epoch-proof / hash-batch on the wire, as reported in

@@ -35,7 +35,22 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    if threads <= 1 || items.len() < MIN_PARALLEL_LEN {
+    parallel_map_min(items, threads, MIN_PARALLEL_LEN, f)
+}
+
+/// [`parallel_map`] with an explicit sequential-fallback threshold.
+///
+/// `MIN_PARALLEL_LEN` is calibrated for cheap per-item work (one HMAC, one
+/// signature check). Callers whose items are individually expensive — e.g.
+/// `setchain-compress` compressing 64 KiB chunks — pass a smaller `min_len`
+/// so even a handful of items fans out across cores.
+pub fn parallel_map_min<T, R, F>(items: &[T], threads: usize, min_len: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() < min_len.max(2) {
         return items.iter().map(f).collect();
     }
     let workers = threads.min(items.len());
@@ -84,5 +99,16 @@ mod tests {
         assert_eq!(parallel_map(&items, 1, |x| x + 1).len(), 300);
         assert_eq!(parallel_map(&items, 1024, |x| x + 1)[299], 300);
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn explicit_min_len_fans_out_small_inputs() {
+        // Below MIN_PARALLEL_LEN, but parallel_map_min with min_len=2 takes
+        // the spawning path and must still produce in-order results.
+        let items: Vec<u64> = (0..7).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        assert_eq!(parallel_map_min(&items, 4, 2, |x| x * 3), seq);
+        // min_len is clamped to at least 2: a single item never spawns.
+        assert_eq!(parallel_map_min(&items[..1], 4, 0, |x| x * 3), vec![0]);
     }
 }

@@ -36,6 +36,26 @@ impl Batch {
         self.elements.iter().map(|e| e.wire_size()).sum::<usize>()
             + self.proofs.len() * EPOCH_PROOF_WIRE_LEN
     }
+
+    /// Wire size of the element payloads alone (what the compressor sees;
+    /// proofs are high-entropy signatures accounted for uncompressed).
+    pub fn element_bytes(&self) -> usize {
+        self.elements.iter().map(|e| e.wire_size()).sum()
+    }
+
+    /// Materializes every element payload into `out`, in collection order.
+    ///
+    /// `out` is cleared first and reserved once, so a caller that keeps one
+    /// encode buffer across flushes performs no per-element (and usually no
+    /// per-batch) allocation. Returns the number of bytes encoded.
+    pub fn encode_elements_into(&self, out: &mut Vec<u8>) -> usize {
+        out.clear();
+        out.reserve(self.element_bytes());
+        for e in &self.elements {
+            e.materialize_into(out);
+        }
+        out.len()
+    }
 }
 
 /// Per-server collector (the paper's `batch` variable plus the `isReady`
@@ -191,5 +211,25 @@ mod tests {
         assert!(b.is_empty());
         assert_eq!(b.len(), 0);
         assert_eq!(b.wire_size(), 0);
+        assert_eq!(b.element_bytes(), 0);
+    }
+
+    #[test]
+    fn encode_elements_into_reuses_buffer_and_matches_materialize() {
+        let mut c = Collector::new(3);
+        for i in 0..3 {
+            c.add_element(element(i));
+        }
+        let batch = c.flush(SimTime::ZERO);
+        let expected: Vec<u8> = batch
+            .elements
+            .iter()
+            .flat_map(|e| e.materialize())
+            .collect();
+        let mut buf = vec![0xFF; 8]; // stale contents must be discarded
+        let n = batch.encode_elements_into(&mut buf);
+        assert_eq!(n, buf.len());
+        assert_eq!(n, batch.element_bytes());
+        assert_eq!(buf, expected);
     }
 }

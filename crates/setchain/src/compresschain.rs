@@ -24,14 +24,26 @@ use crate::tx::{CompressedBatch, SetchainTx};
 /// Timer token used for the collector timeout tick.
 const COLLECTOR_TICK: TimerToken = 1;
 
+/// Chunk length used when compressing batch bytes. Smaller than the codec's
+/// 64 KiB default so that even a collector-64 batch (~28 KiB) splits into
+/// chunks and a collector-256 batch fans out across several cores.
+const BATCH_CHUNK_LEN: usize = 16 * 1024;
+
 /// The Compresschain server application.
 pub struct CompresschainApp {
     core: ServerCore,
     collector: Collector,
     next_batch_seq: u64,
-    /// Sum of measured compression ratios and count, for reporting.
+    /// Sum of measured compression ratios and count, for reporting. Ratios
+    /// are measured on the *shipped* chunked frame (headers included), so
+    /// reported numbers match what actually occupies ledger blocks.
     ratio_sum: f64,
     ratio_count: u64,
+    /// Reusable encode buffer the batch bytes are materialized into at
+    /// flush time — no per-element or per-batch allocation.
+    encode_buf: Vec<u8>,
+    /// Reusable decode buffer delivered batch frames are decompressed into.
+    decode_buf: Vec<u8>,
 }
 
 impl CompresschainApp {
@@ -50,6 +62,8 @@ impl CompresschainApp {
             next_batch_seq: 0,
             ratio_sum: 0.0,
             ratio_count: 0,
+            encode_buf: Vec::new(),
+            decode_buf: Vec::new(),
         }
     }
 
@@ -88,21 +102,22 @@ impl CompresschainApp {
     /// `upon isReady(batch)`: compress the batch and append it to the ledger.
     fn flush(&mut self, ctx: &mut Ctx<'_, '_, '_>) {
         let batch = self.collector.flush(ctx.now());
-        // Materialize the batch bytes and run the real compressor so the
-        // transaction occupies a realistic number of bytes in blocks.
-        let mut raw = Vec::with_capacity(batch.wire_size());
-        for e in &batch.elements {
-            raw.extend_from_slice(&e.materialize());
-        }
+        // Materialize the batch bytes once, into the reusable encode buffer,
+        // and run the real compressor (chunked frame, chunk-parallel on
+        // multicore hosts) so the transaction occupies a realistic number of
+        // bytes in blocks.
+        let raw_len = batch.encode_elements_into(&mut self.encode_buf);
+        let payload = setchain_compress::compress_chunked_with(&self.encode_buf, BATCH_CHUNK_LEN);
+        ctx.consume_cpu(self.core.config.costs.compress_cost(raw_len));
         // Proofs contribute their wire size but are high-entropy signatures;
-        // account for them uncompressed.
+        // account for them uncompressed. The compressed side charges the
+        // whole shipped frame — chunk headers included — so reported ratios
+        // match what the ledger actually carries.
         let proof_bytes = batch.proofs.len() * crate::proofs::EPOCH_PROOF_WIRE_LEN;
-        let compressed = setchain_compress::compress(&raw);
-        ctx.consume_cpu(self.core.config.costs.compress_cost(raw.len()));
-        let original_size = (raw.len() + proof_bytes) as u32;
-        let compressed_size = (compressed.len() + proof_bytes) as u32;
-        if !raw.is_empty() {
-            self.ratio_sum += raw.len() as f64 / compressed.len().max(1) as f64;
+        let original_size = (raw_len + proof_bytes) as u32;
+        let compressed_size = (payload.len() + proof_bytes) as u32;
+        if raw_len > 0 {
+            self.ratio_sum += raw_len as f64 / payload.len().max(1) as f64;
             self.ratio_count += 1;
         }
         self.core.stats.batches_flushed += 1;
@@ -111,6 +126,7 @@ impl CompresschainApp {
             seq: self.next_batch_seq,
             elements: batch.elements,
             proofs: batch.proofs,
+            payload: std::sync::Arc::new(payload),
             compressed_size,
             original_size,
         };
@@ -159,6 +175,30 @@ impl Application for CompresschainApp {
                         .costs
                         .decompress_cost(cb.original_size as usize),
                 );
+                // ...and performed for real on peer batches: the chunked
+                // frame decompresses chunk-parallel and the recovered byte
+                // count must equal the batch's declared element bytes. The
+                // origin skips its own frame — it built it from bytes it
+                // already holds. "Compresschain light" skips all of this.
+                if cb.origin != self.core.id() {
+                    self.core.stats.batches_decompressed += 1;
+                    let element_bytes = cb.original_size as usize
+                        - cb.proofs.len() * crate::proofs::EPOCH_PROOF_WIRE_LEN;
+                    let ok = setchain_compress::decompress_chunked_into(
+                        &cb.payload,
+                        &mut self.decode_buf,
+                    )
+                    .map(|n| n == element_bytes)
+                    .unwrap_or(false);
+                    if !ok {
+                        // Carried elements stay authoritative for the
+                        // simulated state; a frame that fails to decompress
+                        // is counted (and would be a codec bug, not a
+                        // Byzantine payload — those can't reach here).
+                        debug_assert!(ok, "batch payload failed to decompress");
+                        self.core.stats.batch_decompress_failures += 1;
+                    }
+                }
             }
             // `if batch_original = ∅ then continue`
             if cb.elements.is_empty() && cb.proofs.is_empty() {

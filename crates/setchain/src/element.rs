@@ -135,33 +135,67 @@ impl Element {
     /// the paper reports for Brotli on real Arbitrum data.
     pub fn materialize(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.size as usize);
-        let header = format!(
+        self.materialize_into(&mut out);
+        out
+    }
+
+    /// Appends the materialized payload bytes to `out` (not cleared).
+    ///
+    /// This is the allocation-free path Compresschain uses to build a whole
+    /// batch into one reusable encode buffer — one `reserve` on the caller's
+    /// buffer instead of one `Vec` per element.
+    pub fn materialize_into(&self, out: &mut Vec<u8>) {
+        use std::io::Write;
+        let start = out.len();
+        let end = start + self.size as usize;
+        out.reserve(self.size as usize);
+        // Written straight into the buffer: a `format!` here would allocate
+        // one String per element on the flush hot path.
+        write!(
+            out,
             "{{\"id\":\"{:016x}\",\"from\":\"0x{:040x}\",\"nonce\":{},\"gas\":{},\"data\":\"0x",
             self.id.0,
             self.content_seed,
             self.id.seq(),
             21000 + (self.content_seed % 400_000),
-        );
-        out.extend_from_slice(header.as_bytes());
-        // Deterministic pseudo-calldata: hex nibbles from a small xorshift.
+        )
+        .expect("writing to a Vec cannot fail");
+        // Deterministic pseudo-calldata: hex nibbles derived from a small
+        // xorshift, eight characters per state step (one per state byte)
+        // rather than one — generation is on Compresschain's flush hot path.
         let mut state = self.content_seed | 1;
         const HEX: &[u8; 16] = b"0123456789abcdef";
-        while out.len() + 2 < self.size as usize {
+        let mut chunk = [0u8; 8];
+        while out.len() + 2 + chunk.len() <= end {
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
-            // Bias towards a small alphabet so batches compress like real
-            // calldata (long zero runs and repeated selectors).
-            let nibble = if state.is_multiple_of(3) {
+            for (slot, b) in chunk.iter_mut().zip(state.to_le_bytes()) {
+                // Bias towards a small alphabet so batches compress like
+                // real calldata (long zero runs and repeated selectors).
+                let nibble = if b.is_multiple_of(3) {
+                    0
+                } else {
+                    (b >> 3) & 0x0F
+                };
+                *slot = HEX[nibble as usize];
+            }
+            out.extend_from_slice(&chunk);
+        }
+        while out.len() + 2 < end {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let b = state as u8;
+            let nibble = if b.is_multiple_of(3) {
                 0
             } else {
-                (state >> 8) % 16
+                (b >> 3) & 0x0F
             };
             out.push(HEX[nibble as usize]);
         }
         out.extend_from_slice(b"\"}");
-        out.truncate(self.size as usize);
-        out
+        out.truncate(end);
     }
 }
 
@@ -279,6 +313,20 @@ mod tests {
             let bytes = e.materialize();
             assert_eq!(bytes.len(), size as usize);
             assert_eq!(bytes, e.materialize());
+        }
+    }
+
+    #[test]
+    fn materialize_into_matches_materialize_and_appends() {
+        let reg = registry();
+        let keys = client_keys(&reg, 0);
+        let mut buf = b"prefix".to_vec();
+        for size in [64u32, 139, 438, 1500] {
+            let e = Element::new(&keys, ElementId::new(0, size as u64), size, 7 * size as u64);
+            let before = buf.len();
+            e.materialize_into(&mut buf);
+            assert_eq!(&buf[..6], b"prefix");
+            assert_eq!(&buf[before..], e.materialize(), "size={size}");
         }
     }
 

@@ -1,9 +1,9 @@
 //! Code shared by the three Setchain server implementations: client `add` /
 //! `get` handling, epoch-proof bookkeeping and epoch creation.
 
-use std::collections::HashMap;
-
-use setchain_crypto::{parallel_map, HmacSha256Key, KeyPair, KeyRegistry, ProcessId, Signature};
+use setchain_crypto::{
+    parallel_map, FxHashMap, FxHashSet, HmacSha256Key, KeyPair, KeyRegistry, ProcessId, Signature,
+};
 use setchain_ledger::AppCtx;
 use setchain_simnet::SimTime;
 
@@ -37,6 +37,12 @@ pub struct ServerStats {
     pub elements_rejected: u64,
     /// Batches flushed from the collector (0 for Vanilla).
     pub batches_flushed: u64,
+    /// Compresschain: peer batches decompressed on block delivery (the
+    /// origin skips its own frames; 0 under the "light" ablation).
+    pub batches_decompressed: u64,
+    /// Compresschain: delivered batch frames that failed to decompress to
+    /// the declared element bytes (always 0 unless the codec is broken).
+    pub batch_decompress_failures: u64,
     /// Hashchain: `Request_batch` calls sent.
     pub batch_requests_sent: u64,
     /// Hashchain: `Request_batch` calls answered.
@@ -67,7 +73,7 @@ pub struct ServerCore {
     /// Precomputed HMAC key schedules, one per registered (non-server)
     /// client this server has validated elements from. Populated lazily;
     /// bounded by the number of clients.
-    client_keys: HashMap<ProcessId, HmacSha256Key>,
+    client_keys: FxHashMap<ProcessId, HmacSha256Key>,
     /// Memoized validation verdicts: an element's authenticator digest is
     /// checked exactly once per server. The exact validated element is
     /// stored alongside the verdict so a Byzantine peer re-sending a
@@ -75,7 +81,7 @@ pub struct ServerCore {
     /// that depend on registry *absence* (unknown client) are never cached,
     /// so a client registered later is still picked up; replacing an
     /// already-registered key mid-run is not supported by the caches.
-    validity_cache: HashMap<ElementId, (Element, bool)>,
+    validity_cache: FxHashMap<ElementId, (Element, bool)>,
     /// Worker threads for batched parallel validation (resolved once).
     threads: usize,
 }
@@ -97,8 +103,8 @@ impl ServerCore {
             trace,
             byz,
             stats: ServerStats::default(),
-            client_keys: HashMap::new(),
-            validity_cache: HashMap::new(),
+            client_keys: FxHashMap::default(),
+            validity_cache: FxHashMap::default(),
             threads: setchain_crypto::default_threads(),
         }
     }
@@ -295,9 +301,8 @@ impl ServerCore {
         let epoch = self.state.record_epoch(elements);
         self.stats.epochs_created += 1;
         let stamped = self.state.epoch_elements(epoch).expect("just created");
-        for e in stamped {
-            self.trace.record_epoch_assignment(e.id, epoch, now);
-        }
+        self.trace
+            .record_epoch_assignments(stamped.iter().map(|e| e.id), epoch, now);
         // Hash + sign cost for the epoch-proof.
         let bytes: usize = stamped.iter().map(|e| e.wire_size()).sum();
         ctx.consume_cpu(self.config.costs.hash_cost(bytes));
@@ -328,7 +333,7 @@ impl ServerCore {
         if validate {
             ctx.consume_cpu(self.config.costs.validate_cost(elements.len()));
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = FxHashSet::default();
         let mut candidates = Vec::new();
         for e in elements {
             if self.state.in_history(&e.id) || !seen.insert(e.id) {

@@ -2,9 +2,9 @@
 //! `history` and `proofs`, plus helpers for the safety properties the paper
 //! proves (Consistent-Sets, Unique-Epoch, Consistent-Gets).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
-use setchain_crypto::Digest512;
+use setchain_crypto::{Digest512, FxHashMap, FxHashSet};
 
 use crate::element::{Element, ElementId};
 use crate::messages::GetSnapshot;
@@ -15,7 +15,7 @@ use crate::proofs::{epoch_hash, EpochProof};
 #[derive(Debug, Default)]
 pub struct SetchainState {
     /// Grow-only set of element ids that have been added.
-    the_set: HashSet<ElementId>,
+    the_set: FxHashSet<ElementId>,
     /// Current epoch number (`history` holds epochs `1..=epoch`).
     epoch: u64,
     /// `history[i - 1]` holds the elements stamped with epoch `i`.
@@ -25,11 +25,11 @@ pub struct SetchainState {
     /// epoch reuses it instead of re-hashing the elements.
     epoch_digests: Vec<Digest512>,
     /// Reverse index: element id → epoch it was stamped with.
-    element_epoch: HashMap<ElementId, u64>,
+    element_epoch: FxHashMap<ElementId, u64>,
     /// Epoch-proofs received, per epoch, at most one per signer. The inner
     /// collection is a `Vec` so `proofs_for` can hand out a borrowed slice;
     /// signer sets are tiny (≤ n servers) so the linear dedup is cheap.
-    proofs: HashMap<u64, Vec<EpochProof>>,
+    proofs: FxHashMap<u64, Vec<EpochProof>>,
 }
 
 impl SetchainState {

@@ -7,10 +7,10 @@
 //! the `setchain-workload` crate turns them into throughput-over-time series,
 //! efficiency values, commit-time percentiles and latency CDFs.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use setchain_crypto::FxHashMap;
 use setchain_ledger::TxId;
 use setchain_simnet::SimTime;
 
@@ -31,11 +31,11 @@ pub struct ElementRecord {
 
 #[derive(Default)]
 struct TraceInner {
-    added: HashMap<ElementId, SimTime>,
-    element_epoch: HashMap<ElementId, u64>,
-    epoch_committed: HashMap<u64, SimTime>,
-    epoch_consolidated: HashMap<u64, SimTime>,
-    element_tx: HashMap<ElementId, TxId>,
+    added: FxHashMap<ElementId, SimTime>,
+    element_epoch: FxHashMap<ElementId, u64>,
+    epoch_committed: FxHashMap<u64, SimTime>,
+    epoch_consolidated: FxHashMap<u64, SimTime>,
+    element_tx: FxHashMap<ElementId, TxId>,
 }
 
 /// Shared experiment trace for one Setchain run.
@@ -86,9 +86,23 @@ impl SetchainTrace {
     /// Records that a correct server stamped `id` with `epoch` at `at`
     /// (first observation wins; all correct servers assign the same epoch).
     pub fn record_epoch_assignment(&self, id: ElementId, epoch: u64, at: SimTime) {
+        self.record_epoch_assignments(std::iter::once(id), epoch, at);
+    }
+
+    /// Batched form of [`Self::record_epoch_assignment`]: one lock
+    /// acquisition for a whole epoch's elements. Servers create epochs a
+    /// batch at a time, so this is the hot-path entry point.
+    pub fn record_epoch_assignments(
+        &self,
+        ids: impl IntoIterator<Item = ElementId>,
+        epoch: u64,
+        at: SimTime,
+    ) {
         let mut inner = self.inner.lock();
-        inner.element_epoch.entry(id).or_insert(epoch);
         inner.epoch_consolidated.entry(epoch).or_insert(at);
+        for id in ids {
+            inner.element_epoch.entry(id).or_insert(epoch);
+        }
     }
 
     /// Records that `epoch` reached the proof quorum (`f + 1` proofs) at `at`

@@ -17,9 +17,13 @@ pub const HASH_BATCH_WIRE_LEN: usize = 139;
 /// A compressed batch appended to the ledger by Compresschain.
 ///
 /// The element and proof structures are carried explicitly (the simulation
-/// does not re-serialize them), while `compressed_size` — obtained by running
-/// the real compressor over the materialized batch bytes — is what the batch
-/// occupies in blocks and on the wire.
+/// does not re-serialize them) alongside `payload` — the real chunked-LZ77
+/// frame produced from the materialized batch bytes. `compressed_size`
+/// (frame length plus uncompressed proof bytes) is what the batch occupies
+/// in blocks and on the wire, and receiving servers decompress `payload`
+/// for real on delivery unless the "Compresschain light" ablation is on.
+/// The payload is behind an `Arc`: the ledger clones transactions freely
+/// (mempool, proposals, blocks), and those clones must not copy the frame.
 #[derive(Clone, Debug)]
 pub struct CompressedBatch {
     /// The server that built and appended the batch.
@@ -30,7 +34,10 @@ pub struct CompressedBatch {
     pub elements: Vec<Element>,
     /// Epoch-proofs included in the batch.
     pub proofs: Vec<EpochProof>,
-    /// Size of the batch after compression, in bytes.
+    /// The chunked-LZ77 frame of the materialized element payloads.
+    pub payload: std::sync::Arc<Vec<u8>>,
+    /// Size of the batch after compression, in bytes: the full shipped
+    /// frame (chunk headers included) plus the proofs' wire size.
     pub compressed_size: u32,
     /// Size of the batch before compression, in bytes.
     pub original_size: u32,
@@ -160,6 +167,7 @@ mod tests {
             seq: 5,
             elements: vec![e],
             proofs: vec![],
+            payload: std::sync::Arc::new(Vec::new()),
             compressed_size: 100,
             original_size: 300,
         };
@@ -192,6 +200,7 @@ mod tests {
             seq: 0,
             elements: vec![e],
             proofs: vec![],
+            payload: std::sync::Arc::new(Vec::new()),
             compressed_size: 160,
             original_size: 438,
         };
@@ -252,6 +261,7 @@ mod tests {
             seq: 0,
             elements: vec![],
             proofs: vec![],
+            payload: std::sync::Arc::new(Vec::new()),
             compressed_size: 0,
             original_size: 0,
         };

@@ -7,12 +7,32 @@
 //! deterministic discrete-event simulation in which
 //!
 //! * every server/client is a [`Process`] actor driven by messages and timers,
-//! * the [`Network`] delivers messages with configurable propagation delay,
-//!   jitter, added latency (the paper's `network_delay` parameter), loss and
-//!   partitions, and models per-sender link bandwidth so that shipping large
-//!   batches (Hashchain's hash-reversal) has a realistic cost,
+//! * the network ([`NetworkConfig`], `network::Network`) delivers messages
+//!   with configurable propagation delay, jitter, added latency (the paper's
+//!   `network_delay` parameter), loss and partitions, and models per-sender
+//!   link bandwidth so that shipping large batches (Hashchain's
+//!   hash-reversal) has a realistic cost,
 //! * node CPU time consumed by hashing/validation is modelled through
 //!   [`Context::consume_cpu`], which delays subsequent deliveries to that node.
+//!
+//! # Message delivery and the `Arc` ownership contract
+//!
+//! Messages travel through the event queue as `Arc<M>` so that a broadcast
+//! enqueues **one** allocation no matter how many recipients it has:
+//! [`Context::send`] wraps the payload, and [`Context::send_shared`] /
+//! [`Context::send_to_all`] fan an existing `Arc` out as refcount bumps.
+//! Ownership is materialized *at delivery time* via `Arc::try_unwrap`: when
+//! the event queue hands a message to a process, the last — for
+//! point-to-point traffic, the only — holder takes the value without a
+//! copy, and earlier recipients of a broadcast clone it then. Two
+//! consequences for process authors:
+//!
+//! * a process receives `M` by value and owns it outright; there is no
+//!   aliasing with other recipients, so mutating or moving the message is
+//!   always safe;
+//! * a sender that retains a clone of the `Arc` it enqueued forces every
+//!   recipient down the clone path — hand the last `Arc` over to keep
+//!   deliveries copy-free.
 //!
 //! Determinism: given the same seed and the same set of processes, a
 //! simulation produces exactly the same schedule, which makes every figure in

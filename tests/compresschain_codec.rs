@@ -1,0 +1,128 @@
+//! End-to-end guard for the PR 3 codec overhaul: the chunked-LZ77 batch
+//! pipeline must be *semantically transparent*. Whatever the codec does to
+//! the bytes on the ledger, every server must commit exactly the same
+//! element sets into exactly the same epochs — with delivery
+//! decompression+validation on (full Compresschain) or off ("Compresschain
+//! light", the paper's Fig. 2 left ablation).
+
+use std::collections::BTreeSet;
+
+use setchain::{Algorithm, ElementId};
+use setchain_simnet::SimTime;
+use setchain_workload::{Deployment, Scenario, ServerHandle};
+
+const SIM_SECS: u64 = 10;
+
+fn scenario(light: bool) -> Scenario {
+    // Injection stops six simulated seconds before the end: both runs fully
+    // drain, so every accepted element reaches an epoch in both.
+    let s = Scenario::base(Algorithm::Compresschain)
+        .with_servers(4)
+        .with_rate(800.0)
+        .with_collector(64)
+        .with_injection_secs(4)
+        .with_max_run_secs(SIM_SECS)
+        .with_seed(11);
+    if light {
+        s.light()
+    } else {
+        s
+    }
+}
+
+fn run(light: bool) -> Deployment {
+    let mut deployment = Deployment::build(&scenario(light));
+    deployment.sim.run_until(SimTime::from_secs(SIM_SECS));
+    deployment
+}
+
+/// All element ids stamped into epochs, for one server.
+fn committed_ids(server: &ServerHandle<'_>) -> BTreeSet<ElementId> {
+    let state = server.state();
+    (1..=state.epoch())
+        .flat_map(|e| {
+            state
+                .epoch_elements(e)
+                .expect("epoch in range")
+                .iter()
+                .map(|el| el.id)
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[test]
+fn full_and_light_commit_identical_element_sets() {
+    let full = run(false);
+    let light = run(true);
+
+    // Both runs committed real work.
+    let committed_full = full.trace.committed_count_by(SimTime::from_secs(SIM_SECS));
+    let committed_light = light.trace.committed_count_by(SimTime::from_secs(SIM_SECS));
+    assert!(committed_full > 1000, "full run committed too little");
+    assert_eq!(
+        committed_full, committed_light,
+        "decompression/validation on delivery must not change what commits"
+    );
+
+    // The committed element *sets* are identical across the two runs. (The
+    // partition into epochs may differ: the light ablation consumes less
+    // simulated CPU, so batch timing shifts — that is a schedule change,
+    // not a codec effect.)
+    let full_ids = committed_ids(&full.server(0));
+    let light_ids = committed_ids(&light.server(0));
+    assert!(!full_ids.is_empty(), "no epochs formed");
+    assert_eq!(
+        full_ids, light_ids,
+        "committed element sets differ between full and light runs"
+    );
+
+    // Within each run, every server agrees on every common epoch
+    // (Consistent-Gets), and no element is stamped twice (Unique-Epoch).
+    for i in 0..4 {
+        assert!(full
+            .server(0)
+            .state()
+            .check_consistent_with(full.server(i).state()));
+        assert!(light
+            .server(0)
+            .state()
+            .check_consistent_with(light.server(i).state()));
+        assert!(full.server(i).state().check_unique_epoch());
+    }
+}
+
+#[test]
+fn full_mode_really_decompresses_and_never_fails() {
+    let full = run(false);
+    let light = run(true);
+    let mut decompressed_total = 0;
+    for i in 0..4 {
+        let stats = full.server(i).stats();
+        // Peer batches were decompressed for real, and every frame decoded
+        // back to its declared element bytes.
+        assert_eq!(
+            stats.batch_decompress_failures, 0,
+            "server {i} saw bad frames"
+        );
+        decompressed_total += stats.batches_decompressed;
+        // The light ablation skips delivery decompression entirely.
+        assert_eq!(light.server(i).stats().batches_decompressed, 0);
+    }
+    assert!(decompressed_total > 0, "no batch was ever decompressed");
+
+    // Ratio accounting measures the actually shipped chunked frames: with
+    // compressible batch payloads the average must be a real compression
+    // ratio, not a pass-through.
+    for i in 0..4 {
+        if let ServerHandle::Compresschain(node) = full.server(i) {
+            let ratio = node.app().average_ratio();
+            assert!(
+                ratio > 1.02 && ratio < 10.0,
+                "server {i} reports implausible average ratio {ratio}"
+            );
+        } else {
+            panic!("expected a Compresschain server");
+        }
+    }
+}
