@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use setchain::Algorithm;
 use setchain_simnet::SimTime;
-use setchain_workload::{Deployment, Scenario};
+use setchain_workload::Deployment;
 
 /// Parameters of one pipeline measurement.
 #[derive(Clone, Copy, Debug)]
@@ -66,12 +66,15 @@ impl PipelineConfig {
     /// Standard configuration for one algorithm/batch point: 4 servers,
     /// a rate high enough that the hot path dominates, 10 simulated seconds.
     pub fn standard(algorithm: Algorithm, batch: usize) -> Self {
-        let rate = match algorithm {
-            // Vanilla appends one ledger transaction per element and caps out
-            // far below the batched algorithms; drive it at a rate it can
-            // sustain so the measurement reflects pipeline cost, not backlog.
-            Algorithm::Vanilla => 1_000.0,
-            Algorithm::Compresschain | Algorithm::Hashchain => 5_000.0,
+        // Vanilla appends one ledger transaction per element and caps out
+        // far below the batched algorithms; drive each point at a rate it
+        // can sustain so the measurement reflects pipeline cost, not
+        // backlog. (Rate tuning, not variant dispatch: apps are built
+        // through the `AppFactory` regardless.)
+        let rate = if algorithm.uses_collector() {
+            5_000.0
+        } else {
+            1_000.0
         };
         PipelineConfig {
             algorithm,
@@ -165,20 +168,20 @@ pub struct PipelineResult {
 /// from the measured window; only the event loop — the add→epoch pipeline
 /// itself — is timed.
 pub fn run_pipeline(config: &PipelineConfig) -> PipelineResult {
-    let mut scenario = Scenario::base(config.algorithm)
-        .with_servers(config.servers)
-        .with_rate(config.rate)
-        .with_collector(config.batch)
-        .with_injection_secs(config.injection_secs.max(1))
-        .with_max_run_secs(config.sim_secs)
-        .with_seed(config.seed);
+    let mut builder = Deployment::builder(config.algorithm)
+        .servers(config.servers)
+        .rate(config.rate)
+        .collector(config.batch)
+        .injection_secs(config.injection_secs.max(1))
+        .max_run_secs(config.sim_secs)
+        .seed(config.seed);
     if config.block_bytes > 0 {
-        scenario.block_bytes = config.block_bytes;
+        builder = builder.block_bytes(config.block_bytes);
     }
     if config.light {
-        scenario = scenario.light();
+        builder = builder.light();
     }
-    let mut deployment = Deployment::build(&scenario);
+    let mut deployment = builder.build();
     let start = Instant::now();
     deployment
         .sim

@@ -12,6 +12,7 @@ use setchain_crypto::{KeyPair, KeyRegistry, ProcessId};
 use setchain_ledger::{Application, Block};
 use setchain_simnet::TimerToken;
 
+use crate::app::SetchainApp;
 use crate::byzantine::ServerByzMode;
 use crate::collector::Collector;
 use crate::config::SetchainConfig;
@@ -20,6 +21,7 @@ use crate::messages::SetchainMsg;
 use crate::server::{Ctx, ServerCore, ServerStats};
 use crate::state::SetchainState;
 use crate::tx::{CompressedBatch, SetchainTx};
+use crate::Algorithm;
 
 /// Timer token used for the collector timeout tick.
 const COLLECTOR_TICK: TimerToken = 1;
@@ -139,6 +141,28 @@ impl CompresschainApp {
             }
         }
         ctx.append(tx);
+    }
+}
+
+impl SetchainApp for CompresschainApp {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Compresschain
+    }
+
+    fn state(&self) -> &SetchainState {
+        &self.core.state
+    }
+
+    fn stats(&self) -> ServerStats {
+        self.core.stats
+    }
+
+    fn config(&self) -> &SetchainConfig {
+        &self.core.config
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

@@ -30,6 +30,7 @@ use setchain_crypto::{Digest512, KeyPair, KeyRegistry, ProcessId, Sha512};
 use setchain_ledger::{Application, Block};
 use setchain_simnet::{SimTime, TimerToken};
 
+use crate::app::SetchainApp;
 use crate::byzantine::ServerByzMode;
 use crate::collector::{Batch, Collector};
 use crate::config::SetchainConfig;
@@ -39,6 +40,7 @@ use crate::proofs::EpochProof;
 use crate::server::{Ctx, ServerCore, ServerStats};
 use crate::state::SetchainState;
 use crate::tx::{HashBatch, SetchainTx};
+use crate::Algorithm;
 
 /// Timer token for the collector timeout tick.
 const COLLECTOR_TICK: TimerToken = 1;
@@ -71,9 +73,12 @@ pub fn batch_hash(elements: &[Element], proofs: &[EpochProof]) -> Digest512 {
 
 /// Shared out-of-band batch availability used by the "Hashchain light"
 /// ablation (see the module documentation).
+///
+/// Batches are stored behind `Arc`, so a `get` is a refcount bump — the
+/// hash-reversal recovery hot path never deep-clones batch contents.
 #[derive(Clone, Default)]
 pub struct SharedBatchRegistry {
-    inner: Arc<Mutex<HashMap<Digest512, Batch>>>,
+    inner: Arc<Mutex<HashMap<Digest512, Arc<Batch>>>>,
 }
 
 impl SharedBatchRegistry {
@@ -82,14 +87,19 @@ impl SharedBatchRegistry {
         Self::default()
     }
 
-    /// Registers a batch under its hash.
-    pub fn register(&self, hash: Digest512, batch: Batch) {
-        self.inner.lock().entry(hash).or_insert(batch);
+    /// Registers a batch under its hash. Accepts an owned [`Batch`] or an
+    /// already-shared `Arc<Batch>` (which is stored without copying).
+    pub fn register(&self, hash: Digest512, batch: impl Into<Arc<Batch>>) {
+        self.inner
+            .lock()
+            .entry(hash)
+            .or_insert_with(|| batch.into());
     }
 
-    /// Looks up a batch by hash.
-    pub fn get(&self, hash: &Digest512) -> Option<Batch> {
-        self.inner.lock().get(hash).cloned()
+    /// Looks up a batch by hash. The returned `Arc` shares the stored
+    /// contents; no element vector is cloned.
+    pub fn get(&self, hash: &Digest512) -> Option<Arc<Batch>> {
+        self.inner.lock().get(hash).map(Arc::clone)
     }
 
     /// Number of registered batches.
@@ -220,11 +230,11 @@ impl HashchainApp {
         let hash = batch_hash(&batch.elements, &batch.proofs);
         ctx.consume_cpu(self.core.config.costs.hash_cost(batch.wire_size()));
         // Register_batch(h, batch): keep the contents so other servers can
-        // request them.
-        if let Some(shared) = &self.shared_registry {
-            shared.register(hash, batch.clone());
-        }
+        // request them. The registry shares the same `Arc` — no copy.
         let batch = Arc::new(batch);
+        if let Some(shared) = &self.shared_registry {
+            shared.register(hash, Arc::clone(&batch));
+        }
         self.hash_to_batch.insert(hash, Arc::clone(&batch));
         ctx.consume_cpu(self.core.config.costs.sign);
         let hb = HashBatch::new(&self.core.keys, hash);
@@ -266,7 +276,6 @@ impl HashchainApp {
         }
         if let Some(shared) = &self.shared_registry {
             if let Some(b) = shared.get(hash) {
-                let b = Arc::new(b);
                 self.hash_to_batch.insert(*hash, Arc::clone(&b));
                 return Some(b);
             }
@@ -484,6 +493,28 @@ impl HashchainApp {
                 self.maybe_flush(ctx);
             }
         }
+    }
+}
+
+impl SetchainApp for HashchainApp {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Hashchain
+    }
+
+    fn state(&self) -> &SetchainState {
+        &self.core.state
+    }
+
+    fn stats(&self) -> ServerStats {
+        self.core.stats
+    }
+
+    fn config(&self) -> &SetchainConfig {
+        &self.core.config
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

@@ -21,6 +21,11 @@
 //! single (possibly Byzantine) server can verify an epoch with `f + 1`
 //! consistent proofs ([`client::verify_epoch`]).
 //!
+//! All three implement the object-safe [`SetchainApp`] trait — the
+//! variant-agnostic application API (`state()`, `stats()`, epoch access) that
+//! deployments, benches and tests program against — and are constructed
+//! through [`AppFactory`], the single variant-dispatch site.
+//!
 //! The algorithms are ABCI-style [`Application`](setchain_ledger::Application)s
 //! for the [`setchain-ledger`](setchain_ledger) substrate and run inside the
 //! deterministic [`setchain-simnet`](setchain_simnet) simulator. The
@@ -50,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod app;
 pub mod byzantine;
 pub mod client;
 pub mod collector;
@@ -66,6 +72,7 @@ pub mod trace;
 pub mod tx;
 pub mod vanilla;
 
+pub use app::{AppFactory, SetchainApp};
 pub use byzantine::ServerByzMode;
 pub use client::{verify_epoch, EpochVerification, LightClient};
 pub use collector::Collector;
@@ -108,6 +115,13 @@ impl Algorithm {
             Algorithm::Compresschain => "Compresschain",
             Algorithm::Hashchain => "Hashchain",
         }
+    }
+
+    /// True for the batched algorithms (Compresschain, Hashchain), which
+    /// collect elements before appending; Vanilla appends one ledger
+    /// transaction per element and ignores the collector configuration.
+    pub fn uses_collector(&self) -> bool {
+        !matches!(self, Algorithm::Vanilla)
     }
 }
 

@@ -21,7 +21,13 @@ pub type Ctx<'a, 'b, 'c> = AppCtx<'a, 'b, 'c, SetchainTx, SetchainMsg>;
 
 /// Counters exposed by every Setchain server for tests and experiment
 /// reports.
+///
+/// The struct is `#[non_exhaustive]`: new counters will be added as new
+/// subsystems land. Downstream code should read fields (all public) and
+/// construct instances with [`ServerStats::default`], never with a struct
+/// literal, so it keeps compiling across field additions.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ServerStats {
     /// Client `add` requests accepted (valid, not previously seen).
     pub adds_accepted: u64,

@@ -10,6 +10,7 @@ use setchain_crypto::{KeyPair, KeyRegistry, ProcessId};
 use setchain_ledger::{Application, Block};
 use setchain_simnet::TimerToken;
 
+use crate::app::SetchainApp;
 use crate::byzantine::ServerByzMode;
 use crate::config::SetchainConfig;
 use crate::element::Element;
@@ -17,6 +18,7 @@ use crate::messages::SetchainMsg;
 use crate::server::{Ctx, ServerCore, ServerStats};
 use crate::state::SetchainState;
 use crate::tx::SetchainTx;
+use crate::Algorithm;
 
 /// The Vanilla Setchain server application.
 pub struct VanillaApp {
@@ -66,6 +68,28 @@ impl VanillaApp {
             );
             ctx.append(SetchainTx::Element(forged));
         }
+    }
+}
+
+impl SetchainApp for VanillaApp {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Vanilla
+    }
+
+    fn state(&self) -> &SetchainState {
+        &self.core.state
+    }
+
+    fn stats(&self) -> ServerStats {
+        self.core.stats
+    }
+
+    fn config(&self) -> &SetchainConfig {
+        &self.core.config
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

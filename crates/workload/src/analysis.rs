@@ -101,13 +101,11 @@ impl AnalysisParams {
         self.block_rate * (c - n) * self.block_capacity / (n * self.hash_batch_len)
     }
 
-    /// Analytical throughput of the given algorithm.
+    /// Analytical throughput of the given algorithm, indexed through
+    /// [`Algorithm::index`] (no per-variant dispatch outside the `setchain`
+    /// crate's factory/config sites).
     pub fn throughput(&self, algorithm: Algorithm) -> f64 {
-        match algorithm {
-            Algorithm::Vanilla => self.vanilla(),
-            Algorithm::Compresschain => self.compresschain(),
-            Algorithm::Hashchain => self.hashchain(),
-        }
+        [self.vanilla(), self.compresschain(), self.hashchain()][algorithm.index()]
     }
 }
 

@@ -3,10 +3,32 @@
 //! injection client per validator — mirroring the paper's setup of one Docker
 //! container per machine containing one client, one collector and one
 //! CometBFT server.
+//!
+//! Every server runs behind the variant-agnostic
+//! [`SetchainApp`] trait: the deployment holds
+//! `LedgerNode<Box<dyn SetchainApp>>` nodes and never dispatches on
+//! [`Algorithm`](setchain::Algorithm) itself — construction goes through
+//! [`setchain::AppFactory`], the single variant-dispatch site.
+//!
+//! Deployments are assembled with the fluent [`Deployment::builder`]:
+//!
+//! ```
+//! use setchain::Algorithm;
+//! use setchain_workload::Deployment;
+//!
+//! let deployment = Deployment::builder(Algorithm::Hashchain)
+//!     .servers(4)
+//!     .rate(200.0)
+//!     .collector(25)
+//!     .injection_secs(2)
+//!     .max_run_secs(10)
+//!     .build();
+//! assert_eq!(deployment.server(0).algorithm(), Algorithm::Hashchain);
+//! ```
 
 use setchain::{
-    Algorithm, CompresschainApp, HashchainApp, ServerByzMode, ServerStats, SetchainConfig,
-    SetchainMsg, SetchainState, SetchainTrace, SetchainTx, SharedBatchRegistry, VanillaApp,
+    AppFactory, ServerByzMode, ServerStats, SetchainApp, SetchainConfig, SetchainMsg,
+    SetchainState, SetchainTrace, SetchainTx,
 };
 use setchain_crypto::{KeyRegistry, ProcessId};
 use setchain_ledger::{ByzMode, LedgerConfig, LedgerNode, LedgerTrace, NetMsg};
@@ -15,9 +37,14 @@ use setchain_simnet::{NetworkConfig, SimTime, Simulation, SimulationConfig};
 use crate::driver::ClientDriver;
 use crate::generator::ArbitrumWorkload;
 use crate::scenario::Scenario;
+use crate::session::ClientSession;
 
 /// Message type of Setchain deployments.
 pub type Msg = NetMsg<SetchainTx, SetchainMsg>;
+
+/// The one concrete node type every deployment server uses, regardless of
+/// algorithm: a ledger validator driving a boxed [`SetchainApp`].
+pub type ServerNode = LedgerNode<Box<dyn SetchainApp>>;
 
 /// A built deployment, ready to run.
 pub struct Deployment {
@@ -37,67 +64,218 @@ pub struct Deployment {
 
 /// Typed access to a server after (or during) a run, independent of which
 /// algorithm it runs.
-pub enum ServerHandle<'a> {
-    /// A Vanilla server.
-    Vanilla(&'a LedgerNode<VanillaApp>),
-    /// A Compresschain server.
-    Compresschain(&'a LedgerNode<CompresschainApp>),
-    /// A Hashchain server.
-    Hashchain(&'a LedgerNode<HashchainApp>),
+///
+/// The handle wraps the deployment's one concrete node type
+/// ([`ServerNode`]); every accessor goes through the
+/// [`SetchainApp`] trait, so there is no per-variant dispatch here. Variant
+/// surfaces stay reachable through [`ServerHandle::downcast`]:
+///
+/// ```no_run
+/// # use setchain::{Algorithm, CompresschainApp};
+/// # use setchain_workload::Deployment;
+/// # let deployment = Deployment::builder(Algorithm::Compresschain).build();
+/// let ratio = deployment
+///     .server(0)
+///     .downcast::<CompresschainApp>()
+///     .expect("compresschain deployment")
+///     .average_ratio();
+/// ```
+#[derive(Clone, Copy)]
+pub struct ServerHandle<'a> {
+    node: &'a ServerNode,
 }
 
 impl<'a> ServerHandle<'a> {
+    /// The server's application behind the variant-agnostic trait.
+    pub fn app(&self) -> &'a dyn SetchainApp {
+        &**self.node.app()
+    }
+
+    /// The concrete application type, for variant-specific surfaces
+    /// (e.g. `CompresschainApp::average_ratio`,
+    /// `HashchainApp::known_batches`).
+    pub fn downcast<T: SetchainApp>(&self) -> Option<&'a T> {
+        self.app().as_any().downcast_ref::<T>()
+    }
+
+    /// The algorithm this server runs.
+    pub fn algorithm(&self) -> setchain::Algorithm {
+        self.app().algorithm()
+    }
+
     /// The server's Setchain state.
-    pub fn state(&self) -> &SetchainState {
-        match self {
-            ServerHandle::Vanilla(n) => n.app().state(),
-            ServerHandle::Compresschain(n) => n.app().state(),
-            ServerHandle::Hashchain(n) => n.app().state(),
-        }
+    pub fn state(&self) -> &'a SetchainState {
+        self.app().state()
     }
 
     /// The server's application counters.
     pub fn stats(&self) -> ServerStats {
-        match self {
-            ServerHandle::Vanilla(n) => n.app().stats(),
-            ServerHandle::Compresschain(n) => n.app().stats(),
-            ServerHandle::Hashchain(n) => n.app().stats(),
-        }
+        self.app().stats()
+    }
+
+    /// The underlying ledger node (consensus-side inspection).
+    pub fn node(&self) -> &'a ServerNode {
+        self.node
     }
 
     /// The ledger height the server has reached.
     pub fn height(&self) -> u64 {
-        match self {
-            ServerHandle::Vanilla(n) => n.height(),
-            ServerHandle::Compresschain(n) => n.height(),
-            ServerHandle::Hashchain(n) => n.height(),
-        }
+        self.node.height()
     }
 
     /// The server's current mempool occupancy.
     pub fn mempool_len(&self) -> usize {
-        match self {
-            ServerHandle::Vanilla(n) => n.mempool_len(),
-            ServerHandle::Compresschain(n) => n.mempool_len(),
-            ServerHandle::Hashchain(n) => n.mempool_len(),
-        }
+        self.node.mempool_len()
     }
 }
 
-impl Deployment {
-    /// Builds a deployment with all processes correct.
-    pub fn build(scenario: &Scenario) -> Self {
-        Self::build_with_faults(scenario, &[], &[])
+/// Fluent constructor for [`Deployment`]: scenario knobs and fault injection
+/// in one chain, replacing the old `Scenario::base(..).with_*` +
+/// `build`/`build_with_faults` split.
+///
+/// ```
+/// use setchain::{Algorithm, ServerByzMode};
+/// use setchain_ledger::ByzMode;
+/// use setchain_workload::Deployment;
+///
+/// let deployment = Deployment::builder(Algorithm::Hashchain)
+///     .servers(7)
+///     .rate(700.0)
+///     .collector(50)
+///     .injection_secs(2)
+///     .max_run_secs(10)
+///     .server_fault(4, ServerByzMode::RefuseBatchService)
+///     .ledger_fault(6, ByzMode::Silent)
+///     .build();
+/// assert_eq!(deployment.scenario.servers, 7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DeploymentBuilder {
+    scenario: Scenario,
+    server_faults: Vec<(usize, ServerByzMode)>,
+    ledger_faults: Vec<(usize, ByzMode)>,
+}
+
+impl DeploymentBuilder {
+    /// Starts from an existing scenario (all processes correct until faults
+    /// are added).
+    pub fn from_scenario(scenario: Scenario) -> Self {
+        DeploymentBuilder {
+            scenario,
+            server_faults: Vec::new(),
+            ledger_faults: Vec::new(),
+        }
     }
 
-    /// Builds a deployment injecting application-level faults
-    /// (`server_faults`) and/or consensus-level faults (`ledger_faults`),
-    /// both given as `(server index, behaviour)` pairs.
-    pub fn build_with_faults(
-        scenario: &Scenario,
-        server_faults: &[(usize, ServerByzMode)],
-        ledger_faults: &[(usize, ByzMode)],
-    ) -> Self {
+    /// The scenario as configured so far.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Sets the human-readable label used in reports.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.scenario.label = label.into();
+        self
+    }
+
+    /// Sets the number of servers (and injection clients).
+    pub fn servers(mut self, servers: usize) -> Self {
+        self.scenario.servers = servers;
+        self
+    }
+
+    /// Sets the total element injection rate across all clients (el/s).
+    pub fn rate(mut self, rate: f64) -> Self {
+        self.scenario.sending_rate = rate;
+        self
+    }
+
+    /// Sets the collector size (ignored by Vanilla).
+    pub fn collector(mut self, limit: usize) -> Self {
+        self.scenario.collector_limit = limit;
+        self
+    }
+
+    /// Sets the artificial network delay in milliseconds.
+    pub fn delay_ms(mut self, ms: u64) -> Self {
+        self.scenario.network_delay_ms = ms;
+        self
+    }
+
+    /// Sets how long clients inject elements, in seconds.
+    pub fn injection_secs(mut self, secs: u64) -> Self {
+        self.scenario.injection_secs = secs;
+        self
+    }
+
+    /// Sets the hard stop for the run, in seconds.
+    pub fn max_run_secs(mut self, secs: u64) -> Self {
+        self.scenario.max_run_secs = secs;
+        self
+    }
+
+    /// Sets the ledger block size in bytes.
+    pub fn block_bytes(mut self, bytes: usize) -> Self {
+        self.scenario.block_bytes = bytes;
+        self
+    }
+
+    /// Runs the algorithm's "light" ablation (Fig. 2 left).
+    ///
+    /// The light ablations assume all servers correct; for "Hashchain
+    /// light" any [`server_fault`](Self::server_fault) is ignored by the
+    /// built servers (see [`AppFactory::build`]).
+    pub fn light(mut self) -> Self {
+        self.scenario.light = true;
+        self
+    }
+
+    /// Restricts counter-signing to the first `k` servers (Hashchain's
+    /// 2f+1 variant).
+    pub fn designated_signers(mut self, k: usize) -> Self {
+        self.scenario.designated_signers = Some(k);
+        self
+    }
+
+    /// Enables push-based batch dissemination (Hashchain variant).
+    pub fn push_batches(mut self) -> Self {
+        self.scenario.push_batches = true;
+        self
+    }
+
+    /// Records the detailed per-element trace (needed for the latency CDF).
+    pub fn detailed(mut self) -> Self {
+        self.scenario.detailed_trace = true;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.scenario.seed = seed;
+        self
+    }
+
+    /// Injects an application-level fault on server `index`.
+    ///
+    /// Ignored by "Hashchain light" servers ([`light`](Self::light)): the
+    /// ablation assumes all servers correct. The faulty server is still
+    /// excluded from the shared experiment trace either way.
+    pub fn server_fault(mut self, index: usize, mode: ServerByzMode) -> Self {
+        self.server_faults.push((index, mode));
+        self
+    }
+
+    /// Injects a consensus-level fault on validator `index`.
+    pub fn ledger_fault(mut self, index: usize, mode: ByzMode) -> Self {
+        self.ledger_faults.push((index, mode));
+        self
+    }
+
+    /// Builds the deployment. This is the only construction body: the
+    /// all-correct and faulty paths share it, and per-server application
+    /// construction goes through one [`AppFactory`].
+    pub fn build(self) -> Deployment {
+        let scenario = self.scenario;
         let n = scenario.servers;
         let registry = KeyRegistry::bootstrap(scenario.seed, n, n);
         let trace = if scenario.detailed_trace {
@@ -111,22 +289,12 @@ impl Deployment {
             LedgerTrace::disabled()
         };
 
-        let mut setchain_config =
-            SetchainConfig::new(n).with_collector_limit(scenario.collector_limit);
-        setchain_config.collector_timeout = scenario.collector_timeout();
-        if let Some(k) = scenario.designated_signers {
-            setchain_config = setchain_config.with_designated_signers(k);
-        }
-        if scenario.push_batches {
-            setchain_config = setchain_config.with_push_batches();
-        }
-        if scenario.light {
-            setchain_config = match scenario.algorithm {
-                Algorithm::Hashchain => setchain_config.light_hashchain(),
-                Algorithm::Compresschain => setchain_config.light_compresschain(),
-                Algorithm::Vanilla => setchain_config,
-            };
-        }
+        let setchain_config = scenario.setchain_config();
+        let factory = AppFactory::new(
+            scenario.algorithm,
+            registry.clone(),
+            setchain_config.clone(),
+        );
 
         let mut ledger_config = LedgerConfig::with_validators(n);
         ledger_config.max_block_bytes = scenario.block_bytes;
@@ -137,16 +305,17 @@ impl Deployment {
             network,
         });
 
-        let shared = SharedBatchRegistry::new();
         for i in 0..n {
             let id = ProcessId::server(i);
             let keys = registry.lookup(id).expect("server registered");
-            let server_byz = server_faults
+            let server_byz = self
+                .server_faults
                 .iter()
                 .find(|(idx, _)| *idx == i)
                 .map(|(_, m)| *m)
                 .unwrap_or(ServerByzMode::Correct);
-            let ledger_byz = ledger_faults
+            let ledger_byz = self
+                .ledger_faults
                 .iter()
                 .find(|(idx, _)| *idx == i)
                 .map(|(_, m)| *m)
@@ -158,81 +327,19 @@ impl Deployment {
             } else {
                 trace.clone()
             };
-            match scenario.algorithm {
-                Algorithm::Vanilla => {
-                    let app = VanillaApp::new(
-                        keys,
-                        registry.clone(),
-                        setchain_config.clone(),
-                        server_trace,
-                        server_byz,
-                    );
-                    sim.add_process(
-                        id,
-                        Box::new(LedgerNode::new(
-                            id,
-                            ledger_config.clone(),
-                            keys,
-                            registry.clone(),
-                            app,
-                            ledger_trace.clone(),
-                            ledger_byz,
-                        )),
-                    );
-                }
-                Algorithm::Compresschain => {
-                    let app = CompresschainApp::new(
-                        keys,
-                        registry.clone(),
-                        setchain_config.clone(),
-                        server_trace,
-                        server_byz,
-                    );
-                    sim.add_process(
-                        id,
-                        Box::new(LedgerNode::new(
-                            id,
-                            ledger_config.clone(),
-                            keys,
-                            registry.clone(),
-                            app,
-                            ledger_trace.clone(),
-                            ledger_byz,
-                        )),
-                    );
-                }
-                Algorithm::Hashchain => {
-                    let app = if scenario.light {
-                        HashchainApp::new_light(
-                            keys,
-                            registry.clone(),
-                            setchain_config.clone(),
-                            server_trace,
-                            shared.clone(),
-                        )
-                    } else {
-                        HashchainApp::new(
-                            keys,
-                            registry.clone(),
-                            setchain_config.clone(),
-                            server_trace,
-                            server_byz,
-                        )
-                    };
-                    sim.add_process(
-                        id,
-                        Box::new(LedgerNode::new(
-                            id,
-                            ledger_config.clone(),
-                            keys,
-                            registry.clone(),
-                            app,
-                            ledger_trace.clone(),
-                            ledger_byz,
-                        )),
-                    );
-                }
-            }
+            let app = factory.build(keys, server_trace, server_byz);
+            sim.add_process(
+                id,
+                Box::new(LedgerNode::new(
+                    id,
+                    ledger_config.clone(),
+                    keys,
+                    registry.clone(),
+                    app,
+                    ledger_trace.clone(),
+                    ledger_byz,
+                )),
+            );
         }
 
         // One injection client per server, as in the paper's deployment.
@@ -256,7 +363,7 @@ impl Deployment {
 
         Deployment {
             sim,
-            scenario: scenario.clone(),
+            scenario,
             registry,
             trace,
             ledger_trace,
@@ -264,26 +371,65 @@ impl Deployment {
         }
     }
 
-    /// Typed access to server `i`.
+    /// Builds the deployment and runs it to completion (every added element
+    /// committed, or the scenario's `max_run_secs` reached), returning the
+    /// collected [`RunResult`](crate::runner::RunResult).
+    pub fn run(self) -> crate::runner::RunResult {
+        crate::runner::run_deployment(self.build())
+    }
+}
+
+impl Deployment {
+    /// Starts a fluent [`DeploymentBuilder`] from the paper's base scenario
+    /// for `algorithm`.
+    pub fn builder(algorithm: setchain::Algorithm) -> DeploymentBuilder {
+        DeploymentBuilder::from_scenario(Scenario::base(algorithm))
+    }
+
+    /// Builds a deployment with all processes correct.
+    pub fn build(scenario: &Scenario) -> Self {
+        DeploymentBuilder::from_scenario(scenario.clone()).build()
+    }
+
+    /// Builds a deployment injecting application-level faults
+    /// (`server_faults`) and/or consensus-level faults (`ledger_faults`),
+    /// both given as `(server index, behaviour)` pairs.
+    ///
+    /// Thin compatibility wrapper over [`Deployment::builder`]'s
+    /// [`server_fault`](DeploymentBuilder::server_fault) /
+    /// [`ledger_fault`](DeploymentBuilder::ledger_fault) options.
+    pub fn build_with_faults(
+        scenario: &Scenario,
+        server_faults: &[(usize, ServerByzMode)],
+        ledger_faults: &[(usize, ByzMode)],
+    ) -> Self {
+        let mut builder = DeploymentBuilder::from_scenario(scenario.clone());
+        builder.server_faults.extend_from_slice(server_faults);
+        builder.ledger_faults.extend_from_slice(ledger_faults);
+        builder.build()
+    }
+
+    /// Typed access to server `i`, independent of the algorithm it runs.
     pub fn server(&self, i: usize) -> ServerHandle<'_> {
-        let id = ProcessId::server(i);
-        match self.scenario.algorithm {
-            Algorithm::Vanilla => ServerHandle::Vanilla(
-                self.sim
-                    .process::<LedgerNode<VanillaApp>>(id)
-                    .expect("server exists"),
-            ),
-            Algorithm::Compresschain => ServerHandle::Compresschain(
-                self.sim
-                    .process::<LedgerNode<CompresschainApp>>(id)
-                    .expect("server exists"),
-            ),
-            Algorithm::Hashchain => ServerHandle::Hashchain(
-                self.sim
-                    .process::<LedgerNode<HashchainApp>>(id)
-                    .expect("server exists"),
-            ),
-        }
+        let node = self
+            .sim
+            .process::<ServerNode>(ProcessId::server(i))
+            .expect("server exists");
+        ServerHandle { node }
+    }
+
+    /// Opens a typed [`ClientSession`]: derives a key pair for
+    /// `ProcessId::client(client_index)` from `key_seed`, registers it in the
+    /// deployment's PKI, and returns the session facade.
+    ///
+    /// `client_index` must not collide with the per-server injection clients,
+    /// which occupy indices `0..servers`.
+    pub fn client_session(&mut self, client_index: usize, key_seed: u64) -> ClientSession {
+        assert!(
+            client_index >= self.scenario.servers,
+            "client indices below the server count belong to the injection clients"
+        );
+        ClientSession::open(self, client_index, key_seed)
     }
 
     /// Number of elements sent by all injection clients so far.
@@ -298,34 +444,35 @@ impl Deployment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use setchain::Algorithm;
+    use setchain::{Algorithm, HashchainApp, VanillaApp};
 
     #[test]
     fn builds_all_three_algorithms() {
         for algorithm in Algorithm::ALL {
-            let scenario = Scenario::base(algorithm)
-                .with_servers(4)
-                .with_rate(200.0)
-                .with_injection_secs(2)
-                .with_max_run_secs(10);
-            let deployment = Deployment::build(&scenario);
+            let deployment = Deployment::builder(algorithm)
+                .servers(4)
+                .rate(200.0)
+                .injection_secs(2)
+                .max_run_secs(10)
+                .build();
             assert_eq!(deployment.sim.process_ids().len(), 8); // 4 servers + 4 clients
             assert_eq!(deployment.server(0).height(), 1);
             assert_eq!(deployment.server(0).state().epoch(), 0);
+            assert_eq!(deployment.server(0).algorithm(), algorithm);
             assert_eq!(deployment.elements_sent(), 0);
         }
     }
 
     #[test]
     fn small_end_to_end_run_commits_elements() {
-        let scenario = Scenario::base(Algorithm::Hashchain)
-            .with_servers(4)
-            .with_rate(200.0)
-            .with_collector(50)
-            .with_injection_secs(3)
-            .with_max_run_secs(30)
-            .with_seed(5);
-        let mut deployment = Deployment::build(&scenario);
+        let mut deployment = Deployment::builder(Algorithm::Hashchain)
+            .servers(4)
+            .rate(200.0)
+            .collector(50)
+            .injection_secs(3)
+            .max_run_secs(30)
+            .seed(5)
+            .build();
         deployment.sim.run_until(SimTime::from_secs(20));
         let added = deployment.trace.added_count();
         assert!(added > 400, "clients injected elements (added={added})");
@@ -341,5 +488,50 @@ mod tests {
         assert!(s0.state().check_consistent_with(s1.state()));
         assert!(s0.state().check_unique_epoch());
         assert!(s0.state().check_consistent_sets());
+    }
+
+    #[test]
+    fn handles_downcast_to_the_concrete_app() {
+        let deployment = Deployment::builder(Algorithm::Hashchain)
+            .servers(4)
+            .injection_secs(1)
+            .max_run_secs(5)
+            .build();
+        let handle = deployment.server(0);
+        assert!(handle.downcast::<HashchainApp>().is_some());
+        assert!(handle.downcast::<VanillaApp>().is_none());
+        assert_eq!(handle.node().height(), 1);
+        assert_eq!(handle.mempool_len(), 0);
+    }
+
+    #[test]
+    fn builder_and_legacy_constructors_agree() {
+        let scenario = Scenario::base(Algorithm::Compresschain)
+            .with_servers(4)
+            .with_rate(300.0)
+            .with_injection_secs(2)
+            .with_max_run_secs(12)
+            .with_seed(9);
+        let mut a = Deployment::build(&scenario);
+        let mut b = DeploymentBuilder::from_scenario(scenario).build();
+        a.sim.run_until(SimTime::from_secs(12));
+        b.sim.run_until(SimTime::from_secs(12));
+        assert_eq!(a.trace.added_count(), b.trace.added_count());
+        assert_eq!(
+            a.server(0).state().epoch(),
+            b.server(0).state().epoch(),
+            "same construction path, same deterministic run"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "injection clients")]
+    fn session_indices_may_not_collide_with_injection_clients() {
+        let mut deployment = Deployment::builder(Algorithm::Vanilla)
+            .servers(4)
+            .injection_secs(1)
+            .max_run_secs(5)
+            .build();
+        let _ = deployment.client_session(3, 1);
     }
 }

@@ -9,8 +9,13 @@
 //!   collector size, server count, network delay) plus the scenario grids of
 //!   every figure.
 //! * [`deploy`] — builds a full simulated deployment: `n` ledger nodes each
-//!   running a Setchain server application, plus one injection client per
-//!   node (mirroring the paper's one-client-per-Docker-container setup).
+//!   running a Setchain server application behind the variant-agnostic
+//!   [`SetchainApp`](setchain::SetchainApp) trait, plus one injection client
+//!   per node (mirroring the paper's one-client-per-Docker-container setup).
+//!   Assembled with the fluent [`Deployment::builder`].
+//! * [`session`] — typed client sessions (`add`/`get`/`get_epoch` returning
+//!   [`AddReceipt`]/[`SnapshotView`]/[`VerifiedEpoch`]) replacing raw
+//!   message scripting.
 //! * [`driver`] — the injection client actor.
 //! * [`runner`] — runs a scenario to completion and collects a
 //!   [`runner::RunResult`].
@@ -48,13 +53,15 @@ pub mod generator;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
+pub mod session;
 pub mod sweep;
 
 pub use analysis::{analytical_throughput, AnalysisParams};
-pub use deploy::{Deployment, ServerHandle};
+pub use deploy::{Deployment, DeploymentBuilder, ServerHandle, ServerNode};
 pub use driver::{ClientDriver, RequestClient};
 pub use generator::ArbitrumWorkload;
 pub use metrics::{CommitTimes, Efficiency, StageLatencies, ThroughputSeries};
 pub use runner::{run_scenario, RunResult};
 pub use scenario::Scenario;
+pub use session::{AddReceipt, ClientSession, SessionOutcome, SnapshotView, VerifiedEpoch};
 pub use sweep::run_scenarios;

@@ -2,11 +2,18 @@
 //! scenario grids behind each figure.
 
 use serde::{Deserialize, Serialize};
-use setchain::Algorithm;
+use setchain::{Algorithm, SetchainConfig};
 use setchain_simnet::SimDuration;
 
 /// The parameters of one experiment run (one line/bar/curve of a figure).
+///
+/// The struct is `#[non_exhaustive]`: new knobs will be added as new
+/// workloads land. Downstream code should start from [`Scenario::base`] (or
+/// [`Scenario::default`]) and chain the `with_*` builders — or use
+/// [`Deployment::builder`](crate::Deployment::builder) directly — so it
+/// keeps compiling across field additions.
 #[derive(Clone, Debug, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct Scenario {
     /// Human-readable label used in reports.
     pub label: String,
@@ -44,6 +51,14 @@ pub struct Scenario {
     pub detailed_trace: bool,
     /// RNG seed.
     pub seed: u64,
+}
+
+impl Default for Scenario {
+    /// The paper's base scenario for its primary contribution: Hashchain
+    /// (see [`Scenario::base`]).
+    fn default() -> Self {
+        Scenario::base(Algorithm::Hashchain)
+    }
 }
 
 impl Scenario {
@@ -111,6 +126,12 @@ impl Scenario {
         self
     }
 
+    /// Builder: sets the ledger block size in bytes.
+    pub fn with_block_bytes(mut self, bytes: usize) -> Self {
+        self.block_bytes = bytes;
+        self
+    }
+
     /// Builder: marks the run as a "light" ablation.
     pub fn light(mut self) -> Self {
         self.light = true;
@@ -157,6 +178,25 @@ impl Scenario {
     /// The Setchain fault bound `f` for this deployment (`⌊(n−1)/2⌋`).
     pub fn setchain_f(&self) -> usize {
         (self.servers - 1) / 2
+    }
+
+    /// The [`SetchainConfig`] this scenario resolves to — the one place the
+    /// scenario knobs (collector, timeout, variants, light ablation) are
+    /// mapped onto the algorithm configuration.
+    pub fn setchain_config(&self) -> SetchainConfig {
+        let mut config =
+            SetchainConfig::new(self.servers).with_collector_limit(self.collector_limit);
+        config.collector_timeout = self.collector_timeout();
+        if let Some(k) = self.designated_signers {
+            config = config.with_designated_signers(k);
+        }
+        if self.push_batches {
+            config = config.with_push_batches();
+        }
+        if self.light {
+            config = self.algorithm.light_config(config);
+        }
+        config
     }
 
     /// Expected number of injected elements.
@@ -218,6 +258,41 @@ mod tests {
         assert!(s.detailed_trace);
         assert_eq!(s.seed, 7);
         assert_eq!(s.setchain_f(), 3);
+    }
+
+    #[test]
+    fn default_is_the_hashchain_base_scenario() {
+        let d = Scenario::default();
+        assert_eq!(d.algorithm, Algorithm::Hashchain);
+        assert_eq!(d.servers, 10);
+        let s = Scenario::default().with_block_bytes(4 * 1024 * 1024);
+        assert_eq!(s.block_bytes, 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn setchain_config_maps_every_knob() {
+        let s = Scenario::base(Algorithm::Hashchain)
+            .with_servers(10)
+            .with_collector(500)
+            .with_designated_signers(9)
+            .with_push_batches();
+        let config = s.setchain_config();
+        assert_eq!(config.servers, 10);
+        assert_eq!(config.collector_limit, 500);
+        assert_eq!(config.designated_signers, Some(9));
+        assert!(config.push_batches);
+        assert!(config.hash_reversal, "full mode keeps hash reversal");
+
+        let light = Scenario::base(Algorithm::Hashchain)
+            .light()
+            .setchain_config();
+        assert!(!light.hash_reversal, "light hashchain disables reversal");
+        assert!(light.decompress_validate);
+        let light_c = Scenario::base(Algorithm::Compresschain)
+            .light()
+            .setchain_config();
+        assert!(light_c.hash_reversal);
+        assert!(!light_c.decompress_validate);
     }
 
     #[test]

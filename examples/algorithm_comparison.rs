@@ -1,13 +1,14 @@
 //! Side-by-side comparison of the three Setchain algorithms on the same
 //! workload — a miniature version of the paper's Fig. 1 that runs in a few
-//! seconds.
+//! seconds. The loop body is identical for every algorithm: the deployment
+//! builder and the `SetchainApp` trait hide the variant entirely.
 //!
 //! ```sh
-//! cargo run --release -p setchain-workload --example algorithm_comparison
+//! cargo run --release -p setchain-bench --example algorithm_comparison
 //! ```
 
 use setchain::Algorithm;
-use setchain_workload::{analysis::AnalysisParams, run_scenario, Scenario, ThroughputSeries};
+use setchain_workload::{analysis::AnalysisParams, Deployment, ThroughputSeries};
 
 fn main() {
     let rate = 3_000.0;
@@ -20,15 +21,15 @@ fn main() {
         "algorithm", "added", "committed", "avg el/s", "peak el/s", "analytical el/s"
     );
     for algorithm in Algorithm::ALL {
-        let scenario = Scenario::base(algorithm)
-            .with_label(format!("{algorithm} comparison"))
-            .with_servers(4)
-            .with_rate(rate)
-            .with_collector(collector)
-            .with_injection_secs(10)
-            .with_max_run_secs(60)
-            .with_seed(9);
-        let result = run_scenario(&scenario);
+        let result = Deployment::builder(algorithm)
+            .label(format!("{algorithm} comparison"))
+            .servers(4)
+            .rate(rate)
+            .collector(collector)
+            .injection_secs(10)
+            .max_run_secs(60)
+            .seed(9)
+            .run();
         let series = ThroughputSeries::compute(&result.trace, 9, result.finished_at);
         let analytical = AnalysisParams::default()
             .with_servers(4)

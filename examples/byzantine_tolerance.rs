@@ -5,38 +5,40 @@
 //! still rejects the forged proofs.
 //!
 //! ```sh
-//! cargo run --release -p setchain-workload --example byzantine_tolerance
+//! cargo run --release -p setchain-bench --example byzantine_tolerance
 //! ```
 
-use setchain::{verify_epoch, Algorithm, ServerByzMode};
+use setchain::{Algorithm, ServerByzMode};
 use setchain_ledger::ByzMode;
 use setchain_simnet::SimTime;
-use setchain_workload::{Deployment, Scenario};
+use setchain_workload::Deployment;
 
 fn main() {
-    // 7 servers: ledger tolerates f_ledger = 2, Setchain uses f = 3.
-    let scenario = Scenario::base(Algorithm::Hashchain)
-        .with_label("byzantine-tolerance")
-        .with_servers(7)
-        .with_rate(700.0)
-        .with_collector(50)
-        .with_injection_secs(8)
-        .with_max_run_secs(60)
-        .with_seed(31337);
-    let f = scenario.setchain_f();
-
+    // 7 servers: ledger tolerates f_ledger = 2, Setchain uses f = 3. The
+    // builder takes the scenario knobs and the fault injection in one chain.
     println!("Fault injection:");
     println!("  server 4: refuses Request_batch (application-level fault)");
     println!("  server 5: forges its epoch-proof signatures");
     println!("  server 6: silent ledger validator (crash fault)");
-    let mut deployment = Deployment::build_with_faults(
-        &scenario,
-        &[
-            (4, ServerByzMode::RefuseBatchService),
-            (5, ServerByzMode::ForgeProofs),
-        ],
-        &[(6, ByzMode::Silent)],
-    );
+    let mut deployment = Deployment::builder(Algorithm::Hashchain)
+        .label("byzantine-tolerance")
+        .servers(7)
+        .rate(700.0)
+        .collector(50)
+        .injection_secs(8)
+        .max_run_secs(60)
+        .seed(31337)
+        .server_fault(4, ServerByzMode::RefuseBatchService)
+        .server_fault(5, ServerByzMode::ForgeProofs)
+        .ledger_fault(6, ByzMode::Silent)
+        .build();
+    let f = deployment.scenario.setchain_f();
+
+    // A light client audits epoch 1 through server 1 after the dust settles:
+    // the verdict must come from the f + 1 proof quorum, not server trust.
+    let mut auditor = deployment.client_session(100, 4242);
+    auditor.get_epoch(SimTime::from_secs(45), 1, 1);
+    auditor.install(&mut deployment);
 
     deployment.sim.run_until(SimTime::from_secs(50));
 
@@ -66,7 +68,7 @@ fn main() {
     );
 
     // The forged proofs of server 5 are rejected: check that an epoch's proof
-    // set never counts it, and that client-side verification agrees.
+    // set never counts it, and that the light client's verdict agrees.
     let state = reference.state();
     let mut forged_counted = 0;
     for epoch in 1..=state.epoch() {
@@ -80,15 +82,10 @@ fn main() {
     }
     println!("epochs where server 5's forged proof was accepted by server 0: {forged_counted}");
 
-    if let Some(elements) = state.epoch_elements(1) {
-        let verdict = verify_epoch(
-            &deployment.registry,
-            scenario.servers,
-            f,
-            1,
-            elements,
-            state.proofs_for(1),
+    for epoch in auditor.outcome(&deployment).epochs {
+        println!(
+            "light-client verification of epoch {} via server {}: {:?}",
+            epoch.epoch, epoch.server, epoch.verification
         );
-        println!("light-client verification of epoch 1: {verdict:?}");
     }
 }

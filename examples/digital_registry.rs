@@ -4,109 +4,60 @@
 //! A university issues diploma records; each record only needs to be
 //! *registered and provable*, not ordered against other diplomas — exactly
 //! the relaxation Setchain exploits. This example runs a 7-server
-//! Compresschain deployment, registers a graduating class, and then plays the
-//! role of an employer verifying one diploma with `f + 1` epoch-proofs from a
-//! single server.
+//! Compresschain deployment, registers a graduating class through a typed
+//! client session, and then plays the role of an employer verifying one
+//! diploma with `f + 1` epoch-proofs from a single server.
 //!
 //! ```sh
-//! cargo run --release -p setchain-workload --example digital_registry
+//! cargo run --release -p setchain-bench --example digital_registry
 //! ```
 
-use setchain::{verify_epoch, Algorithm, Element, ElementId, SetchainMsg};
-use setchain_crypto::{KeyPair, ProcessId};
+use setchain::Algorithm;
 use setchain_simnet::SimTime;
-use setchain_workload::{Deployment, RequestClient, Scenario};
+use setchain_workload::Deployment;
 
 fn main() {
-    let scenario = Scenario::base(Algorithm::Compresschain)
-        .with_label("digital-registry")
-        .with_servers(7)
-        .with_rate(300.0) // other registry traffic in the background
-        .with_collector(50)
-        .with_injection_secs(6)
-        .with_max_run_secs(40)
-        .with_seed(7);
-    let mut deployment = Deployment::build(&scenario);
-    let n = scenario.servers;
-    let f = scenario.setchain_f();
+    let mut deployment = Deployment::builder(Algorithm::Compresschain)
+        .label("digital-registry")
+        .servers(7)
+        .rate(300.0) // other registry traffic in the background
+        .collector(50)
+        .injection_secs(6)
+        .max_run_secs(40)
+        .seed(7)
+        .build();
+    let f = deployment.scenario.setchain_f();
 
-    // The university is a Setchain client with its own registered key.
-    let university = ProcessId::client(200);
-    let university_keys = KeyPair::derive(university, 0xD1_70_0A);
-    deployment.registry.register(university_keys);
-
-    // A graduating class of 40 diplomas. A real deployment would store the
-    // hash of the credential document; here the content seed stands in for it.
-    let diplomas: Vec<Element> = (0..40)
-        .map(|i| {
-            Element::new(
-                &university_keys,
-                ElementId::new(200, i),
-                620,
-                0xACAD_0000 + i,
-            )
-        })
+    // The university is a Setchain client session with its own registered
+    // key. A graduating class of 40 diplomas goes in through server 1; a
+    // real deployment would store the hash of the credential document — here
+    // the content seed stands in for it.
+    let mut university = deployment.client_session(200, 0xD1_70_0A);
+    let diplomas: Vec<_> = (0..40)
+        .map(|i| university.add(SimTime::from_millis(400 + 25 * i), 1, 620, 0xACAD_0000 + i))
         .collect();
     println!("Registering {} diplomas through server 1 …", diplomas.len());
 
-    let mut script: Vec<(SimTime, ProcessId, SetchainMsg)> = diplomas
-        .iter()
-        .enumerate()
-        .map(|(i, d)| {
-            (
-                SimTime::from_millis(400 + 25 * i as u64),
-                ProcessId::server(1),
-                SetchainMsg::Add(*d),
-            )
-        })
-        .collect();
     // Later, the employer asks a different server for the state and for the
     // epochs that might contain the diploma of interest.
-    script.push((
-        SimTime::from_secs(25),
-        ProcessId::server(5),
-        SetchainMsg::Get { request_id: 1 },
-    ));
-    for epoch in 1..=12u64 {
-        script.push((
-            SimTime::from_secs(26),
-            ProcessId::server(5),
-            SetchainMsg::GetEpoch {
-                request_id: 100 + epoch,
-                epoch,
-            },
-        ));
-    }
-    deployment
-        .sim
-        .add_process(university, Box::new(RequestClient::new(script)));
+    university.get(SimTime::from_secs(25), 5);
+    university.get_epochs(SimTime::from_secs(26), 5, 1..=40);
+    university.install(&mut deployment);
 
     deployment.sim.run_until(SimTime::from_secs(32));
 
     // The employer wants to verify diploma #17.
     let wanted = diplomas[17];
-    let client: &RequestClient = deployment.sim.process(university).expect("client actor");
-    let mut found = None;
-    for (_, _, response) in client.responses() {
-        if let SetchainMsg::EpochResponse {
-            epoch,
-            elements,
-            proofs,
-            ..
-        } = response
-        {
-            if elements.iter().any(|e| e.id == wanted.id) {
-                let verdict = verify_epoch(&deployment.registry, n, f, *epoch, elements, proofs);
-                found = Some((*epoch, elements.len(), proofs.len(), verdict));
-                break;
-            }
-        }
-    }
-    match found {
-        Some((epoch, elements, proofs, verdict)) => {
+    let outcome = university.outcome(&deployment);
+    match outcome.epochs.iter().find(|e| e.contains(wanted.id)) {
+        Some(epoch) => {
             println!(
-                "Diploma {:?} found in epoch {epoch} ({elements} records, {proofs} proofs): {verdict:?}",
-                wanted.id
+                "Diploma {:?} found in epoch {} ({} records, {} proofs): {:?}",
+                wanted.id,
+                epoch.epoch,
+                epoch.elements.len(),
+                epoch.proof_count,
+                epoch.verification
             );
             println!(
                 "A single server response was enough: f + 1 = {} proofs bound the epoch.",

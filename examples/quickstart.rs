@@ -1,107 +1,82 @@
 //! Quickstart: run a 4-server Hashchain Setchain, add elements through a
-//! light client, and verify an epoch with `f + 1` epoch-proofs while talking
-//! to a single server.
+//! typed client session, and verify an epoch with `f + 1` epoch-proofs while
+//! talking to a single server.
 //!
 //! ```sh
-//! cargo run --release -p setchain-workload --example quickstart
+//! cargo run --release -p setchain-bench --example quickstart
 //! ```
 
-use setchain::{verify_epoch, Algorithm, Element, ElementId, SetchainMsg};
-use setchain_crypto::{KeyPair, ProcessId};
+use setchain::Algorithm;
 use setchain_simnet::SimTime;
-use setchain_workload::{Deployment, RequestClient, Scenario};
+use setchain_workload::Deployment;
 
 fn main() {
     // 1. Describe the deployment: 4 servers running Hashchain, a light
     //    background load, small collector so epochs form quickly.
-    let scenario = Scenario::base(Algorithm::Hashchain)
-        .with_label("quickstart")
-        .with_servers(4)
-        .with_rate(200.0)
-        .with_collector(25)
-        .with_injection_secs(5)
-        .with_max_run_secs(30)
-        .with_seed(2024);
-    let mut deployment = Deployment::build(&scenario);
-    let n = scenario.servers;
-    let f = scenario.setchain_f();
+    let mut deployment = Deployment::builder(Algorithm::Hashchain)
+        .label("quickstart")
+        .servers(4)
+        .rate(200.0)
+        .collector(25)
+        .injection_secs(5)
+        .max_run_secs(30)
+        .seed(2024)
+        .build();
+    let n = deployment.scenario.servers;
+    let f = deployment.scenario.setchain_f();
     println!(
         "Deployment: {n} Hashchain servers, f = {f}, collector = {}",
-        scenario.collector_limit
+        deployment.scenario.collector_limit
     );
 
-    // 2. Create our own client identity and register it in the PKI.
-    let me = ProcessId::client(100);
-    let my_keys = KeyPair::derive(me, 777);
-    deployment.registry.register(my_keys);
-
-    // 3. Script the client: add three elements to server 0 early on, then ask
-    //    a *different* server (server 2) for epoch 1 and a state summary.
-    let my_elements: Vec<Element> = (0..3)
-        .map(|i| Element::new(&my_keys, ElementId::new(100, i), 438, 1000 + i))
+    // 2. Open a typed client session (registers our key pair in the PKI) and
+    //    script it: add three elements to server 0 early on, then ask a
+    //    *different* server (server 2) for epoch 1 and a state summary.
+    let mut session = deployment.client_session(100, 777);
+    let receipts: Vec<_> = (0..3)
+        .map(|i| session.add(SimTime::from_millis(500 + i * 100), 0, 438, 1000 + i))
         .collect();
-    let mut script = Vec::new();
-    for (i, e) in my_elements.iter().enumerate() {
-        script.push((
-            SimTime::from_millis(500 + i as u64 * 100),
-            ProcessId::server(0),
-            SetchainMsg::Add(*e),
-        ));
-    }
-    script.push((
-        SimTime::from_secs(20),
-        ProcessId::server(2),
-        SetchainMsg::Get { request_id: 1 },
-    ));
-    script.push((
-        SimTime::from_secs(20),
-        ProcessId::server(2),
-        SetchainMsg::GetEpoch {
-            request_id: 2,
-            epoch: 1,
-        },
-    ));
-    deployment
-        .sim
-        .add_process(me, Box::new(RequestClient::new(script)));
+    session.get(SimTime::from_secs(20), 2);
+    session.get_epochs(SimTime::from_secs(20), 2, 1..=20);
+    session.install(&mut deployment);
 
-    // 4. Run the simulation.
+    // 3. Run the simulation.
     deployment.sim.run_until(SimTime::from_secs(25));
 
-    // 5. Inspect the responses the client received from server 2.
-    let client: &RequestClient = deployment.sim.process(me).expect("client actor");
-    for (at, from, response) in client.responses() {
-        match response {
-            SetchainMsg::GetResponse { snapshot, .. } => {
-                println!(
-                    "[{at}] get() from {from}: |the_set| = {}, epoch = {}, {} epochs have ≥ f+1 proofs",
-                    snapshot.the_set_len, snapshot.epoch, snapshot.epochs_with_quorum
-                );
-            }
-            SetchainMsg::EpochResponse {
-                epoch,
-                elements,
-                proofs,
-                ..
-            } => {
-                let verdict = verify_epoch(&deployment.registry, n, f, *epoch, elements, proofs);
-                println!(
-                    "[{at}] get_epoch({epoch}) from {from}: {} elements, {} proofs -> {:?}",
-                    elements.len(),
-                    proofs.len(),
-                    verdict
-                );
-                let mine = elements
-                    .iter()
-                    .filter(|e| my_elements.iter().any(|m| m.id == e.id))
-                    .count();
-                println!("        {mine} of my 3 elements are in this verified epoch");
-            }
-            _ => {}
-        }
+    // 4. Read the typed results: the snapshot summary and the verified epoch.
+    let outcome = session.outcome(&deployment);
+    for view in &outcome.snapshots {
+        println!(
+            "[{}] get() from {}: |the_set| = {}, epoch = {}, {} epochs have ≥ f+1 proofs",
+            view.at,
+            view.server,
+            view.snapshot.the_set_len,
+            view.snapshot.epoch,
+            view.snapshot.epochs_with_quorum
+        );
     }
+    for epoch in &outcome.epochs {
+        let mine = receipts.iter().filter(|r| epoch.contains(r.id)).count();
+        if epoch.epoch > 1 && mine == 0 {
+            continue; // only narrate epoch 1 and the epochs holding our adds
+        }
+        println!(
+            "[{}] get_epoch({}) from {}: {} elements, {} proofs -> {:?} ({mine} of my elements)",
+            epoch.at,
+            epoch.epoch,
+            epoch.server,
+            epoch.elements.len(),
+            epoch.proof_count,
+            epoch.verification
+        );
+    }
+    println!(
+        "elements confirmed through a single server: {} / {}",
+        outcome.confirmed_ids().len(),
+        receipts.len()
+    );
 
-    // 6. Cross-check the safety properties directly on two servers.
+    // 5. Cross-check the safety properties directly on two servers.
     let s0 = deployment.server(0);
     let s3 = deployment.server(3);
     println!(

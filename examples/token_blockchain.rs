@@ -8,27 +8,28 @@
 //! root.
 //!
 //! ```sh
-//! cargo run --release -p setchain-workload --example token_blockchain
+//! cargo run --release -p setchain-bench --example token_blockchain
 //! ```
 
 use setchain::Algorithm;
 use setchain_exec::{ExecutedChain, ExecutionConfig};
 use setchain_simnet::SimTime;
-use setchain_workload::{Deployment, Scenario};
+use setchain_workload::Deployment;
 
 fn main() {
     // 1. A 4-server Hashchain deployment with a moderate injection rate. The
     //    injected elements are Arbitrum-like opaque payloads; the execution
     //    layer decodes each one into a transfer deterministically.
-    let scenario = Scenario::base(Algorithm::Hashchain)
-        .with_label("token blockchain")
-        .with_servers(4)
-        .with_rate(400.0)
-        .with_collector(50)
-        .with_injection_secs(6)
-        .with_max_run_secs(45)
-        .with_seed(7_777);
-    let mut deployment = Deployment::build(&scenario);
+    let mut deployment = Deployment::builder(Algorithm::Hashchain)
+        .label("token blockchain")
+        .servers(4)
+        .rate(400.0)
+        .collector(50)
+        .injection_secs(6)
+        .max_run_secs(45)
+        .seed(7_777)
+        .build();
+    let scenario = &deployment.scenario;
     println!(
         "Running {} servers, {} el/s for {} s ...",
         scenario.servers, scenario.sending_rate, scenario.injection_secs

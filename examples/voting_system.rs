@@ -3,19 +3,20 @@
 //! The paper motivates Setchain with applications like digital registries and
 //! voting systems (e.g. Chirotonia), where elements need no order *within* an
 //! epoch. This example runs an election on top of Compresschain: voters are
-//! light clients that each cast one signed ballot through their nearest
-//! server, an auditor later fetches epochs from a *single* server and accepts
-//! them only with `f + 1` valid epoch-proofs, and the tally is computed from
-//! the verified epochs alone.
+//! typed client sessions that each cast one signed ballot through their
+//! nearest server, an auditor session later fetches epochs from a *single*
+//! server and accepts them only with `f + 1` valid epoch-proofs, and the
+//! tally is computed from the verified epochs alone.
 //!
 //! ```sh
-//! cargo run --release -p setchain-workload --example voting_system
+//! cargo run --release -p setchain-bench --example voting_system
 //! ```
 
-use setchain::{verify_epoch, Algorithm, Element, ElementId, SetchainMsg};
-use setchain_crypto::{KeyPair, ProcessId};
+use std::collections::HashSet;
+
+use setchain::{Algorithm, Element, ElementId};
 use setchain_simnet::SimTime;
-use setchain_workload::{Deployment, RequestClient, Scenario};
+use setchain_workload::Deployment;
 
 const CANDIDATES: [&str; 3] = ["Ada", "Barbara", "Grace"];
 const VOTERS: u64 = 40;
@@ -29,106 +30,76 @@ fn candidate_of(e: &Element) -> usize {
 fn main() {
     // 1. Four Setchain servers run the election registry, with a light
     //    background load of ordinary registry traffic; the ballots below are
-    //    added by dedicated voter clients on top of it.
-    let scenario = Scenario::base(Algorithm::Compresschain)
-        .with_label("voting")
-        .with_servers(4)
-        .with_rate(40.0)
-        .with_collector(10)
-        .with_injection_secs(2)
-        .with_max_run_secs(40)
-        .with_seed(1_848);
-    let mut deployment = Deployment::build(&scenario);
-    let n = scenario.servers;
-    let f = scenario.setchain_f();
+    //    added by dedicated voter sessions on top of it.
+    let mut deployment = Deployment::builder(Algorithm::Compresschain)
+        .label("voting")
+        .servers(4)
+        .rate(40.0)
+        .collector(10)
+        .injection_secs(2)
+        .max_run_secs(40)
+        .seed(1_848)
+        .build();
+    let n = deployment.scenario.servers;
 
-    // 2. Register the voters in the PKI and script one ballot each, spread
-    //    over the first few seconds and across all four servers.
-    let mut ballots = Vec::new();
+    // 2. One session per voter: each casts one ballot (candidate choice
+    //    encoded in the content seed), spread over the first few seconds and
+    //    across all four servers.
+    let mut cast: HashSet<ElementId> = HashSet::new();
     for voter in 0..VOTERS {
-        let id = ProcessId::client(1_000 + voter as usize);
-        let keys = KeyPair::derive(id, 9_000 + voter);
-        deployment.registry.register(keys);
-        // The ballot: candidate choice encoded in the content seed.
+        let mut session = deployment.client_session(1_000 + voter as usize, 9_000 + voter);
         let choice = (voter * 7 + 3) % CANDIDATES.len() as u64;
-        let element = Element::new(&keys, ElementId::new(1_000 + voter as u32, 0), 256, choice);
-        let cast_at = SimTime::from_millis(200 + voter * 150);
-        let server = ProcessId::server((voter % n as u64) as usize);
-        ballots.push(element);
-        deployment.sim.add_process(
-            id,
-            Box::new(RequestClient::new(vec![(
-                cast_at,
-                server,
-                SetchainMsg::Add(element),
-            )])),
+        let receipt = session.add(
+            SimTime::from_millis(200 + voter * 150),
+            (voter % n as u64) as usize,
+            256,
+            choice,
         );
+        cast.insert(receipt.id);
+        session.install(&mut deployment);
     }
 
     // 3. The auditor talks to one server only (server 3) and asks for the
     //    state summary plus every epoch, late enough that proofs are in.
-    let auditor = ProcessId::client(99);
-    let auditor_keys = KeyPair::derive(auditor, 31_337);
-    deployment.registry.register(auditor_keys);
-    let mut script = vec![(
-        SimTime::from_secs(30),
-        ProcessId::server(3),
-        SetchainMsg::Get { request_id: 0 },
-    )];
-    // Compresschain turns every flushed batch into an epoch, so 30 seconds of
-    // running produces a few hundred (mostly small) epochs; the auditor walks
-    // all of them.
-    for epoch in 1..=600u64 {
-        script.push((
-            SimTime::from_secs(30),
-            ProcessId::server(3),
-            SetchainMsg::GetEpoch {
-                request_id: epoch,
-                epoch,
-            },
-        ));
-    }
-    deployment
-        .sim
-        .add_process(auditor, Box::new(RequestClient::new(script)));
+    //    Compresschain turns every flushed batch into an epoch, so 30 seconds
+    //    of running produces a few hundred (mostly small) epochs.
+    let mut auditor = deployment.client_session(99, 31_337);
+    auditor.get(SimTime::from_secs(30), 3);
+    auditor.get_epochs(SimTime::from_secs(30), 3, 1..=600);
+    auditor.install(&mut deployment);
 
     // 4. Run the election.
     deployment.sim.run_until(SimTime::from_secs(35));
 
     // 5. Tally only what the auditor could verify with f + 1 proofs from its
-    //    single server.
-    let client: &RequestClient = deployment.sim.process(auditor).expect("auditor");
+    //    single server — unverified epochs are skipped, not trusted.
+    let outcome = auditor.outcome(&deployment);
     let mut tally = [0usize; CANDIDATES.len()];
-    let mut verified_epochs = 0;
     let mut counted = 0;
-    for (_, _, response) in client.responses() {
-        if let SetchainMsg::EpochResponse {
-            epoch,
-            elements,
-            proofs,
-            ..
-        } = response
-        {
-            if elements.is_empty() && proofs.is_empty() {
-                continue;
-            }
-            let verdict = verify_epoch(&deployment.registry, n, f, *epoch, elements, proofs);
-            if !verdict.is_verified() {
-                println!("epoch {epoch}: NOT verified ({verdict:?}) — skipped from the tally");
-                continue;
-            }
-            verified_epochs += 1;
-            for ballot in elements {
-                // Only count ballots cast by registered voters, once each.
-                if ballots.iter().any(|b| b.id == ballot.id) {
-                    tally[candidate_of(ballot)] += 1;
-                    counted += 1;
-                }
+    for epoch in &outcome.epochs {
+        if epoch.elements.is_empty() && epoch.proof_count == 0 {
+            continue;
+        }
+        if !epoch.is_verified() {
+            println!(
+                "epoch {}: NOT verified ({:?}) — skipped from the tally",
+                epoch.epoch, epoch.verification
+            );
+            continue;
+        }
+        for ballot in &epoch.elements {
+            // Only count ballots cast by registered voters, once each.
+            if cast.contains(&ballot.id) {
+                tally[candidate_of(ballot)] += 1;
+                counted += 1;
             }
         }
     }
 
-    println!("ballots cast: {VOTERS}, epochs verified with f+1 proofs: {verified_epochs}");
+    println!(
+        "ballots cast: {VOTERS}, epochs verified with f+1 proofs: {}",
+        outcome.verified_count()
+    );
     println!("ballots counted from verified epochs: {counted}\n");
     for (name, votes) in CANDIDATES.iter().zip(tally) {
         println!("  {name:<10} {votes:>3} votes  {}", "#".repeat(votes));

@@ -5,17 +5,17 @@
 use setchain::{Algorithm, ServerByzMode};
 use setchain_ledger::ByzMode;
 use setchain_simnet::SimTime;
-use setchain_workload::{Deployment, Scenario};
+use setchain_workload::{Deployment, DeploymentBuilder, Scenario};
 
-fn scenario(algorithm: Algorithm, servers: usize, seed: u64) -> Scenario {
-    Scenario::base(algorithm)
-        .with_label(format!("byzantine {algorithm}"))
-        .with_servers(servers)
-        .with_rate(300.0)
-        .with_collector(40)
-        .with_injection_secs(5)
-        .with_max_run_secs(90)
-        .with_seed(seed)
+fn builder(algorithm: Algorithm, servers: usize, seed: u64) -> DeploymentBuilder {
+    Deployment::builder(algorithm)
+        .label(format!("byzantine {algorithm}"))
+        .servers(servers)
+        .rate(300.0)
+        .collector(40)
+        .injection_secs(5)
+        .max_run_secs(90)
+        .seed(seed)
 }
 
 fn run(mut deployment: Deployment, secs: u64) -> Deployment {
@@ -39,9 +39,9 @@ fn correct_servers_consistent(deployment: &Deployment, correct: &[usize]) {
 
 #[test]
 fn hashchain_tolerates_a_server_refusing_batch_service() {
-    let scenario = scenario(Algorithm::Hashchain, 4, 1);
-    let deployment =
-        Deployment::build_with_faults(&scenario, &[(3, ServerByzMode::RefuseBatchService)], &[]);
+    let deployment = builder(Algorithm::Hashchain, 4, 1)
+        .server_fault(3, ServerByzMode::RefuseBatchService)
+        .build();
     let deployment = run(deployment, 60);
     let records = deployment.trace.element_records();
     assert!(records.len() > 1_000);
@@ -75,9 +75,9 @@ fn forged_epoch_proofs_are_never_counted() {
         Algorithm::Compresschain,
         Algorithm::Hashchain,
     ] {
-        let scenario = scenario(algorithm, 4, 2);
-        let deployment =
-            Deployment::build_with_faults(&scenario, &[(2, ServerByzMode::ForgeProofs)], &[]);
+        let deployment = builder(algorithm, 4, 2)
+            .server_fault(2, ServerByzMode::ForgeProofs)
+            .build();
         let deployment = run(deployment, 60);
         let state_holder = deployment.server(0);
         let state = state_holder.state();
@@ -102,9 +102,9 @@ fn forged_epoch_proofs_are_never_counted() {
 
 #[test]
 fn invalid_elements_injected_by_a_server_never_enter_epochs() {
-    let scenario = scenario(Algorithm::Vanilla, 4, 3);
-    let deployment =
-        Deployment::build_with_faults(&scenario, &[(1, ServerByzMode::InjectInvalidElements)], &[]);
+    let deployment = builder(Algorithm::Vanilla, 4, 3)
+        .server_fault(1, ServerByzMode::InjectInvalidElements)
+        .build();
     let deployment = run(deployment, 45);
     // Every element in every epoch of a correct server must be a client-added
     // element recorded by the trace (forged ones are not in the trace).
@@ -135,8 +135,9 @@ fn invalid_elements_injected_by_a_server_never_enter_epochs() {
 
 #[test]
 fn silent_ledger_validator_does_not_stop_the_setchain() {
-    let scenario = scenario(Algorithm::Compresschain, 4, 4);
-    let deployment = Deployment::build_with_faults(&scenario, &[], &[(3, ByzMode::Silent)]);
+    let deployment = builder(Algorithm::Compresschain, 4, 4)
+        .ledger_fault(3, ByzMode::Silent)
+        .build();
     let deployment = run(deployment, 75);
     let records = deployment.trace.element_records();
     assert!(records.len() > 1_000);
@@ -157,9 +158,9 @@ fn silent_ledger_validator_does_not_stop_the_setchain() {
 
 #[test]
 fn equivocating_proposer_does_not_split_the_setchain() {
-    let scenario = scenario(Algorithm::Hashchain, 4, 5);
-    let deployment =
-        Deployment::build_with_faults(&scenario, &[], &[(1, ByzMode::EquivocatingProposer)]);
+    let deployment = builder(Algorithm::Hashchain, 4, 5)
+        .ledger_fault(1, ByzMode::EquivocatingProposer)
+        .build();
     let deployment = run(deployment, 75);
     correct_servers_consistent(&deployment, &[0, 2, 3]);
     let committed = deployment.trace.committed_count_by(SimTime::from_secs(75));
@@ -168,9 +169,9 @@ fn equivocating_proposer_does_not_split_the_setchain() {
 
 #[test]
 fn a_server_dropping_client_adds_only_hurts_its_own_clients() {
-    let scenario = scenario(Algorithm::Hashchain, 4, 6);
-    let deployment =
-        Deployment::build_with_faults(&scenario, &[(2, ServerByzMode::DropClientAdds)], &[]);
+    let deployment = builder(Algorithm::Hashchain, 4, 6)
+        .server_fault(2, ServerByzMode::DropClientAdds)
+        .build();
     let deployment = run(deployment, 60);
     // Elements sent to server 2's local client are lost (the paper's remedy
     // is client retry with another server), but everything sent to the other
@@ -201,6 +202,8 @@ fn a_server_dropping_client_adds_only_hurts_its_own_clients() {
 fn ten_servers_tolerate_multiple_mixed_faults() {
     // n = 10: f_ledger = 3, f_setchain = 4. Inject three application faults
     // and two consensus faults simultaneously.
+    // Exercise the legacy `build_with_faults` wrapper once: it must stay a
+    // faithful thin delegation to the builder path.
     let scenario = Scenario::base(Algorithm::Hashchain)
         .with_label("mixed faults")
         .with_servers(10)

@@ -7,31 +7,26 @@
 
 use std::collections::BTreeSet;
 
-use setchain::{Algorithm, ElementId};
+use setchain::{Algorithm, CompresschainApp, ElementId};
 use setchain_simnet::SimTime;
-use setchain_workload::{Deployment, Scenario, ServerHandle};
+use setchain_workload::{Deployment, ServerHandle};
 
 const SIM_SECS: u64 = 10;
 
-fn scenario(light: bool) -> Scenario {
+fn run(light: bool) -> Deployment {
     // Injection stops six simulated seconds before the end: both runs fully
     // drain, so every accepted element reaches an epoch in both.
-    let s = Scenario::base(Algorithm::Compresschain)
-        .with_servers(4)
-        .with_rate(800.0)
-        .with_collector(64)
-        .with_injection_secs(4)
-        .with_max_run_secs(SIM_SECS)
-        .with_seed(11);
+    let mut builder = Deployment::builder(Algorithm::Compresschain)
+        .servers(4)
+        .rate(800.0)
+        .collector(64)
+        .injection_secs(4)
+        .max_run_secs(SIM_SECS)
+        .seed(11);
     if light {
-        s.light()
-    } else {
-        s
+        builder = builder.light();
     }
-}
-
-fn run(light: bool) -> Deployment {
-    let mut deployment = Deployment::build(&scenario(light));
+    let mut deployment = builder.build();
     deployment.sim.run_until(SimTime::from_secs(SIM_SECS));
     deployment
 }
@@ -113,16 +108,17 @@ fn full_mode_really_decompresses_and_never_fails() {
 
     // Ratio accounting measures the actually shipped chunked frames: with
     // compressible batch payloads the average must be a real compression
-    // ratio, not a pass-through.
+    // ratio, not a pass-through. The variant-specific surface is reached
+    // through the `SetchainApp` downcast hook.
     for i in 0..4 {
-        if let ServerHandle::Compresschain(node) = full.server(i) {
-            let ratio = node.app().average_ratio();
-            assert!(
-                ratio > 1.02 && ratio < 10.0,
-                "server {i} reports implausible average ratio {ratio}"
-            );
-        } else {
-            panic!("expected a Compresschain server");
-        }
+        let ratio = full
+            .server(i)
+            .downcast::<CompresschainApp>()
+            .expect("expected a Compresschain server")
+            .average_ratio();
+        assert!(
+            ratio > 1.02 && ratio < 10.0,
+            "server {i} reports implausible average ratio {ratio}"
+        );
     }
 }

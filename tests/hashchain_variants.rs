@@ -9,31 +9,31 @@
 
 use setchain::Algorithm;
 use setchain_simnet::SimTime;
-use setchain_workload::{run_scenario, Deployment, Scenario};
+use setchain_workload::{Deployment, DeploymentBuilder};
 
-fn base(seed: u64) -> Scenario {
-    Scenario::base(Algorithm::Hashchain)
-        .with_servers(7)
-        .with_rate(600.0)
-        .with_collector(50)
-        .with_injection_secs(5)
-        .with_max_run_secs(60)
-        .with_seed(seed)
+fn base(seed: u64) -> DeploymentBuilder {
+    Deployment::builder(Algorithm::Hashchain)
+        .servers(7)
+        .rate(600.0)
+        .collector(50)
+        .injection_secs(5)
+        .max_run_secs(60)
+        .seed(seed)
 }
 
 #[test]
 fn designated_signers_variant_commits_everything() {
     // n = 7 → f = 3; designate 2f + 1 = 7... use n = 7, f = 3, designated 2f+1 = 7
     // would be all servers, so use a 10-server deployment where 2f+1 = 9 < 10.
-    let scenario = Scenario::base(Algorithm::Hashchain)
-        .with_servers(10)
-        .with_rate(800.0)
-        .with_collector(50)
-        .with_injection_secs(5)
-        .with_max_run_secs(90)
-        .with_seed(21)
-        .with_designated_signers(9);
-    let result = run_scenario(&scenario);
+    let result = Deployment::builder(Algorithm::Hashchain)
+        .servers(10)
+        .rate(800.0)
+        .collector(50)
+        .injection_secs(5)
+        .max_run_secs(90)
+        .seed(21)
+        .designated_signers(9)
+        .run();
     assert!(result.added > 3_000);
     assert!(
         result.final_efficiency() > 0.99,
@@ -48,17 +48,17 @@ fn designated_signers_reduce_hash_batch_signing() {
     // Compare the number of hash-batches the last (non-designated) server
     // counter-signs: zero under the variant, many under the baseline.
     let build_and_run = |designated: Option<usize>| {
-        let mut scenario = Scenario::base(Algorithm::Hashchain)
-            .with_servers(10)
-            .with_rate(800.0)
-            .with_collector(50)
-            .with_injection_secs(4)
-            .with_max_run_secs(60)
-            .with_seed(22);
+        let mut builder = Deployment::builder(Algorithm::Hashchain)
+            .servers(10)
+            .rate(800.0)
+            .collector(50)
+            .injection_secs(4)
+            .max_run_secs(60)
+            .seed(22);
         if let Some(k) = designated {
-            scenario = scenario.with_designated_signers(k);
+            builder = builder.designated_signers(k);
         }
-        let mut deployment = Deployment::build(&scenario);
+        let mut deployment = builder.build();
         deployment.sim.run_until(SimTime::from_secs(60));
         deployment
     };
@@ -99,8 +99,7 @@ fn designated_signers_reduce_hash_batch_signing() {
 
 #[test]
 fn push_batches_variant_commits_without_request_round_trips() {
-    let scenario = base(31).with_push_batches();
-    let mut deployment = Deployment::build(&scenario);
+    let mut deployment = base(31).push_batches().build();
     deployment.sim.run_until(SimTime::from_secs(60));
     let added = deployment.trace.added_count();
     let committed = deployment.trace.committed_count_by(SimTime::from_secs(60));
@@ -131,8 +130,7 @@ fn push_batches_variant_commits_without_request_round_trips() {
 fn baseline_hashchain_does_send_batch_requests() {
     // Sanity check for the previous test's claim: without pushing, the
     // hash-reversal service is exercised heavily.
-    let scenario = base(31);
-    let mut deployment = Deployment::build(&scenario);
+    let mut deployment = base(31).build();
     deployment.sim.run_until(SimTime::from_secs(60));
     let total_requests: u64 = (0..7)
         .map(|i| deployment.server(i).stats().batch_requests_sent)
@@ -145,16 +143,16 @@ fn baseline_hashchain_does_send_batch_requests() {
 
 #[test]
 fn variants_compose_and_stay_consistent() {
-    let scenario = Scenario::base(Algorithm::Hashchain)
-        .with_servers(10)
-        .with_rate(600.0)
-        .with_collector(50)
-        .with_injection_secs(4)
-        .with_max_run_secs(60)
-        .with_seed(33)
-        .with_designated_signers(9)
-        .with_push_batches();
-    let result = run_scenario(&scenario);
+    let result = Deployment::builder(Algorithm::Hashchain)
+        .servers(10)
+        .rate(600.0)
+        .collector(50)
+        .injection_secs(4)
+        .max_run_secs(60)
+        .seed(33)
+        .designated_signers(9)
+        .push_batches()
+        .run();
     assert!(
         result.final_efficiency() > 0.99,
         "eff={}",

@@ -1,96 +1,71 @@
 //! Light-client integration tests: a client adds elements through one server
 //! and later verifies their inclusion by querying a *different* (single)
-//! server, relying only on `f + 1` epoch-proofs.
+//! server, relying only on `f + 1` epoch-proofs — driven through the typed
+//! [`ClientSession`](setchain_workload::ClientSession) facade.
 
-use setchain::{verify_epoch, Algorithm, Element, ElementId, EpochProof, LightClient, SetchainMsg};
+use setchain::{verify_epoch, Algorithm, Element, ElementId, EpochProof};
 use setchain_crypto::{KeyPair, ProcessId, Signature};
 use setchain_simnet::SimTime;
-use setchain_workload::{Deployment, RequestClient, Scenario};
+use setchain_workload::{Deployment, DeploymentBuilder};
 
-fn scenario(algorithm: Algorithm, seed: u64) -> Scenario {
-    Scenario::base(algorithm)
-        .with_label(format!("light client {algorithm}"))
-        .with_servers(4)
-        .with_rate(200.0)
-        .with_collector(25)
-        .with_injection_secs(4)
-        .with_max_run_secs(40)
-        .with_seed(seed)
+fn builder(algorithm: Algorithm, seed: u64) -> DeploymentBuilder {
+    Deployment::builder(algorithm)
+        .label(format!("light client {algorithm}"))
+        .servers(4)
+        .rate(200.0)
+        .collector(25)
+        .injection_secs(4)
+        .max_run_secs(40)
+        .seed(seed)
 }
 
 /// Adds three client-owned elements through server 0, then queries server 2
 /// for every epoch and checks that a quorum-verified epoch contains them.
+/// The body is identical for every algorithm: the session and the deployment
+/// facade are variant-agnostic.
 fn end_to_end(algorithm: Algorithm, seed: u64) {
-    let scenario = scenario(algorithm, seed);
-    let mut deployment = Deployment::build(&scenario);
-    let n = scenario.servers;
-    let f = scenario.setchain_f();
+    let mut deployment = builder(algorithm, seed).build();
 
-    let me = ProcessId::client(300);
-    let keys = KeyPair::derive(me, seed ^ 0xC11E47);
-    deployment.registry.register(keys);
-    let mut light = LightClient::new(deployment.registry.clone(), n, f);
-
-    let my_elements: Vec<Element> = (0..3)
-        .map(|i| Element::new(&keys, ElementId::new(300, i), 438, seed + i))
-        .collect();
-    let mut script: Vec<(SimTime, ProcessId, SetchainMsg)> = my_elements
-        .iter()
-        .map(|e| {
-            (
-                SimTime::from_millis(600),
-                ProcessId::server(0),
-                light.add(*e),
-            )
-        })
+    let mut session = deployment.client_session(300, seed ^ 0xC11E47);
+    let receipts: Vec<_> = (0..3)
+        .map(|i| session.add(SimTime::from_millis(600), 0, 438, seed + i))
         .collect();
     // Query a different server for a summary and for the first 20 epochs.
-    script.push((SimTime::from_secs(25), ProcessId::server(2), light.get()));
-    for epoch in 1..=20 {
-        script.push((
-            SimTime::from_secs(26),
-            ProcessId::server(2),
-            light.get_epoch(epoch),
-        ));
-    }
-    deployment
-        .sim
-        .add_process(me, Box::new(RequestClient::new(script)));
+    session.get(SimTime::from_secs(25), 2);
+    session.get_epochs(SimTime::from_secs(26), 2, 1..=20);
+    session.install(&mut deployment);
     deployment.sim.run_until(SimTime::from_secs(32));
 
-    let client: &RequestClient = deployment.sim.process(me).unwrap();
-    let mut confirmed: std::collections::HashSet<ElementId> = std::collections::HashSet::new();
-    let mut verified_epochs = 0;
-    let mut got_summary = false;
-    for (_, from, response) in client.responses() {
-        assert_eq!(
-            *from,
-            ProcessId::server(2),
-            "responses come from the queried server"
-        );
-        if let SetchainMsg::GetResponse { snapshot, .. } = response {
-            got_summary = true;
-            assert!(snapshot.epoch > 0);
-            assert!(snapshot.epochs_with_quorum > 0);
-            assert!(snapshot.the_set_len >= snapshot.history_elements);
-        }
-        if let Some((verification, mine)) = light.verify_response(response) {
-            if verification.is_verified() {
-                verified_epochs += 1;
-                confirmed.extend(mine);
-            }
-        }
-    }
-    assert!(got_summary, "{algorithm}: get() summary received");
+    let outcome = session.outcome(&deployment);
+    assert_eq!(
+        outcome.snapshots.len(),
+        1,
+        "{algorithm}: get() summary received"
+    );
+    let snapshot = outcome.snapshots[0].snapshot;
+    assert_eq!(outcome.snapshots[0].server, ProcessId::server(2));
+    assert!(snapshot.epoch > 0);
+    assert!(snapshot.epochs_with_quorum > 0);
+    assert!(snapshot.the_set_len >= snapshot.history_elements);
+
     assert!(
-        verified_epochs > 0,
+        outcome
+            .epochs
+            .iter()
+            .all(|e| e.server == ProcessId::server(2)),
+        "{algorithm}: responses come from the queried server"
+    );
+    assert!(
+        outcome.verified_count() > 0,
         "{algorithm}: at least one epoch verified with f+1 proofs"
     );
+    let confirmed = outcome.confirmed_ids();
     assert_eq!(
         confirmed.len(),
         3,
         "{algorithm}: all three client elements confirmed through a single server"
     );
+    assert!(receipts.iter().all(|r| confirmed.contains(&r.id)));
 }
 
 #[test]
@@ -112,10 +87,9 @@ fn light_client_verifies_inclusion_on_hashchain() {
 fn fabricated_epoch_response_from_a_byzantine_server_is_rejected() {
     // A Byzantine server cannot convince a light client of a fabricated
     // epoch: it controls at most f signatures, and forged ones do not verify.
-    let scenario = scenario(Algorithm::Hashchain, 44);
-    let deployment = Deployment::build(&scenario);
-    let n = scenario.servers;
-    let f = scenario.setchain_f();
+    let deployment = builder(Algorithm::Hashchain, 44).build();
+    let n = deployment.scenario.servers;
+    let f = deployment.scenario.setchain_f();
 
     let attacker_keys = deployment
         .registry

@@ -59,6 +59,24 @@ fn ledger_entry_points() {
 fn setchain_entry_points() {
     assert_eq!(Algorithm::ALL.len(), 3);
     assert_eq!(Algorithm::Hashchain.name(), "Hashchain");
+    assert_eq!(Algorithm::Hashchain.index(), 2);
+    assert!(!Algorithm::Vanilla.uses_collector());
+
+    // The variant-agnostic application API: one factory builds any variant
+    // behind the object-safe `SetchainApp` trait.
+    let registry = KeyRegistry::bootstrap(5, 4, 1);
+    let factory = setchain::AppFactory::new(
+        Algorithm::Compresschain,
+        registry.clone(),
+        SetchainConfig::new(4),
+    );
+    let app: Box<dyn setchain::SetchainApp> = factory.build(
+        registry.lookup(ProcessId::server(0)).expect("server key"),
+        setchain::SetchainTrace::new(),
+        setchain::ServerByzMode::Correct,
+    );
+    assert_eq!(app.algorithm(), Algorithm::Compresschain);
+    assert_eq!(app.state().epoch(), 0);
 
     // f + 1 proofs form a quorum, with f = ⌊(n−1)/2⌋.
     let config = SetchainConfig::new(10);
@@ -94,6 +112,14 @@ fn exec_entry_points() {
 fn workload_entry_points() {
     let scenario = Scenario::base(Algorithm::Hashchain).with_servers(10);
     assert_eq!(scenario.setchain_f(), 4, "f = ⌊(n−1)/2⌋");
+    assert_eq!(scenario.setchain_config().proof_quorum(), 5);
+
+    // The deployment builder carries scenario knobs fluently.
+    let builder = setchain_workload::Deployment::builder(Algorithm::Vanilla)
+        .servers(4)
+        .rate(100.0)
+        .seed(3);
+    assert_eq!(builder.scenario().servers, 4);
 
     // The Appendix D analytical model ranks the algorithms as the paper does.
     let params = AnalysisParams::default();
