@@ -5,19 +5,27 @@
 //!
 //! ```text
 //! pipeline [--quick] [--repeats N] [--out FILE] [--check-baseline FILE]
+//!          [--parallel-sims N]
 //! ```
 //!
 //! * `--quick` — shorter simulated runs (CI smoke mode).
 //! * `--repeats N` — best-of-N per grid point (default 3; 1 in quick mode).
 //! * `--out FILE` — write the measured grid as JSON.
 //! * `--check-baseline FILE` — read a previously committed JSON (e.g.
-//!   `BENCH_pr2.json`) and exit non-zero if any grid point regressed more
+//!   `BENCH_pr5.json`) and exit non-zero if any grid point regressed more
 //!   than 20% versus its `after` entry.
+//! * `--parallel-sims N` — instead of the grid, sweep the hashchain_b64
+//!   point over N seeds with one independent simulation per OS thread
+//!   (`parallel_map`): per-seed committed counts are deterministic, and the
+//!   aggregate committed/sec shows the multicore headroom a 1-core CI box
+//!   cannot (each simulation stays single-threaded and bit-reproducible).
 
 use std::process::ExitCode;
 
+use setchain::Algorithm;
 use setchain_bench::pipeline::{
-    compresschain_grid, grid, run_pipeline_best_of, PipelineConfig, PipelineResult,
+    compresschain_grid, grid, run_parallel_sims, run_pipeline_best_of, PipelineConfig,
+    PipelineResult,
 };
 
 struct Args {
@@ -25,6 +33,7 @@ struct Args {
     repeats: usize,
     out: Option<String>,
     check_baseline: Option<String>,
+    parallel_sims: usize,
 }
 
 fn parse_args() -> Args {
@@ -33,6 +42,7 @@ fn parse_args() -> Args {
         repeats: 0,
         out: None,
         check_baseline: None,
+        parallel_sims: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -47,6 +57,13 @@ fn parse_args() -> Args {
             "--out" => args.out = Some(it.next().expect("--out takes a path")),
             "--check-baseline" => {
                 args.check_baseline = Some(it.next().expect("--check-baseline takes a path"))
+            }
+            "--parallel-sims" => {
+                args.parallel_sims = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--parallel-sims takes a positive integer");
             }
             other => panic!("unknown argument: {other}"),
         }
@@ -84,6 +101,15 @@ fn json_entry(label: &str, r: &PipelineResult) -> String {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.parallel_sims > 0 {
+        // The sweep mode neither writes grid JSON nor runs the regression
+        // gate; refuse the combination instead of silently dropping flags.
+        assert!(
+            args.out.is_none() && args.check_baseline.is_none(),
+            "--parallel-sims is a standalone sweep: it does not honour --out or --check-baseline"
+        );
+        return run_parallel_sweep(&args);
+    }
     println!(
         "pipeline bench ({} mode, best of {})",
         if args.quick { "quick" } else { "standard" },
@@ -184,5 +210,57 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// The `--parallel-sims` mode: one grid point, many seeds, one OS thread
+/// per independent simulation.
+fn run_parallel_sweep(args: &Args) -> ExitCode {
+    let config = if args.quick {
+        PipelineConfig::quick(Algorithm::Hashchain, 64)
+    } else {
+        PipelineConfig::standard(Algorithm::Hashchain, 64)
+    };
+    let seeds: Vec<u64> = (0..args.parallel_sims as u64).map(|i| 7 + i * 13).collect();
+    let threads = setchain_crypto::default_threads();
+    println!(
+        "parallel-sims sweep: {} x {} ({} worker thread{})",
+        seeds.len(),
+        config.label(),
+        threads.min(seeds.len()),
+        if threads.min(seeds.len()) == 1 {
+            ""
+        } else {
+            "s"
+        },
+    );
+    let wall_start = std::time::Instant::now();
+    let results = run_parallel_sims(&config, &seeds);
+    let wall = wall_start.elapsed();
+    println!(
+        "{:<8} {:>9} {:>9} {:>9} {:>14}",
+        "seed", "added", "committed", "wall(s)", "adds/sec (wall)"
+    );
+    let mut committed_total = 0u64;
+    for (r, seed) in results.iter().zip(&seeds) {
+        committed_total += r.committed;
+        println!(
+            "{:<8} {:>9} {:>9} {:>9.2} {:>14.0}",
+            seed,
+            r.added,
+            r.committed,
+            r.wall.as_secs_f64(),
+            r.adds_per_sec
+        );
+    }
+    let serial: f64 = results.iter().map(|r| r.wall.as_secs_f64()).sum();
+    println!(
+        "aggregate: {} committed in {:.2}s wall ({:.0} committed/sec; serial sum {:.2}s, {:.2}x)",
+        committed_total,
+        wall.as_secs_f64(),
+        committed_total as f64 / wall.as_secs_f64().max(1e-9),
+        serial,
+        serial / wall.as_secs_f64().max(1e-9),
+    );
     ExitCode::SUCCESS
 }

@@ -199,6 +199,28 @@ pub fn run_pipeline(config: &PipelineConfig) -> PipelineResult {
     }
 }
 
+/// Runs one grid point at many seeds, one independent simulation per OS
+/// thread, through the workspace's shared [`parallel_map`] primitive (the
+/// outer-loop parallelism the HPC guides recommend: simulations stay
+/// single-threaded and deterministic; concurrency comes from running many).
+///
+/// Returns the per-seed results in seed order — committed counts are a pure
+/// function of each seed, so the output is reproducible no matter how many
+/// worker threads the host grants. On a 1-core box this degrades to a
+/// sequential sweep of the same numbers.
+///
+/// [`parallel_map`]: setchain_crypto::parallel_map
+pub fn run_parallel_sims(config: &PipelineConfig, seeds: &[u64]) -> Vec<PipelineResult> {
+    let threads = setchain_crypto::default_threads();
+    // min_len 2: even a two-seed sweep fans out — each item is a whole
+    // simulation, far above any spawn-cost threshold.
+    setchain_crypto::parallel_map_min(seeds, threads, 2, |&seed| {
+        let mut config = *config;
+        config.seed = seed;
+        run_pipeline(&config)
+    })
+}
+
 /// Runs `config` `repeats` times and keeps the best (highest adds/sec) run,
 /// which is the standard way to suppress scheduler noise in wall-clock
 /// benchmarks.
@@ -273,6 +295,26 @@ mod tests {
         assert!(result.added > 0, "clients injected nothing");
         assert!(result.committed > 0, "nothing committed");
         assert!(result.adds_per_sec > 0.0);
+    }
+
+    #[test]
+    fn parallel_sims_match_sequential_seed_sweeps() {
+        let mut cfg = PipelineConfig::quick(Algorithm::Hashchain, 64);
+        cfg.rate = 400.0;
+        let seeds = [3u64, 9, 27];
+        let parallel = run_parallel_sims(&cfg, &seeds);
+        assert_eq!(parallel.len(), seeds.len());
+        for (r, &seed) in parallel.iter().zip(&seeds) {
+            let mut one = cfg;
+            one.seed = seed;
+            let sequential = run_pipeline(&one);
+            assert_eq!(
+                (r.added, r.committed),
+                (sequential.added, sequential.committed),
+                "seed {seed}: parallel sweep must reproduce the sequential run"
+            );
+            assert!(r.committed > 0, "seed {seed} committed nothing");
+        }
     }
 
     #[test]

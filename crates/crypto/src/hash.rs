@@ -199,39 +199,95 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+        // Fully unrolled FIPS 180-4 compression: the message schedule lives
+        // in a 16-word ring extended in place, and the eight working
+        // variables rotate *roles* through the macro's argument order
+        // instead of being shuffled through eight moves per round. Both
+        // keep everything in registers — this function is the floor under
+        // every HMAC validation in the workspace (two compressions per
+        // authenticator check), so the hand-unroll is worth its bulk.
+        let mut w = [0u32; 16];
+        for (wi, chunk) in w.iter_mut().zip(block.chunks_exact(4)) {
+            *wi = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
         }
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ ((!e) & g);
-            let temp1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(SHA256_K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let temp2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(temp1);
-            d = c;
-            c = b;
-            b = a;
-            a = temp1.wrapping_add(temp2);
+
+        macro_rules! rnd {
+            ($a:ident,$b:ident,$c:ident,$d:ident,$e:ident,$f:ident,$g:ident,$h:ident,$k:expr,$w:expr) => {{
+                let t1 = $h
+                    .wrapping_add($e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25))
+                    .wrapping_add(($e & $f) ^ (!$e & $g))
+                    .wrapping_add($k)
+                    .wrapping_add($w);
+                let t2 = ($a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22))
+                    .wrapping_add(($a & $b) ^ ($a & $c) ^ ($b & $c));
+                $d = $d.wrapping_add(t1);
+                $h = t1.wrapping_add(t2);
+            }};
         }
+        macro_rules! extend {
+            ($i:expr) => {{
+                let s0 = w[($i + 1) & 15].rotate_right(7)
+                    ^ w[($i + 1) & 15].rotate_right(18)
+                    ^ (w[($i + 1) & 15] >> 3);
+                let s1 = w[($i + 14) & 15].rotate_right(17)
+                    ^ w[($i + 14) & 15].rotate_right(19)
+                    ^ (w[($i + 14) & 15] >> 10);
+                w[$i] = w[$i]
+                    .wrapping_add(s0)
+                    .wrapping_add(w[($i + 9) & 15])
+                    .wrapping_add(s1);
+            }};
+        }
+        macro_rules! sixteen {
+            ($base:expr) => {{
+                rnd!(a, b, c, d, e, f, g, h, SHA256_K[$base], w[0]);
+                rnd!(h, a, b, c, d, e, f, g, SHA256_K[$base + 1], w[1]);
+                rnd!(g, h, a, b, c, d, e, f, SHA256_K[$base + 2], w[2]);
+                rnd!(f, g, h, a, b, c, d, e, SHA256_K[$base + 3], w[3]);
+                rnd!(e, f, g, h, a, b, c, d, SHA256_K[$base + 4], w[4]);
+                rnd!(d, e, f, g, h, a, b, c, SHA256_K[$base + 5], w[5]);
+                rnd!(c, d, e, f, g, h, a, b, SHA256_K[$base + 6], w[6]);
+                rnd!(b, c, d, e, f, g, h, a, SHA256_K[$base + 7], w[7]);
+                rnd!(a, b, c, d, e, f, g, h, SHA256_K[$base + 8], w[8]);
+                rnd!(h, a, b, c, d, e, f, g, SHA256_K[$base + 9], w[9]);
+                rnd!(g, h, a, b, c, d, e, f, SHA256_K[$base + 10], w[10]);
+                rnd!(f, g, h, a, b, c, d, e, SHA256_K[$base + 11], w[11]);
+                rnd!(e, f, g, h, a, b, c, d, SHA256_K[$base + 12], w[12]);
+                rnd!(d, e, f, g, h, a, b, c, SHA256_K[$base + 13], w[13]);
+                rnd!(c, d, e, f, g, h, a, b, SHA256_K[$base + 14], w[14]);
+                rnd!(b, c, d, e, f, g, h, a, SHA256_K[$base + 15], w[15]);
+            }};
+        }
+        macro_rules! extend_sixteen {
+            () => {{
+                extend!(0);
+                extend!(1);
+                extend!(2);
+                extend!(3);
+                extend!(4);
+                extend!(5);
+                extend!(6);
+                extend!(7);
+                extend!(8);
+                extend!(9);
+                extend!(10);
+                extend!(11);
+                extend!(12);
+                extend!(13);
+                extend!(14);
+                extend!(15);
+            }};
+        }
+
+        sixteen!(0);
+        extend_sixteen!();
+        sixteen!(16);
+        extend_sixteen!();
+        sixteen!(32);
+        extend_sixteen!();
+        sixteen!(48);
+
         self.state[0] = self.state[0].wrapping_add(a);
         self.state[1] = self.state[1].wrapping_add(b);
         self.state[2] = self.state[2].wrapping_add(c);
@@ -446,39 +502,94 @@ impl Sha512 {
     }
 
     fn compress(&mut self, block: &[u8; 128]) {
-        let mut w = [0u64; 80];
-        for (i, chunk) in block.chunks_exact(8).enumerate() {
-            w[i] = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
-        }
-        for i in 16..80 {
-            let s0 = w[i - 15].rotate_right(1) ^ w[i - 15].rotate_right(8) ^ (w[i - 15] >> 7);
-            let s1 = w[i - 2].rotate_right(19) ^ w[i - 2].rotate_right(61) ^ (w[i - 2] >> 6);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+        // Same fully unrolled shape as `Sha256::compress` (rotating register
+        // roles, 16-word ring schedule); SHA-512 runs 80 rounds in five
+        // blocks of 16. Batch/epoch hashing and every signature in the
+        // workspace land here.
+        let mut w = [0u64; 16];
+        for (wi, chunk) in w.iter_mut().zip(block.chunks_exact(8)) {
+            *wi = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
         }
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..80 {
-            let s1 = e.rotate_right(14) ^ e.rotate_right(18) ^ e.rotate_right(41);
-            let ch = (e & f) ^ ((!e) & g);
-            let temp1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(SHA512_K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(28) ^ a.rotate_right(34) ^ a.rotate_right(39);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let temp2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(temp1);
-            d = c;
-            c = b;
-            b = a;
-            a = temp1.wrapping_add(temp2);
+
+        macro_rules! rnd {
+            ($a:ident,$b:ident,$c:ident,$d:ident,$e:ident,$f:ident,$g:ident,$h:ident,$k:expr,$w:expr) => {{
+                let t1 = $h
+                    .wrapping_add($e.rotate_right(14) ^ $e.rotate_right(18) ^ $e.rotate_right(41))
+                    .wrapping_add(($e & $f) ^ (!$e & $g))
+                    .wrapping_add($k)
+                    .wrapping_add($w);
+                let t2 = ($a.rotate_right(28) ^ $a.rotate_right(34) ^ $a.rotate_right(39))
+                    .wrapping_add(($a & $b) ^ ($a & $c) ^ ($b & $c));
+                $d = $d.wrapping_add(t1);
+                $h = t1.wrapping_add(t2);
+            }};
         }
+        macro_rules! extend {
+            ($i:expr) => {{
+                let s0 = w[($i + 1) & 15].rotate_right(1)
+                    ^ w[($i + 1) & 15].rotate_right(8)
+                    ^ (w[($i + 1) & 15] >> 7);
+                let s1 = w[($i + 14) & 15].rotate_right(19)
+                    ^ w[($i + 14) & 15].rotate_right(61)
+                    ^ (w[($i + 14) & 15] >> 6);
+                w[$i] = w[$i]
+                    .wrapping_add(s0)
+                    .wrapping_add(w[($i + 9) & 15])
+                    .wrapping_add(s1);
+            }};
+        }
+        macro_rules! sixteen {
+            ($base:expr) => {{
+                rnd!(a, b, c, d, e, f, g, h, SHA512_K[$base], w[0]);
+                rnd!(h, a, b, c, d, e, f, g, SHA512_K[$base + 1], w[1]);
+                rnd!(g, h, a, b, c, d, e, f, SHA512_K[$base + 2], w[2]);
+                rnd!(f, g, h, a, b, c, d, e, SHA512_K[$base + 3], w[3]);
+                rnd!(e, f, g, h, a, b, c, d, SHA512_K[$base + 4], w[4]);
+                rnd!(d, e, f, g, h, a, b, c, SHA512_K[$base + 5], w[5]);
+                rnd!(c, d, e, f, g, h, a, b, SHA512_K[$base + 6], w[6]);
+                rnd!(b, c, d, e, f, g, h, a, SHA512_K[$base + 7], w[7]);
+                rnd!(a, b, c, d, e, f, g, h, SHA512_K[$base + 8], w[8]);
+                rnd!(h, a, b, c, d, e, f, g, SHA512_K[$base + 9], w[9]);
+                rnd!(g, h, a, b, c, d, e, f, SHA512_K[$base + 10], w[10]);
+                rnd!(f, g, h, a, b, c, d, e, SHA512_K[$base + 11], w[11]);
+                rnd!(e, f, g, h, a, b, c, d, SHA512_K[$base + 12], w[12]);
+                rnd!(d, e, f, g, h, a, b, c, SHA512_K[$base + 13], w[13]);
+                rnd!(c, d, e, f, g, h, a, b, SHA512_K[$base + 14], w[14]);
+                rnd!(b, c, d, e, f, g, h, a, SHA512_K[$base + 15], w[15]);
+            }};
+        }
+        macro_rules! extend_sixteen {
+            () => {{
+                extend!(0);
+                extend!(1);
+                extend!(2);
+                extend!(3);
+                extend!(4);
+                extend!(5);
+                extend!(6);
+                extend!(7);
+                extend!(8);
+                extend!(9);
+                extend!(10);
+                extend!(11);
+                extend!(12);
+                extend!(13);
+                extend!(14);
+                extend!(15);
+            }};
+        }
+
+        sixteen!(0);
+        extend_sixteen!();
+        sixteen!(16);
+        extend_sixteen!();
+        sixteen!(32);
+        extend_sixteen!();
+        sixteen!(48);
+        extend_sixteen!();
+        sixteen!(64);
+
         self.state[0] = self.state[0].wrapping_add(a);
         self.state[1] = self.state[1].wrapping_add(b);
         self.state[2] = self.state[2].wrapping_add(c);

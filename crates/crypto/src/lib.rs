@@ -34,7 +34,7 @@ pub use hmac::{hmac_sha256, hmac_sha512, HmacSha256Key, HmacSha512Key};
 pub use keys::{KeyPair, KeyRegistry, ProcessId, PublicKey, SecretKey};
 pub use merkle::{framed_hash, merkle_root, MerkleProof, MerkleTree};
 pub use parallel::{default_threads, parallel_map, parallel_map_min, MIN_PARALLEL_LEN};
-pub use signature::{sign, verify, verify_batch, Signature, SIGNATURE_LEN};
+pub use signature::{sign, sign_with, verify, verify_batch, SigVerifier, Signature, SIGNATURE_LEN};
 
 /// Length in bytes of an epoch-proof / hash-batch on the wire, as reported in
 /// the paper's evaluation section (Section 4): 139 bytes.

@@ -8,7 +8,9 @@
 //! rejection when either the count or the byte limit is hit, and removal of
 //! transactions once they are committed.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
+
+use setchain_crypto::FxHashSet;
 
 use crate::types::{TxData, TxId};
 
@@ -27,8 +29,8 @@ pub enum MempoolRejection {
 #[derive(Debug)]
 pub struct Mempool<T> {
     queue: VecDeque<T>,
-    present: HashSet<TxId>,
-    committed: HashSet<TxId>,
+    present: FxHashSet<TxId>,
+    committed: FxHashSet<TxId>,
     bytes: usize,
     max_txs: usize,
     max_bytes: usize,
@@ -41,8 +43,8 @@ impl<T: TxData> Mempool<T> {
     pub fn new(max_txs: usize, max_bytes: usize) -> Self {
         Mempool {
             queue: VecDeque::new(),
-            present: HashSet::new(),
-            committed: HashSet::new(),
+            present: FxHashSet::default(),
+            committed: FxHashSet::default(),
             bytes: 0,
             max_txs,
             max_bytes,
@@ -122,7 +124,7 @@ impl<T: TxData> Mempool<T> {
     /// Removes the given committed transactions from the mempool and records
     /// their ids so late gossip cannot re-introduce them.
     pub fn remove_committed<'a>(&mut self, ids: impl IntoIterator<Item = &'a TxId>) {
-        let to_remove: HashSet<TxId> = ids.into_iter().copied().collect();
+        let to_remove: FxHashSet<TxId> = ids.into_iter().copied().collect();
         if to_remove.is_empty() {
             return;
         }

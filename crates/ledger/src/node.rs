@@ -26,7 +26,9 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
-use setchain_crypto::{sign, verify, verify_batch, KeyPair, KeyRegistry, ProcessId, Signature};
+use setchain_crypto::{
+    sign_with, verify_batch, HmacSha512Key, KeyPair, KeyRegistry, ProcessId, SigVerifier, Signature,
+};
 use setchain_simnet::{Context, Process, SimDuration, TimerToken};
 
 use crate::app::{AppCtx, Application};
@@ -71,7 +73,6 @@ type M<A> = NetMsg<<A as Application>::Tx, <A as Application>::Msg>;
 pub struct LedgerNode<A: Application> {
     id: ProcessId,
     config: LedgerConfig,
-    keys: KeyPair,
     registry: KeyRegistry,
     byz: ByzMode,
     app: A,
@@ -79,6 +80,22 @@ pub struct LedgerNode<A: Application> {
 
     mempool: Mempool<A::Tx>,
     pending_gossip: Vec<A::Tx>,
+    /// Validator ids of this deployment, resolved once from the config.
+    validators: Vec<ProcessId>,
+    /// `validators` minus this node, resolved once (the broadcast fan-out
+    /// set; rebuilding it per broadcast allocated on every vote).
+    peers: Vec<ProcessId>,
+    /// Reused buffer for transactions submitted during an application
+    /// callback (see `with_app`).
+    submitted_scratch: Vec<A::Tx>,
+    /// Reused buffer for the application messages of one coalesced
+    /// delivery batch (see `Process::on_messages`).
+    app_batch: Vec<(ProcessId, A::Msg)>,
+    /// This node's own HMAC key schedule, so signing a vote/proposal does
+    /// not rebuild the key pads per signature.
+    own_key: HmacSha512Key,
+    /// Per-signer verification schedules for votes and proposals.
+    verifier: SigVerifier,
 
     // Consensus state for the current height.
     height: u64,
@@ -118,16 +135,23 @@ impl<A: Application> LedgerNode<A> {
     ) -> Self {
         assert_eq!(keys.id, id, "key pair does not belong to this node");
         let mempool = Mempool::new(config.mempool_max_txs, config.mempool_max_bytes);
+        let validators = config.validator_ids();
+        let peers: Vec<ProcessId> = validators.iter().copied().filter(|p| *p != id).collect();
         LedgerNode {
             id,
             config,
-            keys,
             registry,
             byz,
             app,
             trace,
             mempool,
             pending_gossip: Vec::new(),
+            validators,
+            peers,
+            submitted_scratch: Vec::new(),
+            app_batch: Vec::new(),
+            own_key: HmacSha512Key::new(&keys.secret.0),
+            verifier: SigVerifier::new(),
             height: 1,
             round: 0,
             first_proposal: HashMap::new(),
@@ -183,14 +207,6 @@ impl<A: Application> LedgerNode<A> {
         self.committed.keys().copied().collect()
     }
 
-    fn peers(&self) -> Vec<ProcessId> {
-        self.config
-            .validator_ids()
-            .into_iter()
-            .filter(|p| *p != self.id)
-            .collect()
-    }
-
     fn is_proposer(&self, height: u64, round: u32) -> bool {
         self.config.proposer(height, round) == self.id
     }
@@ -205,7 +221,8 @@ impl<A: Application> LedgerNode<A> {
     where
         F: FnOnce(&mut A, &mut AppCtx<'_, '_, '_, A::Tx, A::Msg>),
     {
-        let mut submitted: Vec<A::Tx> = Vec::new();
+        let mut submitted = std::mem::take(&mut self.submitted_scratch);
+        debug_assert!(submitted.is_empty());
         {
             let mut app_ctx = AppCtx {
                 node_id: self.id,
@@ -214,9 +231,10 @@ impl<A: Application> LedgerNode<A> {
             };
             f(&mut self.app, &mut app_ctx);
         }
-        for tx in submitted {
+        for tx in submitted.drain(..) {
             self.submit_local(tx, ctx);
         }
+        self.submitted_scratch = submitted;
     }
 
     /// Local transaction submission path (the ledger `append` endpoint).
@@ -277,12 +295,14 @@ impl<A: Application> LedgerNode<A> {
             // across its half of the recipients.
             let mut alt = block.clone();
             alt.txs.swap(0, 1);
-            let alt_signature = sign(
-                &self.keys,
+            let alt_signature = sign_with(
+                &self.own_key,
+                self.id,
                 &proposal_sign_bytes(self.height, self.round, &alt.id()),
             );
-            let signature = sign(
-                &self.keys,
+            let signature = sign_with(
+                &self.own_key,
+                self.id,
                 &proposal_sign_bytes(self.height, self.round, &block.id()),
             );
             let alt_msg = Arc::new(NetMsg::Proposal {
@@ -297,9 +317,8 @@ impl<A: Application> LedgerNode<A> {
                 block,
                 signature,
             });
-            let peers = self.peers();
-            let half = peers.len() / 2;
-            for (i, peer) in peers.iter().enumerate() {
+            let half = self.peers.len() / 2;
+            for (i, peer) in self.peers.iter().enumerate() {
                 let m = if i < half { &primary_msg } else { &alt_msg };
                 ctx.send_shared(*peer, Arc::clone(m));
             }
@@ -308,8 +327,9 @@ impl<A: Application> LedgerNode<A> {
             return;
         }
 
-        let signature = sign(
-            &self.keys,
+        let signature = sign_with(
+            &self.own_key,
+            self.id,
             &proposal_sign_bytes(self.height, self.round, &block.id()),
         );
         let msg = Arc::new(NetMsg::Proposal {
@@ -321,8 +341,8 @@ impl<A: Application> LedgerNode<A> {
         // Broadcast to peers and loop back to ourselves so the proposal is
         // processed through the same code path everywhere. One shared
         // payload serves every recipient.
-        for peer in self.peers() {
-            ctx.send_shared(peer, Arc::clone(&msg));
+        for peer in &self.peers {
+            ctx.send_shared(*peer, Arc::clone(&msg));
         }
         ctx.send_shared(self.id, msg);
     }
@@ -347,7 +367,7 @@ impl<A: Application> LedgerNode<A> {
             // they sign the round-independent certificate bytes.
             VoteKind::Precommit => certificate_sign_bytes(height, &block_id),
         };
-        let signature = sign(&self.keys, &bytes);
+        let signature = sign_with(&self.own_key, self.id, &bytes);
         let msg = Arc::new(NetMsg::Vote {
             kind,
             height,
@@ -356,8 +376,8 @@ impl<A: Application> LedgerNode<A> {
             voter: self.id,
             signature,
         });
-        for peer in self.peers() {
-            ctx.send_shared(peer, Arc::clone(&msg));
+        for peer in &self.peers {
+            ctx.send_shared(*peer, Arc::clone(&msg));
         }
         ctx.send_shared(self.id, msg);
     }
@@ -382,7 +402,7 @@ impl<A: Application> LedgerNode<A> {
             return;
         }
         let block_id = block.id();
-        if !verify(
+        if !self.verifier.verify(
             &self.registry,
             &proposal_sign_bytes(height, round, &block_id),
             &signature,
@@ -435,14 +455,14 @@ impl<A: Application> LedgerNode<A> {
         if height > self.height {
             return;
         }
-        if signature.signer != voter || !self.config.validator_ids().contains(&voter) {
+        if signature.signer != voter || !self.validators.contains(&voter) {
             return;
         }
         let bytes = match kind {
             VoteKind::Prevote => vote_sign_bytes(kind, height, round, &block_id),
             VoteKind::Precommit => certificate_sign_bytes(height, &block_id),
         };
-        if !verify(&self.registry, &bytes, &signature) {
+        if !self.verifier.verify(&self.registry, &bytes, &signature) {
             return;
         }
         ctx.consume_cpu(self.config.sig_verify_cost);
@@ -614,14 +634,13 @@ impl<A: Application> LedgerNode<A> {
         // bytes, so the batched verifier shares the per-signer HMAC setup.
         let block_id = block.id();
         let bytes = certificate_sign_bytes(block.height, &block_id);
-        let validators = self.config.validator_ids();
         let verdicts = verify_batch(
             &self.registry,
             certificate.iter().map(|sig| (bytes.as_slice(), sig)),
         );
         let mut signers: HashSet<ProcessId> = HashSet::new();
         for (sig, ok) in certificate.iter().zip(verdicts) {
-            if ok && validators.contains(&sig.signer) {
+            if ok && self.validators.contains(&sig.signer) {
                 signers.insert(sig.signer);
             }
         }
@@ -638,7 +657,7 @@ impl<A: Application> LedgerNode<A> {
         self.commit_block(block, certificate, ctx);
         // If still behind, keep pulling from any peer we know is ahead.
         if self.max_seen_height > self.height {
-            if let Some(peer) = self.peers().first().copied() {
+            if let Some(peer) = self.peers.first().copied() {
                 ctx.send(
                     peer,
                     NetMsg::BlockSyncRequest {
@@ -646,6 +665,43 @@ impl<A: Application> LedgerNode<A> {
                     },
                 );
             }
+        }
+    }
+
+    /// Dispatches one non-application message (consensus, gossip, sync).
+    fn handle_consensus_msg(&mut self, from: ProcessId, msg: M<A>, ctx: &mut Context<'_, M<A>>) {
+        match msg {
+            NetMsg::Proposal {
+                height,
+                round,
+                block,
+                signature,
+            } => self.on_proposal(height, round, block, signature, ctx),
+            NetMsg::Vote {
+                kind,
+                height,
+                round,
+                block_id,
+                voter,
+                signature,
+            } => self.on_vote(kind, height, round, block_id, voter, signature, ctx),
+            NetMsg::TxGossip { txs } => {
+                for tx in txs {
+                    if !self.app.check_tx(&tx) {
+                        self.stats.txs_rejected += 1;
+                        continue;
+                    }
+                    let id = tx.tx_id();
+                    if self.mempool.push(tx).is_ok() {
+                        self.trace.record_mempool_arrival(id, self.id, ctx.now());
+                    }
+                }
+            }
+            NetMsg::BlockSyncRequest { height } => self.on_sync_request(from, height, ctx),
+            NetMsg::BlockSyncResponse { block, certificate } => {
+                self.on_sync_response(block, certificate, ctx)
+            }
+            NetMsg::App(_) => unreachable!("application messages are routed by the caller"),
         }
     }
 
@@ -661,8 +717,8 @@ impl<A: Application> LedgerNode<A> {
                 if !self.pending_gossip.is_empty() && !self.byz.is_silent() {
                     let txs = std::mem::take(&mut self.pending_gossip);
                     let msg = Arc::new(NetMsg::TxGossip { txs });
-                    for peer in self.peers() {
-                        ctx.send_shared(peer, Arc::clone(&msg));
+                    for peer in &self.peers {
+                        ctx.send_shared(*peer, Arc::clone(&msg));
                     }
                 }
                 ctx.set_timer(self.config.gossip_interval, TIMER_GOSSIP);
@@ -701,41 +757,43 @@ impl<A: Application> Process<M<A>> for LedgerNode<A> {
             // A silent node ignores everything, including client requests.
             return;
         }
-        match msg {
-            NetMsg::Proposal {
-                height,
-                round,
-                block,
-                signature,
-            } => self.on_proposal(height, round, block, signature, ctx),
-            NetMsg::Vote {
-                kind,
-                height,
-                round,
-                block_id,
-                voter,
-                signature,
-            } => self.on_vote(kind, height, round, block_id, voter, signature, ctx),
-            NetMsg::TxGossip { txs } => {
-                for tx in txs {
-                    if !self.app.check_tx(&tx) {
-                        self.stats.txs_rejected += 1;
-                        continue;
+        if let NetMsg::App(m) = msg {
+            self.with_app(ctx, |app, app_ctx| app.on_message(from, m, app_ctx));
+        } else {
+            self.handle_consensus_msg(from, msg, ctx);
+        }
+    }
+
+    /// Coalesced same-instant deliveries: consecutive application messages
+    /// are threaded to the application as one batch through
+    /// [`Application::on_messages`] — one `with_app` round (one submit pass,
+    /// one `AppCtx`) for the whole run instead of one per message.
+    /// Consensus messages are dispatched in place, preserving the exact
+    /// per-message order a non-coalesced scheduler would have produced.
+    fn on_messages(&mut self, batch: &mut Vec<(ProcessId, M<A>)>, ctx: &mut Context<'_, M<A>>) {
+        if self.byz.is_silent() {
+            batch.clear();
+            return;
+        }
+        let mut app_batch = std::mem::take(&mut self.app_batch);
+        debug_assert!(app_batch.is_empty());
+        for (from, msg) in batch.drain(..) {
+            match msg {
+                NetMsg::App(m) => app_batch.push((from, m)),
+                other => {
+                    if !app_batch.is_empty() {
+                        self.with_app(ctx, |app, app_ctx| app.on_messages(&mut app_batch, app_ctx));
+                        app_batch.clear();
                     }
-                    let id = tx.tx_id();
-                    if self.mempool.push(tx).is_ok() {
-                        self.trace.record_mempool_arrival(id, self.id, ctx.now());
-                    }
+                    self.handle_consensus_msg(from, other, ctx);
                 }
             }
-            NetMsg::BlockSyncRequest { height } => self.on_sync_request(from, height, ctx),
-            NetMsg::BlockSyncResponse { block, certificate } => {
-                self.on_sync_response(block, certificate, ctx)
-            }
-            NetMsg::App(m) => {
-                self.with_app(ctx, |app, app_ctx| app.on_message(from, m, app_ctx));
-            }
         }
+        if !app_batch.is_empty() {
+            self.with_app(ctx, |app, app_ctx| app.on_messages(&mut app_batch, app_ctx));
+            app_batch.clear();
+        }
+        self.app_batch = app_batch;
     }
 
     fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, M<A>>) {

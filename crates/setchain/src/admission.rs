@@ -1,0 +1,187 @@
+//! The per-server element admission cache.
+//!
+//! Every server must check each element's client authenticator (an HMAC)
+//! before admitting it — the validation floor of the whole pipeline. An
+//! element reaches a server many times (its own client `add`, peer batches,
+//! block processing, re-gossip), so the verdict is memoized: the HMAC is
+//! recomputed once per server, and every later arrival is a cache probe.
+//!
+//! The cache is keyed on the element id and guarded by the full identity
+//! tuple `(client, size, content seed, mac)`: a hit requires *all* of them
+//! to match the cached entry, so a Byzantine peer re-sending a tampered
+//! element under a known id — same id, different contents or forged mac —
+//! never inherits a cached `valid` verdict, and a re-gossip of a previously
+//! rejected element stays rejected without ever whitelisting forgeries.
+//!
+//! What is deliberately **not** cached: verdicts that depend on a client
+//! being absent from the PKI registry. Those can flip when the client
+//! registers later, so the caller must re-derive them (see
+//! [`ServerCore::element_valid`](crate::ServerCore::element_valid)).
+
+use setchain_crypto::{FxHashMap, ProcessId};
+
+use crate::element::{Element, ElementId};
+
+/// One memoized admission verdict: the exact identity of the element that
+/// was validated, plus the verdict. 29 bytes per element, bounded by the
+/// number of distinct element ids a server observes.
+#[derive(Clone, Copy, Debug)]
+struct AdmissionEntry {
+    client: ProcessId,
+    size: u32,
+    content_seed: u64,
+    auth: u64,
+    verdict: bool,
+}
+
+impl AdmissionEntry {
+    #[inline]
+    fn matches(&self, e: &Element) -> bool {
+        // The mac comparison comes first: it is the discriminating field
+        // for tampered re-sends (a fabricated element under a known id
+        // almost always carries a different authenticator).
+        self.auth == e.auth
+            && self.client == e.client
+            && self.size == e.size
+            && self.content_seed == e.content_seed
+    }
+}
+
+/// Memoized admission verdicts for one server (see the module docs).
+#[derive(Default)]
+pub struct AdmissionCache {
+    entries: FxHashMap<ElementId, AdmissionEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl AdmissionCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Probes that were answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Probes that required a fresh authenticator check (first sight of an
+    /// element, or an id re-sent with different contents).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The cached verdict for exactly this element, if present. A `None`
+    /// means the caller must validate and then [`record`](Self::record).
+    #[inline]
+    pub fn lookup(&mut self, e: &Element) -> Option<bool> {
+        match self.entries.get(&e.id) {
+            Some(entry) if entry.matches(e) => {
+                self.hits += 1;
+                Some(entry.verdict)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records the verdict for this exact element, replacing whatever was
+    /// cached under its id.
+    #[inline]
+    pub fn record(&mut self, e: &Element, verdict: bool) {
+        self.entries.insert(
+            e.id,
+            AdmissionEntry {
+                client: e.client,
+                size: e.size,
+                content_seed: e.content_seed,
+                auth: e.auth,
+                verdict,
+            },
+        );
+    }
+
+    /// Pre-sizes the cache for `additional` upcoming insertions — called
+    /// with the observed miss count of a batch before its verdicts are
+    /// recorded, so bulk validation does not rehash the table mid-batch.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setchain_crypto::KeyRegistry;
+
+    fn client_element(seq: u64) -> Element {
+        let reg = KeyRegistry::bootstrap(3, 2, 2);
+        let keys = reg.lookup(ProcessId::client(0)).unwrap();
+        Element::new(&keys, ElementId::new(0, seq), 438, seq)
+    }
+
+    #[test]
+    fn lookup_miss_then_hit_roundtrip() {
+        let mut cache = AdmissionCache::new();
+        let e = client_element(1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(&e), None);
+        cache.record(&e, true);
+        assert_eq!(cache.lookup(&e), Some(true));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn any_identity_field_change_misses() {
+        let mut cache = AdmissionCache::new();
+        let e = client_element(2);
+        cache.record(&e, true);
+        for tamper in [
+            |e: &mut Element| e.auth ^= 1,
+            |e: &mut Element| e.size += 1,
+            |e: &mut Element| e.content_seed ^= 0xFF,
+            |e: &mut Element| e.client = ProcessId::client(1),
+        ] {
+            let mut t = e;
+            tamper(&mut t);
+            assert_eq!(cache.lookup(&t), None, "tampered field must not hit");
+        }
+        // The genuine element still hits.
+        assert_eq!(cache.lookup(&e), Some(true));
+    }
+
+    #[test]
+    fn rejected_verdicts_are_cached_and_stay_rejected() {
+        let mut cache = AdmissionCache::new();
+        let forged = Element::forged(ProcessId::client(0), ElementId::new(0, 9), 200);
+        cache.record(&forged, false);
+        // Re-gossip of the same forged element: cached rejection, no
+        // whitelisting.
+        assert_eq!(cache.lookup(&forged), Some(false));
+    }
+
+    #[test]
+    fn reserve_is_observable_only_through_capacity() {
+        let mut cache = AdmissionCache::new();
+        cache.reserve(1000);
+        assert!(cache.is_empty());
+        let e = client_element(3);
+        cache.record(&e, true);
+        assert_eq!(cache.lookup(&e), Some(true));
+    }
+}

@@ -55,17 +55,25 @@ pub fn batch_hash(elements: &[Element], proofs: &[EpochProof]) -> Digest512 {
     let mut h = Sha512::new();
     h.update(b"setchain-batch");
     h.update(&(elements.len() as u64).to_le_bytes());
+    // One packed update per element (same field order as the original
+    // per-field updates, so the digest format is unchanged): batch hashing
+    // runs at every flush, every recovery response and every push, and the
+    // hasher's buffered-update bookkeeping dominates 4-8 byte updates.
+    let mut packed = [0u8; 36];
     for e in elements {
-        h.update(&e.id.0.to_le_bytes());
-        h.update(&e.client.0.to_le_bytes());
-        h.update(&e.size.to_le_bytes());
-        h.update(&e.content_seed.to_le_bytes());
-        h.update(&e.auth.to_le_bytes());
+        packed[..8].copy_from_slice(&e.id.0.to_le_bytes());
+        packed[8..16].copy_from_slice(&e.client.0.to_le_bytes());
+        packed[16..20].copy_from_slice(&e.size.to_le_bytes());
+        packed[20..28].copy_from_slice(&e.content_seed.to_le_bytes());
+        packed[28..36].copy_from_slice(&e.auth.to_le_bytes());
+        h.update(&packed);
     }
     h.update(&(proofs.len() as u64).to_le_bytes());
+    let mut packed = [0u8; 16];
     for p in proofs {
-        h.update(&p.epoch.to_le_bytes());
-        h.update(&p.signer.0.to_le_bytes());
+        packed[..8].copy_from_slice(&p.epoch.to_le_bytes());
+        packed[8..16].copy_from_slice(&p.signer.0.to_le_bytes());
+        h.update(&packed);
         h.update(&p.signature.bytes);
     }
     h.finalize()
@@ -237,7 +245,7 @@ impl HashchainApp {
         }
         self.hash_to_batch.insert(hash, Arc::clone(&batch));
         ctx.consume_cpu(self.core.config.costs.sign);
-        let hb = HashBatch::new(&self.core.keys, hash);
+        let hb = self.core.make_hash_batch(hash);
         self.my_signed.insert(hash);
         self.core.stats.batches_flushed += 1;
         let tx = SetchainTx::HashBatch(hb);
@@ -450,7 +458,7 @@ impl HashchainApp {
                 .is_designated(self.core.id().server_index());
             if designated && !self.my_signed.contains(&hash) {
                 ctx.consume_cpu(self.core.config.costs.sign);
-                let own = HashBatch::new(&self.core.keys, hash);
+                let own = self.core.make_hash_batch(hash);
                 self.my_signed.insert(hash);
                 ctx.append(SetchainTx::HashBatch(own));
             }
@@ -459,13 +467,9 @@ impl HashchainApp {
                 self.core.ingest_proof(*p, now, ctx);
             }
             // Valid elements join the_set immediately (they join history only
-            // at consolidation).
-            let g = self
-                .core
-                .extract_epoch_candidates(&batch.elements, validate, ctx);
-            for e in &g {
-                self.core.state.insert(e.id);
-            }
+            // at consolidation); no candidate vector is materialized here.
+            self.core
+                .admit_batch_elements(&batch.elements, validate, ctx);
         }
 
         // Track the signer and consolidate at f + 1.
@@ -543,7 +547,7 @@ impl Application for HashchainApp {
             if self.core.config.hash_reversal {
                 // valid_hash(h, s_w, w)
                 ctx.consume_cpu(self.core.config.costs.verify_signature);
-                if !hb.is_valid(&self.core.registry, self.core.config.servers) {
+                if !self.core.hash_batch_valid(hb) {
                     continue;
                 }
                 // Start recovering unknown batch contents right away so the

@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod app;
 pub mod byzantine;
 pub mod client;
@@ -72,6 +73,7 @@ pub mod trace;
 pub mod tx;
 pub mod vanilla;
 
+pub use admission::AdmissionCache;
 pub use app::{AppFactory, SetchainApp};
 pub use byzantine::ServerByzMode;
 pub use client::{verify_epoch, EpochVerification, LightClient};
@@ -81,7 +83,9 @@ pub use config::{CostModel, SetchainConfig};
 pub use element::{Element, ElementGenerator, ElementId};
 pub use hashchain::{HashchainApp, SharedBatchRegistry};
 pub use messages::{GetSnapshot, SetchainMsg};
-pub use proofs::{epoch_hash, make_epoch_proof, verify_epoch_proof, EpochProof};
+pub use proofs::{
+    epoch_hash, make_epoch_proof, make_epoch_proof_with_key, verify_epoch_proof, EpochProof,
+};
 pub use server::{ServerCore, ServerStats};
 pub use sortition::{round_seed, select_committee, verify_member, Candidate};
 pub use state::SetchainState;

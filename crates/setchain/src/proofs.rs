@@ -8,7 +8,8 @@
 
 use serde::{Deserialize, Serialize};
 use setchain_crypto::{
-    sign, verify, Digest512, KeyPair, KeyRegistry, ProcessId, Sha512, Signature,
+    sign, sign_with, verify, Digest512, HmacSha512Key, KeyPair, KeyRegistry, ProcessId, Sha512,
+    Signature,
 };
 
 use crate::element::Element;
@@ -95,6 +96,22 @@ pub fn make_epoch_proof_for_digest(keys: &KeyPair, epoch: u64, digest: &Digest51
         epoch,
         signer: keys.id,
         signature: sign(keys, digest.as_bytes()),
+    }
+}
+
+/// [`make_epoch_proof_for_digest`] through a precomputed HMAC key schedule
+/// for `signer`: servers sign one proof per epoch, and the schedule spares
+/// the per-signature key-pad absorptions.
+pub fn make_epoch_proof_with_key(
+    key: &HmacSha512Key,
+    signer: ProcessId,
+    epoch: u64,
+    digest: &Digest512,
+) -> EpochProof {
+    EpochProof {
+        epoch,
+        signer,
+        signature: sign_with(key, signer, digest.as_bytes()),
     }
 }
 

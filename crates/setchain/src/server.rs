@@ -2,19 +2,21 @@
 //! `get` handling, epoch-proof bookkeeping and epoch creation.
 
 use setchain_crypto::{
-    parallel_map, FxHashMap, FxHashSet, HmacSha256Key, KeyPair, KeyRegistry, ProcessId, Signature,
+    parallel_map, sign_with, Digest512, FxHashMap, FxHashSet, HmacSha256Key, HmacSha512Key,
+    KeyPair, KeyRegistry, ProcessId, SigVerifier, Signature,
 };
 use setchain_ledger::AppCtx;
 use setchain_simnet::SimTime;
 
+use crate::admission::AdmissionCache;
 use crate::byzantine::ServerByzMode;
 use crate::config::SetchainConfig;
-use crate::element::{Element, ElementId};
+use crate::element::Element;
 use crate::messages::SetchainMsg;
-use crate::proofs::{make_epoch_proof_for_digest, verify_epoch_proof_digest, EpochProof};
+use crate::proofs::{make_epoch_proof_with_key, EpochProof};
 use crate::state::SetchainState;
 use crate::trace::SetchainTrace;
-use crate::tx::SetchainTx;
+use crate::tx::{HashBatch, SetchainTx};
 
 /// Convenience alias for the application context all Setchain servers use.
 pub type Ctx<'a, 'b, 'c> = AppCtx<'a, 'b, 'c, SetchainTx, SetchainMsg>;
@@ -80,14 +82,23 @@ pub struct ServerCore {
     /// client this server has validated elements from. Populated lazily;
     /// bounded by the number of clients.
     client_keys: FxHashMap<ProcessId, HmacSha256Key>,
-    /// Memoized validation verdicts: an element's authenticator digest is
-    /// checked exactly once per server. The exact validated element is
-    /// stored alongside the verdict so a Byzantine peer re-sending a
-    /// tampered element under a known id still fails validation. Verdicts
-    /// that depend on registry *absence* (unknown client) are never cached,
-    /// so a client registered later is still picked up; replacing an
-    /// already-registered key mid-run is not supported by the caches.
-    validity_cache: FxHashMap<ElementId, (Element, bool)>,
+    /// Memoized admission verdicts: an element's authenticator digest is
+    /// checked exactly once per server, keyed on the element id and guarded
+    /// by the full `(client, size, seed, mac)` identity — see
+    /// [`AdmissionCache`]. Verdicts that depend on registry *absence*
+    /// (unknown client) are never cached, so a client registered later is
+    /// still picked up; replacing an already-registered key mid-run is not
+    /// supported by the caches.
+    admission: AdmissionCache,
+    /// This server's own HMAC key schedule: signing proofs and hash-batches
+    /// does not rebuild the key pads per signature.
+    own_key: HmacSha512Key,
+    /// Per-signer verification schedules for peer proofs and hash-batches.
+    verifier: SigVerifier,
+    /// Reused index scratch for batched validation (cache misses).
+    miss_scratch: Vec<usize>,
+    /// Reused element scratch for batched validation (pending checks).
+    pending_scratch: Vec<Element>,
     /// Worker threads for batched parallel validation (resolved once).
     threads: usize,
 }
@@ -101,6 +112,7 @@ impl ServerCore {
         trace: SetchainTrace,
         byz: ServerByzMode,
     ) -> Self {
+        let own_key = HmacSha512Key::new(&keys.secret.0);
         ServerCore {
             keys,
             registry,
@@ -110,9 +122,18 @@ impl ServerCore {
             byz,
             stats: ServerStats::default(),
             client_keys: FxHashMap::default(),
-            validity_cache: FxHashMap::default(),
+            admission: AdmissionCache::new(),
+            own_key,
+            verifier: SigVerifier::new(),
+            miss_scratch: Vec::new(),
+            pending_scratch: Vec::new(),
             threads: setchain_crypto::default_threads(),
         }
+    }
+
+    /// Read access to the admission cache (hit/miss counters for reports).
+    pub fn admission_cache(&self) -> &AdmissionCache {
+        &self.admission
     }
 
     /// This server's process id.
@@ -140,15 +161,13 @@ impl ServerCore {
     /// computed at most once per element per server, and the per-client HMAC
     /// key schedule is shared across elements.
     pub fn element_valid(&mut self, element: &Element) -> bool {
-        if let Some((cached, verdict)) = self.validity_cache.get(&element.id) {
-            if cached == element {
-                return *verdict;
-            }
+        if let Some(verdict) = self.admission.lookup(element) {
+            return verdict;
         }
         let key = self.client_key(element.client);
         let (verdict, cacheable) = Self::verdict_with_key(element, key);
         if cacheable {
-            self.validity_cache.insert(element.id, (*element, verdict));
+            self.admission.record(element, verdict);
         }
         verdict
     }
@@ -178,14 +197,16 @@ impl ServerCore {
     /// with per-client precomputed HMAC key schedules.
     pub fn validate_elements(&mut self, elements: &[Element]) -> Vec<bool> {
         let mut verdicts = vec![false; elements.len()];
-        let mut misses: Vec<usize> = Vec::new();
+        let mut misses = std::mem::take(&mut self.miss_scratch);
+        debug_assert!(misses.is_empty());
         for (i, e) in elements.iter().enumerate() {
-            match self.validity_cache.get(&e.id) {
-                Some((cached, verdict)) if cached == e => verdicts[i] = *verdict,
-                _ => misses.push(i),
+            match self.admission.lookup(e) {
+                Some(verdict) => verdicts[i] = verdict,
+                None => misses.push(i),
             }
         }
         if misses.is_empty() {
+            self.miss_scratch = misses;
             return verdicts;
         }
         // Warm the per-client key schedules single-threaded (the distinct
@@ -194,7 +215,9 @@ impl ServerCore {
         for &i in &misses {
             let _ = self.client_key(elements[i].client);
         }
-        let pending: Vec<Element> = misses.iter().map(|&i| elements[i]).collect();
+        let mut pending = std::mem::take(&mut self.pending_scratch);
+        debug_assert!(pending.is_empty());
+        pending.extend(misses.iter().map(|&i| elements[i]));
         let keys = &self.client_keys;
         // A key-schedule miss after the warm-up above means the client is
         // unknown (or server-claimed); `verdict_with_key` applies the same
@@ -202,12 +225,19 @@ impl ServerCore {
         let checked = parallel_map(&pending, self.threads, |e| {
             Self::verdict_with_key(e, keys.get(&e.client))
         });
+        // Pre-size the cache from the observed batch cardinality so the
+        // bulk insertions below do not rehash the table mid-batch.
+        self.admission.reserve(misses.len());
         for (&i, (e, (verdict, cacheable))) in misses.iter().zip(pending.iter().zip(checked)) {
             verdicts[i] = verdict;
             if cacheable {
-                self.validity_cache.insert(e.id, (*e, verdict));
+                self.admission.record(e, verdict);
             }
         }
+        misses.clear();
+        pending.clear();
+        self.miss_scratch = misses;
+        self.pending_scratch = pending;
         verdicts
     }
 
@@ -280,11 +310,11 @@ impl ServerCore {
         ctx.consume_cpu(self.config.costs.verify_signature);
         // The digest of every recorded epoch is cached at creation time, so
         // verifying the up-to-n proofs of an epoch re-hashes nothing.
-        let Some(digest) = self.state.epoch_digest(proof.epoch) else {
+        let Some(digest) = self.state.epoch_digest(proof.epoch).copied() else {
             self.stats.proofs_rejected += 1;
             return;
         };
-        if !verify_epoch_proof_digest(&self.registry, self.config.servers, &proof, digest) {
+        if !self.proof_valid_digest(&proof, &digest) {
             self.stats.proofs_rejected += 1;
             return;
         }
@@ -314,13 +344,92 @@ impl ServerCore {
         ctx.consume_cpu(self.config.costs.hash_cost(bytes));
         ctx.consume_cpu(self.config.costs.sign);
         // Sign over the digest `record_epoch` just cached — the one place
-        // the epoch's elements are actually hashed.
+        // the epoch's elements are actually hashed. The server's own key
+        // schedule is precomputed, so the signature costs two compressions.
         let digest = self.state.epoch_digest(epoch).expect("just created");
-        let mut proof = make_epoch_proof_for_digest(&self.keys, epoch, digest);
+        let mut proof = make_epoch_proof_with_key(&self.own_key, self.keys.id, epoch, digest);
         if self.byz == ServerByzMode::ForgeProofs {
             proof.signature = Signature::forged(self.keys.id);
         }
         (epoch, proof)
+    }
+
+    /// First-pass admission of a recovered batch's elements: validates
+    /// them (batched, memoized — the same [`Self::validate_elements`] core
+    /// the epoch path uses) and inserts the valid, not-yet-stamped ids into
+    /// `the_set`, without materializing a candidate vector. The epoch
+    /// itself is built later, at consolidation, through
+    /// [`Self::extract_epoch_candidates`]; this is the "valid elements join
+    /// `the_set` immediately" half of batch processing.
+    pub fn admit_batch_elements(
+        &mut self,
+        elements: &[Element],
+        validate: bool,
+        ctx: &mut Ctx<'_, '_, '_>,
+    ) {
+        if !validate {
+            for e in elements {
+                if !self.state.in_history(&e.id) {
+                    self.state.insert(e.id);
+                }
+            }
+            return;
+        }
+        ctx.consume_cpu(self.config.costs.validate_cost(elements.len()));
+        let verdicts = self.validate_elements(elements);
+        // Rejections are counted once per distinct id, matching the
+        // pre-validation dedup of the epoch path — a Byzantine batch
+        // repeating one forged element must not inflate the counter. The
+        // set is only materialized when a rejection actually occurs, so
+        // honest batches stay allocation-free.
+        let mut rejected_ids: Option<FxHashSet<crate::element::ElementId>> = None;
+        for (e, ok) in elements.iter().zip(verdicts) {
+            if self.state.in_history(&e.id) {
+                continue;
+            }
+            if ok {
+                self.state.insert(e.id);
+            } else if rejected_ids
+                .get_or_insert_with(FxHashSet::default)
+                .insert(e.id)
+            {
+                self.stats.elements_rejected += 1;
+            }
+        }
+    }
+
+    /// The paper's `valid_proof` signer/signature checks against an
+    /// already-computed digest, through the per-signer schedule cache:
+    /// semantically [`crate::verify_epoch_proof`] with the epoch hash
+    /// replaced by `digest`.
+    pub fn proof_valid_digest(&mut self, proof: &EpochProof, digest: &Digest512) -> bool {
+        proof.signature.signer == proof.signer
+            && proof.signer.is_server()
+            && proof.signer.server_index() < self.config.servers
+            && self
+                .verifier
+                .verify(&self.registry, digest.as_bytes(), &proof.signature)
+    }
+
+    /// The paper's `valid_hash(h, s, w)` through the per-signer schedule
+    /// cache: same verdict as [`HashBatch::is_valid`], without rebuilding
+    /// the signer's HMAC key pads per hash-batch.
+    pub fn hash_batch_valid(&mut self, hb: &HashBatch) -> bool {
+        hb.signer.is_server()
+            && hb.signer.server_index() < self.config.servers
+            && hb.signature.signer == hb.signer
+            && self
+                .verifier
+                .verify(&self.registry, hb.hash.as_bytes(), &hb.signature)
+    }
+
+    /// Signs a hash-batch with this server's precomputed key schedule.
+    pub fn make_hash_batch(&self, hash: Digest512) -> HashBatch {
+        HashBatch {
+            hash,
+            signer: self.keys.id,
+            signature: sign_with(&self.own_key, self.keys.id, hash.as_bytes()),
+        }
     }
 
     /// Filters the elements of a batch/block down to the set `G` that forms a
@@ -484,6 +593,38 @@ mod tests {
         assert!(core.element_valid(&good));
     }
 
+    #[test]
+    fn regossip_is_served_from_the_admission_cache() {
+        let (mut core, registry) = core_with(41, 4, 3);
+        let keys = registry.lookup(ProcessId::client(1)).unwrap();
+        let mut batch: Vec<Element> = (0..32)
+            .map(|i| Element::new(&keys, ElementId::new(1, i), 300 + i as u32, i))
+            .collect();
+        // Include rejections in the warm-up: a forged element and a
+        // server-claimed one, both cacheable verdicts.
+        batch.push(Element::forged(
+            ProcessId::client(1),
+            ElementId::new(1, 99),
+            200,
+        ));
+        let server_keys = registry.lookup(ProcessId::server(1)).unwrap();
+        let mut server_claimed = Element::new(&server_keys, ElementId::new(2, 1), 300, 7);
+        server_claimed.client = ProcessId::server(1);
+        batch.push(server_claimed);
+
+        let first = core.validate_elements(&batch);
+        let misses_after_warmup = core.admission_cache().misses();
+        assert_eq!(misses_after_warmup, batch.len() as u64);
+        // Re-gossip of the identical batch: every verdict — including the
+        // cached rejections — comes from the cache, no new misses.
+        let second = core.validate_elements(&batch);
+        assert_eq!(first, second);
+        assert_eq!(core.admission_cache().misses(), misses_after_warmup);
+        assert_eq!(core.admission_cache().hits(), batch.len() as u64);
+        assert!(!second[32], "forged element stayed rejected on re-gossip");
+        assert!(!second[33], "server-claimed element stayed rejected");
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -518,6 +659,58 @@ mod tests {
                 prop_assert_eq!(&core.validate_elements(&elements), &sequential);
                 // The single-element memoized path agrees too.
                 for (e, expected) in elements.iter().zip(&sequential) {
+                    prop_assert_eq!(core.element_valid(e), *expected);
+                }
+            }
+
+            /// The admission cache never whitelists: after a warm-up pass
+            /// populates the cache, any re-gossip — replays of valid,
+            /// forged and previously *rejected* elements, plus tampered
+            /// twins of cached entries under their known ids — still
+            /// produces exactly the sequential `is_valid` verdicts, through
+            /// both the batched and the single-element paths.
+            #[test]
+            fn prop_admission_cache_survives_regossip_and_tampering(
+                specs in proptest::collection::vec(
+                    (0usize..8, 0u64..32, 0u32..2000, 0u8..5),
+                    1..80,
+                ),
+                tampers in proptest::collection::vec(
+                    (0usize..80, 0u8..4),
+                    0..40,
+                ),
+                seed in 1u64..500,
+            ) {
+                let clients = 5usize;
+                let (mut core, registry) = core_with(seed, 4, clients);
+                let elements: Vec<Element> = specs
+                    .iter()
+                    .map(|s| element_from_spec(&registry, clients, *s))
+                    .collect();
+                // Warm-up: the cache now holds a verdict per cacheable id,
+                // including rejections (forged/tampered/server-signed).
+                let _ = core.validate_elements(&elements);
+
+                // The re-gossip wave: every original element again, plus
+                // tampered twins reusing known ids with altered identity
+                // fields (what a Byzantine peer re-sending under a cached
+                // id looks like).
+                let mut wave = elements.clone();
+                for &(idx, kind) in &tampers {
+                    let mut twin = elements[idx % elements.len()];
+                    match kind {
+                        0 => twin.auth ^= 0x1,
+                        1 => twin.size = twin.size.wrapping_add(13),
+                        2 => twin.content_seed ^= 0xABCD,
+                        _ => twin.client = ProcessId::client((twin.id.client_index() as usize + 1) % clients),
+                    }
+                    wave.push(twin);
+                }
+                let sequential: Vec<bool> =
+                    wave.iter().map(|e| e.is_valid(&registry)).collect();
+                let batched = core.validate_elements(&wave);
+                prop_assert_eq!(&batched, &sequential);
+                for (e, expected) in wave.iter().zip(&sequential) {
                     prop_assert_eq!(core.element_valid(e), *expected);
                 }
             }

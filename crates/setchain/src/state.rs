@@ -91,6 +91,10 @@ impl SetchainState {
     /// `history` (Unique-Epoch); this is asserted in debug builds.
     pub fn record_epoch(&mut self, elements: Vec<Element>) -> u64 {
         self.epoch += 1;
+        // Pre-size both per-element maps from the epoch's cardinality: one
+        // rehash check here instead of incremental growth mid-loop.
+        self.the_set.reserve(elements.len());
+        self.element_epoch.reserve(elements.len());
         for e in &elements {
             debug_assert!(
                 !self.element_epoch.contains_key(&e.id),

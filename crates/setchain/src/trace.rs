@@ -83,6 +83,15 @@ impl SetchainTrace {
         self.inner.lock().added.entry(id).or_insert(at);
     }
 
+    /// Batched form of [`Self::record_add`]: one lock acquisition for a
+    /// whole injection tick's worth of elements.
+    pub fn record_adds(&self, ids: impl IntoIterator<Item = ElementId>, at: SimTime) {
+        let mut inner = self.inner.lock();
+        for id in ids {
+            inner.added.entry(id).or_insert(at);
+        }
+    }
+
     /// Records that a correct server stamped `id` with `epoch` at `at`
     /// (first observation wins; all correct servers assign the same epoch).
     pub fn record_epoch_assignment(&self, id: ElementId, epoch: u64, at: SimTime) {

@@ -50,10 +50,14 @@ pub(crate) enum Action<M> {
 /// All interaction with the outside world goes through the context: sending
 /// messages, arming timers, consuming simulated CPU time and drawing random
 /// numbers (from the simulation's seeded RNG, so runs stay deterministic).
+///
+/// The action buffer is borrowed from the scheduler and reused across
+/// handler invocations, so a handler that sends a few messages performs no
+/// allocation beyond the messages themselves.
 pub struct Context<'a, M> {
     pub(crate) self_id: ProcessId,
     pub(crate) now: SimTime,
-    pub(crate) actions: Vec<Action<M>>,
+    pub(crate) actions: &'a mut Vec<Action<M>>,
     pub(crate) cpu_consumed: SimDuration,
     pub(crate) rng: &'a mut StdRng,
 }
@@ -129,6 +133,24 @@ pub trait Process<M: Wire>: Any + Send {
     /// Called when a message addressed to this process arrives.
     fn on_message(&mut self, from: ProcessId, msg: M, ctx: &mut Context<'_, M>);
 
+    /// Called when several messages addressed to this process arrive at the
+    /// same simulated instant (a broadcast fan-in, a loopback burst): the
+    /// scheduler coalesces them into one invocation instead of paying one
+    /// queue pop and one handler dispatch per message.
+    ///
+    /// The default implementation drains the batch through
+    /// [`on_message`](Self::on_message) one entry at a time, in delivery
+    /// order, so implementing it is optional. Overriders must consume every
+    /// entry (the scheduler clears the buffer afterwards either way) and
+    /// must preserve the per-message semantics of `on_message` — the batch
+    /// boundary carries no protocol meaning, it is purely a scheduling
+    /// artifact.
+    fn on_messages(&mut self, batch: &mut Vec<(ProcessId, M)>, ctx: &mut Context<'_, M>) {
+        for (from, msg) in batch.drain(..) {
+            self.on_message(from, msg, ctx);
+        }
+    }
+
     /// Called when a timer set by this process fires.
     fn on_timer(&mut self, _token: TimerToken, _ctx: &mut Context<'_, M>) {}
 
@@ -158,10 +180,11 @@ mod tests {
     #[test]
     fn context_collects_actions() {
         let mut rng = StdRng::seed_from_u64(0);
+        let mut actions = Vec::new();
         let mut ctx: Context<'_, Ping> = Context {
             self_id: ProcessId::server(0),
             now: SimTime::from_secs(1),
-            actions: Vec::new(),
+            actions: &mut actions,
             cpu_consumed: SimDuration::ZERO,
             rng: &mut rng,
         };

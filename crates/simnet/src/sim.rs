@@ -1,19 +1,46 @@
 //! The discrete-event scheduler.
 //!
-//! [`Simulation`] owns the processes, the network and the event queue. It is
+//! [`Simulation`] owns the processes, the network and the event queues. It is
 //! single-threaded and deterministic: events are ordered by `(time, sequence
-//! number)`, where the sequence number is assigned at insertion time, so two
-//! runs with the same seed and the same inputs produce identical schedules.
-//! Parallelism in the evaluation harness comes from running many independent
-//! simulations on different OS threads, not from inside one simulation.
+//! number)`, where the sequence number is assigned at insertion time from one
+//! shared counter, so two runs with the same seed and the same inputs produce
+//! identical schedules. Parallelism in the evaluation harness comes from
+//! running many independent simulations on different OS threads, not from
+//! inside one simulation.
+//!
+//! # Scheduler internals
+//!
+//! Three structural decisions keep the per-event cost flat:
+//!
+//! * **Slab process table.** Processes live in a dense `Vec<Slot>`; a
+//!   [`ProcessId`] resolves to its slab position through two dense
+//!   per-range index arrays (one for server ids, one for client ids), so an
+//!   event dispatch is two array reads instead of a `BTreeMap` tree walk.
+//! * **Split timer queue.** Timer events carry no message payload, so they
+//!   live in their own heap of small `Copy` records instead of sharing the
+//!   delivery heap's `Arc<M>`-carrying entries. The two heaps are merged at
+//!   pop time by comparing `(time, seq)` — the shared sequence counter makes
+//!   the merged order identical to a single queue's.
+//! * **Coalesced delivery.** Consecutive deliveries to the same recipient at
+//!   the same instant (a broadcast fan-in, a loopback burst) are drained into
+//!   one [`Process::on_messages`] invocation, paying one handler dispatch
+//!   and one action-application pass for the whole batch. The batch's
+//!   [`Context::consume_cpu`] charges accumulate and defer *later* events;
+//!   within the batch, messages are handled at the shared arrival instant
+//!   (deferred deliveries are exempt from coalescing precisely so a CPU
+//!   backlog still drains serialized).
+//!
+//! The per-handler action buffer and the delivery batch buffer are owned by
+//! the simulation and reused across events, so steady-state event processing
+//! allocates only what the handlers themselves allocate.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use setchain_crypto::ProcessId;
+use setchain_crypto::{FxHashMap, ProcessId};
 
 use crate::network::{Network, NetworkConfig, Partition};
 use crate::process::{Action, Context, Process, TimerToken, Wire};
@@ -46,40 +73,37 @@ pub enum RunOutcome {
     TimeLimit(SimTime),
 }
 
-enum EventKind<M> {
-    Deliver {
-        from: ProcessId,
-        to: ProcessId,
-        /// Shared payload: a broadcast enqueues one allocation for all
-        /// recipients. Ownership is materialized at delivery time
-        /// (`Arc::try_unwrap`), so the last — often the only — recipient
-        /// takes the message without a copy.
-        msg: Arc<M>,
-    },
-    Timer {
-        node: ProcessId,
-        token: TimerToken,
-    },
-}
-
-struct Event<M> {
+/// A message delivery in flight.
+struct DeliverEvent<M> {
     at: SimTime,
     seq: u64,
-    kind: EventKind<M>,
+    from: ProcessId,
+    to: ProcessId,
+    /// True once the delivery has been deferred past a busy CPU window.
+    /// Deferred deliveries are re-serialized one at a time (they all land
+    /// on the same release instant, and batching them would let one
+    /// handler invocation swallow a backlog the CPU model is supposed to
+    /// spread out), so they are excluded from delivery coalescing.
+    deferred: bool,
+    /// Shared payload: a broadcast enqueues one allocation for all
+    /// recipients. Ownership is materialized at delivery time
+    /// (`Arc::try_unwrap`), so the last — often the only — recipient
+    /// takes the message without a copy.
+    msg: Arc<M>,
 }
 
-impl<M> PartialEq for Event<M> {
+impl<M> PartialEq for DeliverEvent<M> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
+impl<M> Eq for DeliverEvent<M> {}
+impl<M> PartialOrd for DeliverEvent<M> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for Event<M> {
+impl<M> Ord for DeliverEvent<M> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse ordering so the BinaryHeap (a max-heap) pops the earliest
         // event first.
@@ -90,23 +114,69 @@ impl<M> Ord for Event<M> {
     }
 }
 
+/// A pending timer: a small `Copy` record on the timer fast path — no
+/// payload allocation travels with it.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct TimerEvent {
+    at: SimTime,
+    seq: u64,
+    node: ProcessId,
+    token: TimerToken,
+}
+
+impl PartialOrd for TimerEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
 struct Slot<M: Wire> {
+    id: ProcessId,
     process: Box<dyn Process<M>>,
     /// Node CPU is busy until this time; deliveries are deferred past it.
     busy_until: SimTime,
 }
 
+/// Sentinel for "no process registered at this index".
+const NO_SLOT: u32 = u32::MAX;
+/// Ids whose per-range index is below this resolve through the dense
+/// tables; pathological indexes fall back to the overflow map so a stray
+/// huge id cannot balloon the dense tables.
+const DENSE_LIMIT: usize = 1 << 20;
+
 /// A deterministic discrete-event simulation.
 pub struct Simulation<M: Wire> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Event<M>>,
-    processes: BTreeMap<ProcessId, Slot<M>>,
+    deliveries: BinaryHeap<DeliverEvent<M>>,
+    timers: BinaryHeap<TimerEvent>,
+    /// Dense slab of processes, in registration order.
+    slots: Vec<Slot<M>>,
+    /// Dense index: server index → slab position (`NO_SLOT` if absent).
+    server_slots: Vec<u32>,
+    /// Dense index: client index → slab position (`NO_SLOT` if absent).
+    client_slots: Vec<u32>,
+    /// Fallback for ids whose index exceeds `DENSE_LIMIT`.
+    overflow_slots: FxHashMap<ProcessId, u32>,
+    /// Registered ids, kept sorted (start order and `process_ids` order).
+    ids: Vec<ProcessId>,
     network: Network,
     rng: StdRng,
     started: bool,
     events_processed: u64,
     messages_deferred: u64,
+    /// Reused per-handler action buffer (empty between events).
+    actions_scratch: Vec<Action<M>>,
+    /// Reused coalesced-delivery batch buffer (empty between events).
+    batch_scratch: Vec<(ProcessId, M)>,
 }
 
 impl<M: Wire> Simulation<M> {
@@ -115,13 +185,20 @@ impl<M: Wire> Simulation<M> {
         Simulation {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
-            processes: BTreeMap::new(),
+            deliveries: BinaryHeap::new(),
+            timers: BinaryHeap::new(),
+            slots: Vec::new(),
+            server_slots: Vec::new(),
+            client_slots: Vec::new(),
+            overflow_slots: FxHashMap::default(),
+            ids: Vec::new(),
             network: Network::new(config.network),
             rng: StdRng::seed_from_u64(config.seed),
             started: false,
             events_processed: 0,
             messages_deferred: 0,
+            actions_scratch: Vec::new(),
+            batch_scratch: Vec::new(),
         }
     }
 
@@ -132,14 +209,52 @@ impl<M: Wire> Simulation<M> {
             !self.started,
             "cannot add processes after the simulation started"
         );
-        let prev = self.processes.insert(
+        assert!(self.slot_index(id).is_none(), "duplicate process id {id}");
+        let slot = self.slots.len() as u32;
+        self.slots.push(Slot {
             id,
-            Slot {
-                process,
-                busy_until: SimTime::ZERO,
-            },
-        );
-        assert!(prev.is_none(), "duplicate process id {id}");
+            process,
+            busy_until: SimTime::ZERO,
+        });
+        let index = if id.is_server() {
+            id.server_index()
+        } else {
+            id.client_index()
+        };
+        if index < DENSE_LIMIT {
+            let table = if id.is_server() {
+                &mut self.server_slots
+            } else {
+                &mut self.client_slots
+            };
+            if table.len() <= index {
+                table.resize(index + 1, NO_SLOT);
+            }
+            table[index] = slot;
+        } else {
+            self.overflow_slots.insert(id, slot);
+        }
+        // Registration is cold; keep the id list sorted as we go.
+        let pos = self.ids.partition_point(|existing| *existing < id);
+        self.ids.insert(pos, id);
+    }
+
+    /// Resolves a process id to its slab position.
+    #[inline]
+    fn slot_index(&self, id: ProcessId) -> Option<usize> {
+        let (table, index) = if id.is_server() {
+            (&self.server_slots, id.server_index())
+        } else {
+            (&self.client_slots, id.client_index())
+        };
+        if index < DENSE_LIMIT {
+            match table.get(index) {
+                Some(&slot) if slot != NO_SLOT => Some(slot as usize),
+                _ => None,
+            }
+        } else {
+            self.overflow_slots.get(&id).map(|&s| s as usize)
+        }
     }
 
     /// Current simulated time.
@@ -172,49 +287,88 @@ impl<M: Wire> Simulation<M> {
         self.network.heal_all_partitions()
     }
 
-    /// Ids of all registered processes.
-    pub fn process_ids(&self) -> Vec<ProcessId> {
-        self.processes.keys().copied().collect()
+    /// Ids of all registered processes, in ascending order.
+    ///
+    /// Borrows the cached id list — no allocation per call. Callers that
+    /// need ownership collect explicitly.
+    pub fn process_ids(&self) -> impl ExactSizeIterator<Item = ProcessId> + '_ {
+        self.ids.iter().copied()
     }
 
     /// Typed read access to a process, for post-run inspection.
     pub fn process<T: 'static>(&self, id: ProcessId) -> Option<&T> {
-        self.processes
-            .get(&id)
-            .and_then(|s| s.process.as_any().downcast_ref::<T>())
+        self.slot_index(id)
+            .and_then(|i| self.slots[i].process.as_any().downcast_ref::<T>())
     }
 
     /// Typed mutable access to a process.
     pub fn process_mut<T: 'static>(&mut self, id: ProcessId) -> Option<&mut T> {
-        self.processes
-            .get_mut(&id)
-            .and_then(|s| s.process.as_any_mut().downcast_mut::<T>())
+        let i = self.slot_index(id)?;
+        self.slots[i].process.as_any_mut().downcast_mut::<T>()
     }
 
     /// Schedules a message injection from outside the simulation (used by
     /// tests and by workload drivers that are not modelled as actors).
     pub fn schedule_message(&mut self, at: SimTime, from: ProcessId, to: ProcessId, msg: M) {
         assert!(at >= self.now, "cannot schedule in the past");
-        self.push(
-            at,
-            EventKind::Deliver {
-                from,
-                to,
-                msg: Arc::new(msg),
-            },
-        );
+        self.push_delivery(at, from, to, Arc::new(msg));
     }
 
     /// Schedules a timer for `node` from outside the simulation.
     pub fn schedule_timer(&mut self, at: SimTime, node: ProcessId, token: TimerToken) {
         assert!(at >= self.now, "cannot schedule in the past");
-        self.push(at, EventKind::Timer { node, token });
+        self.push_timer(at, node, token);
     }
 
-    fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+    #[inline]
+    fn next_seq(&mut self) -> u64 {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Event { at, seq, kind });
+        seq
+    }
+
+    fn push_delivery(&mut self, at: SimTime, from: ProcessId, to: ProcessId, msg: Arc<M>) {
+        let seq = self.next_seq();
+        self.deliveries.push(DeliverEvent {
+            at,
+            seq,
+            from,
+            to,
+            deferred: false,
+            msg,
+        });
+    }
+
+    fn push_deferred_delivery(&mut self, at: SimTime, from: ProcessId, to: ProcessId, msg: Arc<M>) {
+        let seq = self.next_seq();
+        self.deliveries.push(DeliverEvent {
+            at,
+            seq,
+            from,
+            to,
+            deferred: true,
+            msg,
+        });
+    }
+
+    fn push_timer(&mut self, at: SimTime, node: ProcessId, token: TimerToken) {
+        let seq = self.next_seq();
+        self.timers.push(TimerEvent {
+            at,
+            seq,
+            node,
+            token,
+        });
+    }
+
+    /// `(time, seq)` of the next event across both heaps, if any.
+    fn next_event_key(&self) -> Option<(SimTime, u64)> {
+        let d = self.deliveries.peek().map(|e| (e.at, e.seq));
+        let t = self.timers.peek().map(|e| (e.at, e.seq));
+        match (d, t) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     fn ensure_started(&mut self) {
@@ -222,95 +376,151 @@ impl<M: Wire> Simulation<M> {
             return;
         }
         self.started = true;
-        let ids: Vec<ProcessId> = self.processes.keys().copied().collect();
+        // Start processes in ascending id order (the order the old
+        // `BTreeMap`-based table used), so existing seeds reproduce.
+        let ids = self.ids.clone();
         for id in ids {
-            self.run_handler(id, |process, ctx| process.on_start(ctx));
+            if let Some(slot) = self.slot_index(id) {
+                self.run_handler(slot, |process, ctx| process.on_start(ctx));
+            }
         }
     }
 
-    /// Runs the handler `f` for process `id` at the current time, then applies
-    /// the actions it produced.
-    fn run_handler<F>(&mut self, id: ProcessId, f: F)
+    /// Runs the handler `f` for the process in `slot`, then applies the
+    /// actions it produced. The action buffer is reused across invocations.
+    fn run_handler<F>(&mut self, slot: usize, f: F)
     where
         F: FnOnce(&mut dyn Process<M>, &mut Context<'_, M>),
     {
         let now = self.now;
-        let slot = match self.processes.get_mut(&id) {
-            Some(s) => s,
-            None => return, // message to an unknown process: dropped
-        };
-        let mut ctx = Context {
-            self_id: id,
-            now,
-            actions: Vec::new(),
-            cpu_consumed: SimDuration::ZERO,
-            rng: &mut self.rng,
-        };
-        f(slot.process.as_mut(), &mut ctx);
-        let Context {
-            actions,
-            cpu_consumed,
-            ..
-        } = ctx;
-        if !cpu_consumed.is_zero() {
-            let base = if slot.busy_until > now {
-                slot.busy_until
-            } else {
-                now
+        let mut actions = std::mem::take(&mut self.actions_scratch);
+        debug_assert!(actions.is_empty());
+        let cpu_consumed;
+        let id;
+        {
+            let slot = &mut self.slots[slot];
+            id = slot.id;
+            let mut ctx = Context {
+                self_id: id,
+                now,
+                actions: &mut actions,
+                cpu_consumed: SimDuration::ZERO,
+                rng: &mut self.rng,
             };
-            slot.busy_until = base + cpu_consumed;
+            f(slot.process.as_mut(), &mut ctx);
+            cpu_consumed = ctx.cpu_consumed;
+            if !cpu_consumed.is_zero() {
+                let base = if slot.busy_until > now {
+                    slot.busy_until
+                } else {
+                    now
+                };
+                slot.busy_until = base + cpu_consumed;
+            }
         }
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg } => {
                     let size = msg.wire_size();
                     if let Some(at) = self.network.delivery_time(&mut self.rng, now, id, to, size) {
-                        self.push(at, EventKind::Deliver { from: id, to, msg });
+                        self.push_delivery(at, id, to, msg);
                     }
                 }
                 Action::SetTimer { delay, token } => {
-                    self.push(now + delay, EventKind::Timer { node: id, token });
+                    self.push_timer(now + delay, id, token);
                 }
             }
         }
+        self.actions_scratch = actions;
     }
 
-    /// Processes a single event. Returns `false` if the queue is empty.
+    /// Processes a single scheduling step (one timer, or one coalesced run
+    /// of same-instant deliveries to one recipient). Returns `false` if the
+    /// queues are empty.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
-        let event = match self.queue.pop() {
-            Some(e) => e,
-            None => return false,
+        let Some((at, seq)) = self.next_event_key() else {
+            return false;
         };
-        debug_assert!(event.at >= self.now, "time went backwards");
-        self.now = event.at;
-        let target = match &event.kind {
-            EventKind::Deliver { to, .. } => *to,
-            EventKind::Timer { node, .. } => *node,
-        };
-        // If the target node is still busy with CPU work, defer the event.
-        if let Some(slot) = self.processes.get(&target) {
-            if slot.busy_until > self.now {
-                let at = slot.busy_until;
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        let timer_is_next = self
+            .timers
+            .peek()
+            .map(|t| (t.at, t.seq) == (at, seq))
+            .unwrap_or(false);
+        if timer_is_next {
+            let event = self.timers.pop().expect("peeked above");
+            let Some(slot) = self.slot_index(event.node) else {
+                return true; // timer for an unknown process: dropped
+            };
+            if self.slots[slot].busy_until > self.now {
+                let deferred_at = self.slots[slot].busy_until;
                 self.messages_deferred += 1;
-                self.push(at, event.kind);
+                self.push_timer(deferred_at, event.node, event.token);
                 return true;
             }
+            self.events_processed += 1;
+            self.run_handler(slot, |p, ctx| p.on_timer(event.token, ctx));
+            return true;
+        }
+
+        let event = self.deliveries.pop().expect("peeked above");
+        let Some(slot) = self.slot_index(event.to) else {
+            return true; // message to an unknown process: dropped
+        };
+        if self.slots[slot].busy_until > self.now {
+            let deferred_at = self.slots[slot].busy_until;
+            self.messages_deferred += 1;
+            self.push_deferred_delivery(deferred_at, event.from, event.to, event.msg);
+            return true;
         }
         self.events_processed += 1;
-        match event.kind {
-            EventKind::Deliver { from, to, msg } => {
-                // Take ownership of the payload: free for the last holder of
-                // a shared broadcast payload and for all point-to-point
-                // messages; earlier broadcast recipients clone here, lazily,
-                // instead of at send time.
-                let msg = Arc::try_unwrap(msg).unwrap_or_else(|shared| (*shared).clone());
-                self.run_handler(to, |p, ctx| p.on_message(from, msg, ctx));
-            }
-            EventKind::Timer { node, token } => {
-                self.run_handler(node, |p, ctx| p.on_timer(token, ctx));
-            }
+
+        // Take ownership of the payload: free for the last holder of a
+        // shared broadcast payload and for all point-to-point messages;
+        // earlier broadcast recipients clone here, lazily, instead of at
+        // send time.
+        let msg = Arc::try_unwrap(event.msg).unwrap_or_else(|shared| (*shared).clone());
+
+        // Coalesce the consecutive run of same-instant deliveries to the
+        // same recipient — but only as long as no timer is interleaved in
+        // the merged `(time, seq)` order, so the handler order is exactly
+        // the order a single queue would have produced.
+        let timer_fence = self
+            .timers
+            .peek()
+            .filter(|t| t.at == self.now)
+            .map(|t| t.seq)
+            .unwrap_or(u64::MAX);
+        let more = !event.deferred
+            && self
+                .deliveries
+                .peek()
+                .map(|d| d.at == self.now && d.to == event.to && !d.deferred && d.seq < timer_fence)
+                .unwrap_or(false);
+        if !more {
+            // Overwhelmingly common case: a single delivery.
+            self.run_handler(slot, |p, ctx| p.on_message(event.from, msg, ctx));
+            return true;
         }
+
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        debug_assert!(batch.is_empty());
+        batch.push((event.from, msg));
+        while let Some(next) = self.deliveries.peek() {
+            if next.at != self.now || next.to != event.to || next.deferred || next.seq > timer_fence
+            {
+                break;
+            }
+            let next = self.deliveries.pop().expect("peeked above");
+            self.events_processed += 1;
+            let msg = Arc::try_unwrap(next.msg).unwrap_or_else(|shared| (*shared).clone());
+            batch.push((next.from, msg));
+        }
+        self.run_handler(slot, |p, ctx| p.on_messages(&mut batch, ctx));
+        batch.clear();
+        self.batch_scratch = batch;
         true
     }
 
@@ -318,8 +528,8 @@ impl<M: Wire> Simulation<M> {
     /// clock to `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.ensure_started();
-        while let Some(event) = self.queue.peek() {
-            if event.at > deadline {
+        while let Some((at, _)) = self.next_event_key() {
+            if at > deadline {
                 break;
             }
             self.step();
@@ -333,9 +543,9 @@ impl<M: Wire> Simulation<M> {
     pub fn run_until_quiescent(&mut self, limit: SimTime) -> RunOutcome {
         self.ensure_started();
         loop {
-            match self.queue.peek() {
+            match self.next_event_key() {
                 None => return RunOutcome::Quiescent(self.now),
-                Some(e) if e.at > limit => {
+                Some((at, _)) if at > limit => {
                     self.now = limit;
                     return RunOutcome::TimeLimit(limit);
                 }
@@ -677,5 +887,152 @@ mod tests {
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self
         }
+    }
+
+    /// Records how deliveries were grouped into handler invocations.
+    struct BatchObserver {
+        batches: Vec<Vec<(ProcessId, u64)>>,
+        timer_fires: Vec<SimTime>,
+    }
+
+    impl Process<Msg> for BatchObserver {
+        fn on_message(&mut self, from: ProcessId, msg: Msg, _: &mut Context<'_, Msg>) {
+            if let Msg::Ping(i) = msg {
+                self.batches.push(vec![(from, i)]);
+            }
+        }
+        fn on_messages(&mut self, batch: &mut Vec<(ProcessId, Msg)>, _: &mut Context<'_, Msg>) {
+            self.batches.push(
+                batch
+                    .drain(..)
+                    .filter_map(|(from, m)| match m {
+                        Msg::Ping(i) => Some((from, i)),
+                        _ => None,
+                    })
+                    .collect(),
+            );
+        }
+        fn on_timer(&mut self, _: TimerToken, ctx: &mut Context<'_, Msg>) {
+            self.timer_fires.push(ctx.now());
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn same_instant_deliveries_coalesce_into_one_batch() {
+        let mut sim: Simulation<Msg> = Simulation::new(SimulationConfig::default());
+        sim.add_process(
+            ProcessId::server(0),
+            Box::new(BatchObserver {
+                batches: Vec::new(),
+                timer_fires: Vec::new(),
+            }),
+        );
+        let at = SimTime::from_millis(5);
+        for i in 0..4 {
+            sim.schedule_message(at, ProcessId::client(0), ProcessId::server(0), Msg::Ping(i));
+        }
+        // A later, separate instant stays its own invocation.
+        sim.schedule_message(
+            SimTime::from_millis(6),
+            ProcessId::client(0),
+            ProcessId::server(0),
+            Msg::Ping(9),
+        );
+        sim.run_until_quiescent(SimTime::from_secs(1));
+        let obs: &BatchObserver = sim.process(ProcessId::server(0)).unwrap();
+        assert_eq!(obs.batches.len(), 2);
+        assert_eq!(
+            obs.batches[0],
+            (0..4)
+                .map(|i| (ProcessId::client(0), i))
+                .collect::<Vec<_>>(),
+            "same-instant deliveries arrive as one in-order batch"
+        );
+        assert_eq!(obs.batches[1], vec![(ProcessId::client(0), 9)]);
+        // Every delivery still counts as one processed event.
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    fn interleaved_timer_fences_delivery_coalescing() {
+        let mut sim: Simulation<Msg> = Simulation::new(SimulationConfig::default());
+        sim.add_process(
+            ProcessId::server(0),
+            Box::new(BatchObserver {
+                batches: Vec::new(),
+                timer_fires: Vec::new(),
+            }),
+        );
+        let at = SimTime::from_millis(5);
+        // Interleave in seq order: ping 0, ping 1, timer, ping 2 — all at
+        // the same instant. The timer must split the batch.
+        sim.schedule_message(at, ProcessId::client(0), ProcessId::server(0), Msg::Ping(0));
+        sim.schedule_message(at, ProcessId::client(0), ProcessId::server(0), Msg::Ping(1));
+        sim.schedule_timer(at, ProcessId::server(0), 7);
+        sim.schedule_message(at, ProcessId::client(0), ProcessId::server(0), Msg::Ping(2));
+        sim.run_until_quiescent(SimTime::from_secs(1));
+        let obs: &BatchObserver = sim.process(ProcessId::server(0)).unwrap();
+        assert_eq!(obs.timer_fires, vec![at]);
+        assert_eq!(
+            obs.batches,
+            vec![
+                vec![(ProcessId::client(0), 0), (ProcessId::client(0), 1)],
+                vec![(ProcessId::client(0), 2)],
+            ],
+            "the timer splits the same-instant run at its seq position"
+        );
+    }
+
+    #[test]
+    fn slab_lookup_covers_servers_clients_and_sparse_ids() {
+        let mut sim: Simulation<Msg> = Simulation::new(SimulationConfig::default());
+        // Sparse registration order and a gap in both ranges.
+        sim.add_process(ProcessId::client(3), Box::new(Sender0));
+        sim.add_process(ProcessId::server(5), Box::new(Sender0));
+        sim.add_process(ProcessId::server(0), Box::new(Sender0));
+        let ids: Vec<ProcessId> = sim.process_ids().collect();
+        assert_eq!(
+            ids,
+            vec![
+                ProcessId::server(0),
+                ProcessId::server(5),
+                ProcessId::client(3)
+            ],
+            "process_ids is sorted regardless of registration order"
+        );
+        assert_eq!(sim.process_ids().len(), 3);
+        assert!(sim.process::<Sender0>(ProcessId::server(5)).is_some());
+        assert!(sim.process::<Sender0>(ProcessId::server(1)).is_none());
+        assert!(sim.process::<Sender0>(ProcessId::client(3)).is_some());
+        assert!(sim.process::<Sender0>(ProcessId::client(0)).is_none());
+        assert!(sim.process_mut::<Sender0>(ProcessId::client(3)).is_some());
+    }
+
+    #[test]
+    fn overflow_ids_beyond_the_dense_tables_still_resolve() {
+        let mut sim: Simulation<Msg> = Simulation::new(SimulationConfig::default());
+        let huge = ProcessId::client(DENSE_LIMIT + 17);
+        sim.add_process(
+            huge,
+            Box::new(Ponger {
+                cpu_per_ping: SimDuration::ZERO,
+                pings_handled: 0,
+            }),
+        );
+        sim.schedule_message(
+            SimTime::from_millis(1),
+            ProcessId::server(0),
+            huge,
+            Msg::Ping(1),
+        );
+        sim.run_until_quiescent(SimTime::from_secs(1));
+        let p: &Ponger = sim.process(huge).unwrap();
+        assert_eq!(p.pings_handled, 1);
     }
 }

@@ -82,9 +82,7 @@ impl Process<Msg> for ClientDriver {
         self.carry = due - count as f64;
         if count > 0 {
             let elements = self.workload.take(count);
-            for e in &elements {
-                self.trace.record_add(e.id, now);
-            }
+            self.trace.record_adds(elements.iter().map(|e| e.id), now);
             self.sent += count as u64;
             ctx.send(self.server, NetMsg::App(SetchainMsg::AddBatch(elements)));
         }
