@@ -5,15 +5,17 @@
 //!
 //! ```text
 //! pipeline [--quick] [--repeats N] [--out FILE] [--check-baseline FILE]
-//!          [--parallel-sims N]
+//!          [--auth-mode MODE] [--parallel-sims N]
 //! ```
 //!
 //! * `--quick` — shorter simulated runs (CI smoke mode).
 //! * `--repeats N` — best-of-N per grid point (default 3; 1 in quick mode).
 //! * `--out FILE` — write the measured grid as JSON.
 //! * `--check-baseline FILE` — read a previously committed JSON (e.g.
-//!   `BENCH_pr5.json`) and exit non-zero if any grid point regressed more
+//!   `BENCH_pr6.json`) and exit non-zero if any grid point regressed more
 //!   than 20% versus its `after` entry.
+//! * `--auth-mode MODE` — which submission authentication modes the auth
+//!   grid runs: `both` (default), `per-element`, or `batch-root`.
 //! * `--parallel-sims N` — instead of the grid, sweep the hashchain_b64
 //!   point over N seeds with one independent simulation per OS thread
 //!   (`parallel_map`): per-seed committed counts are deterministic, and the
@@ -22,9 +24,9 @@
 
 use std::process::ExitCode;
 
-use setchain::Algorithm;
+use setchain::{Algorithm, AuthMode};
 use setchain_bench::pipeline::{
-    compresschain_grid, grid, run_parallel_sims, run_pipeline_best_of, PipelineConfig,
+    auth_grid, compresschain_grid, grid, run_parallel_sims, run_pipeline_best_of, PipelineConfig,
     PipelineResult,
 };
 
@@ -33,6 +35,7 @@ struct Args {
     repeats: usize,
     out: Option<String>,
     check_baseline: Option<String>,
+    auth_modes: Vec<AuthMode>,
     parallel_sims: usize,
 }
 
@@ -42,6 +45,7 @@ fn parse_args() -> Args {
         repeats: 0,
         out: None,
         check_baseline: None,
+        auth_modes: vec![AuthMode::PerElement, AuthMode::BatchRoot],
         parallel_sims: 0,
     };
     let mut it = std::env::args().skip(1);
@@ -57,6 +61,17 @@ fn parse_args() -> Args {
             "--out" => args.out = Some(it.next().expect("--out takes a path")),
             "--check-baseline" => {
                 args.check_baseline = Some(it.next().expect("--check-baseline takes a path"))
+            }
+            "--auth-mode" => {
+                let mode = it.next().expect("--auth-mode takes a mode");
+                args.auth_modes = match mode.as_str() {
+                    "both" => vec![AuthMode::PerElement, AuthMode::BatchRoot],
+                    "per-element" => vec![AuthMode::PerElement],
+                    "batch-root" => vec![AuthMode::BatchRoot],
+                    other => {
+                        panic!("--auth-mode takes both | per-element | batch-root, got {other}")
+                    }
+                };
             }
             "--parallel-sims" => {
                 args.parallel_sims = it
@@ -121,7 +136,8 @@ fn main() -> ExitCode {
     );
 
     // Historical grid (unchanged since PR 2) followed by the drain-mode
-    // compresschain grid (PR 3); one flat label space in reports and JSON.
+    // compresschain grid (PR 3) and the authentication-mode grid (PR 6);
+    // one flat label space in reports and JSON.
     let mut configs: Vec<PipelineConfig> = grid()
         .into_iter()
         .map(|(algorithm, batch)| {
@@ -133,6 +149,7 @@ fn main() -> ExitCode {
         })
         .collect();
     configs.extend(compresschain_grid(args.quick));
+    configs.extend(auth_grid(args.quick, &args.auth_modes));
 
     let mut entries: Vec<(String, PipelineResult)> = Vec::new();
     for config in &configs {

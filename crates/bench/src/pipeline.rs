@@ -18,6 +18,11 @@
 //!   PR 2 for trend continuity. Compresschain is *backlogged* here: the
 //!   paper's 0.5 MB / 1.25 s ledger caps committed elements at ~1 000 el/s,
 //!   so its committed counts are a property of the simulated bandwidth.
+//! * [`auth_grid`] — drain-mode Hashchain points comparing the two client
+//!   submission authentication modes (per-element MACs versus one MAC over
+//!   each batch's Merkle root, PR 6): injection stops four simulated seconds
+//!   before the end, so both modes commit exactly what they injected and
+//!   the wall-clock delta isolates the authentication path.
 //! * [`compresschain_grid`] — drain-mode Compresschain points added with
 //!   the PR 3 codec overhaul: larger ledger blocks lift the bandwidth cap,
 //!   injection stops four simulated seconds before the end, and every
@@ -30,7 +35,7 @@
 
 use std::time::{Duration, Instant};
 
-use setchain::Algorithm;
+use setchain::{Algorithm, AuthMode};
 use setchain_simnet::SimTime;
 use setchain_workload::Deployment;
 
@@ -56,6 +61,9 @@ pub struct PipelineConfig {
     /// Run the algorithm's "light" ablation (Compresschain: no delivery
     /// decompression/validation).
     pub light: bool,
+    /// How client submissions are authenticated (per-element MACs or one
+    /// MAC over each injected batch's Merkle root).
+    pub auth: AuthMode,
     /// Label suffix distinguishing grid families (e.g. `_drain`).
     pub tag: &'static str,
     /// RNG seed.
@@ -85,6 +93,7 @@ impl PipelineConfig {
             injection_secs: 8,
             block_bytes: 0,
             light: false,
+            auth: AuthMode::PerElement,
             tag: "",
             seed: 7,
         }
@@ -123,6 +132,7 @@ impl PipelineConfig {
             injection_secs: 8,
             block_bytes: 4 * 1024 * 1024,
             light,
+            auth: AuthMode::PerElement,
             tag: if light { "_drain_light" } else { "_drain" },
             seed: 7,
         }
@@ -134,6 +144,44 @@ impl PipelineConfig {
             sim_secs: 7,
             injection_secs: 3,
             ..Self::compresschain_drain(batch, light)
+        }
+    }
+
+    /// Drain-mode authentication point (PR 6): Hashchain at `batch`, with
+    /// client submissions authenticated per `auth`. Drain-style for the same
+    /// reason as [`Self::compresschain_drain`]: the two modes ship
+    /// different message shapes, which perturbs the deterministic event
+    /// schedule — but with four simulated seconds of drain every injected
+    /// element commits, so the committed counts are *identical* between
+    /// [`AuthMode::PerElement`] and [`AuthMode::BatchRoot`] at every point
+    /// (they equal what was injected) and the wall-clock difference is
+    /// purely the authentication path: per-element HMAC verification at
+    /// every server versus one root MAC per batch plus Merkle recomputation.
+    pub fn auth_drain(batch: usize, auth: AuthMode) -> Self {
+        PipelineConfig {
+            algorithm: Algorithm::Hashchain,
+            batch,
+            rate: 5_000.0,
+            servers: 4,
+            sim_secs: 12,
+            injection_secs: 8,
+            block_bytes: 4 * 1024 * 1024,
+            light: false,
+            auth,
+            tag: match auth {
+                AuthMode::BatchRoot => "_auth_root",
+                _ => "_auth_pere",
+            },
+            seed: 7,
+        }
+    }
+
+    /// Quick (CI smoke) variant of [`Self::auth_drain`].
+    pub fn auth_drain_quick(batch: usize, auth: AuthMode) -> Self {
+        PipelineConfig {
+            sim_secs: 7,
+            injection_secs: 3,
+            ..Self::auth_drain(batch, auth)
         }
     }
 
@@ -181,6 +229,7 @@ pub fn run_pipeline(config: &PipelineConfig) -> PipelineResult {
     if config.light {
         builder = builder.light();
     }
+    builder = builder.auth_mode(config.auth);
     let mut deployment = builder.build();
     let start = Instant::now();
     deployment
@@ -265,6 +314,26 @@ pub fn compresschain_grid(quick: bool) -> Vec<PipelineConfig> {
     ]
 }
 
+/// The authentication-mode grid added with the PR 6 batch-authentication
+/// redesign: Hashchain at both collector sizes under each submission mode,
+/// drain-style so the committed counts match across modes (see
+/// [`PipelineConfig::auth_drain`]). Restricted to `modes` when the caller
+/// asks for one mode only (the CI `--auth-mode` matrix point).
+pub fn auth_grid(quick: bool, modes: &[AuthMode]) -> Vec<PipelineConfig> {
+    let point = if quick {
+        PipelineConfig::auth_drain_quick
+    } else {
+        PipelineConfig::auth_drain
+    };
+    let mut configs = Vec::new();
+    for &batch in &[64usize, 256] {
+        for &mode in modes {
+            configs.push(point(batch, mode));
+        }
+    }
+    configs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +354,38 @@ mod tests {
         for cfg in compresschain_grid(true) {
             assert!(cfg.sim_secs > cfg.injection_secs);
         }
+        let both = [AuthMode::PerElement, AuthMode::BatchRoot];
+        assert_eq!(auth_grid(false, &both).len(), 4);
+        assert_eq!(auth_grid(true, &[AuthMode::BatchRoot]).len(), 2);
+        let root = PipelineConfig::auth_drain(64, AuthMode::BatchRoot);
+        assert_eq!(root.label(), "hashchain_b64_auth_root");
+        assert!(root.sim_secs - root.injection_secs >= 4);
+        let pere = PipelineConfig::auth_drain_quick(256, AuthMode::PerElement);
+        assert_eq!(pere.label(), "hashchain_b256_auth_pere");
+        assert!(pere.sim_secs > pere.injection_secs);
+    }
+
+    #[test]
+    fn auth_drain_commits_identically_under_both_modes() {
+        // The property BENCH_pr6.json's auth grid relies on: with drain
+        // time, the committed count equals the injected count under either
+        // authentication mode, so the two modes are directly comparable.
+        let mut results = Vec::new();
+        for auth in [AuthMode::PerElement, AuthMode::BatchRoot] {
+            let mut cfg = PipelineConfig::auth_drain_quick(64, auth);
+            cfg.rate = 500.0; // keep the test fast
+            let result = run_pipeline(&cfg);
+            assert!(result.added > 0);
+            assert_eq!(
+                result.committed, result.added,
+                "auth drain ({auth:?}) left elements uncommitted"
+            );
+            results.push(result);
+        }
+        assert_eq!(
+            results[0].committed, results[1].committed,
+            "same seed, same injected workload: committed counts must match"
+        );
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub mod signature;
 
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use hash::{sha256, sha256_many, sha512, Digest256, Digest512, Sha256, Sha512};
-pub use hmac::{hmac_sha256, hmac_sha512, HmacSha256Key, HmacSha512Key};
+pub use hmac::{
+    hmac_sha256, hmac_sha512, mac_batch_root, verify_batch_root, HmacSha256Key, HmacSha512Key,
+};
 pub use keys::{KeyPair, KeyRegistry, ProcessId, PublicKey, SecretKey};
 pub use merkle::{framed_hash, merkle_root, MerkleProof, MerkleTree};
 pub use parallel::{default_threads, parallel_map, parallel_map_min, MIN_PARALLEL_LEN};

@@ -64,6 +64,25 @@ impl CostModel {
     }
 }
 
+/// How client submissions are authenticated server-side.
+///
+/// `#[non_exhaustive]`: further authentication schemes (e.g. aggregated
+/// signatures) may be added; match with a wildcard arm.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AuthMode {
+    /// Every element carries its own 8-byte MAC and servers verify each one
+    /// (the paper's evaluated scheme, and the default).
+    #[default]
+    PerElement,
+    /// Clients Merkle-batch their adds and MAC only the batch root
+    /// ([`crate::AuthedBatch`]); servers verify once per batch and derive
+    /// per-element validity from Merkle membership. Plain per-element adds
+    /// keep working — this mode changes what the *workload drivers* send
+    /// and adds the batch verification path, it removes nothing.
+    BatchRoot,
+}
+
 /// Configuration of a Setchain deployment (shared by all servers of a run).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SetchainConfig {
@@ -102,6 +121,11 @@ pub struct SetchainConfig {
     /// other servers ("alternative distributed batch-sharing mechanism"), so
     /// hash reversal rarely needs a `Request_batch` round trip.
     pub push_batches: bool,
+    /// How client submissions are authenticated (`#[serde(default)]`:
+    /// configurations written before batch authentication existed read back
+    /// as [`AuthMode::PerElement`]).
+    #[serde(default)]
+    pub auth_mode: AuthMode,
     /// CPU cost model.
     pub costs: CostModel,
 }
@@ -122,6 +146,7 @@ impl SetchainConfig {
             decompress_validate: true,
             designated_signers: None,
             push_batches: false,
+            auth_mode: AuthMode::default(),
             costs: CostModel::default(),
         }
     }
@@ -167,6 +192,13 @@ impl SetchainConfig {
     /// Enables push-based batch dissemination for Hashchain.
     pub fn with_push_batches(mut self) -> Self {
         self.push_batches = true;
+        self
+    }
+
+    /// Sets the submission authentication mode (default
+    /// [`AuthMode::PerElement`]).
+    pub fn with_auth_mode(mut self, mode: AuthMode) -> Self {
+        self.auth_mode = mode;
         self
     }
 
@@ -219,6 +251,15 @@ mod tests {
         assert_eq!(costs.hash_cost(1).as_micros(), 2); // rounds up to one KiB
         assert_eq!(costs.validate_cost(100).as_micros(), 500);
         assert!(costs.compress_cost(10_000) > costs.decompress_cost(10_000));
+    }
+
+    #[test]
+    fn auth_mode_defaults_to_per_element() {
+        let cfg = SetchainConfig::new(4);
+        assert_eq!(cfg.auth_mode, AuthMode::PerElement);
+        assert_eq!(AuthMode::default(), AuthMode::PerElement);
+        let cfg = cfg.with_auth_mode(AuthMode::BatchRoot);
+        assert_eq!(cfg.auth_mode, AuthMode::BatchRoot);
     }
 
     #[test]

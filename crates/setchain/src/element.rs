@@ -147,6 +147,24 @@ impl Element {
         u64::from_le_bytes(mac.0[..8].try_into().expect("8 bytes")) == self.auth
     }
 
+    /// Length of [`Element::pack`]'s fixed encoding.
+    pub const PACKED_LEN: usize = 36;
+
+    /// The element's full identity in a fixed 36-byte little-endian layout
+    /// (`id ‖ client ‖ size ‖ seed ‖ auth`) — the canonical unit hashed into
+    /// batch digests, epoch digests and Merkle leaves. Two elements pack
+    /// equal iff every field is equal, so digests over packed bytes bind the
+    /// complete identity, authenticator included.
+    pub fn pack(&self) -> [u8; Self::PACKED_LEN] {
+        let mut buf = [0u8; Self::PACKED_LEN];
+        buf[..8].copy_from_slice(&self.id.0.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.client.0.to_le_bytes());
+        buf[16..20].copy_from_slice(&self.size.to_le_bytes());
+        buf[20..28].copy_from_slice(&self.content_seed.to_le_bytes());
+        buf[28..36].copy_from_slice(&self.auth.to_le_bytes());
+        buf
+    }
+
     /// Wire size of the element in bytes.
     pub fn wire_size(&self) -> usize {
         self.size as usize
@@ -261,6 +279,18 @@ impl ElementGenerator {
     /// Number of elements generated so far.
     pub fn generated(&self) -> u64 {
         self.next_seq
+    }
+
+    /// The client's precomputed HMAC key schedule — the same schedule that
+    /// signs each element, reused by batch-mode submitters to seal a whole
+    /// batch under one root MAC ([`crate::AuthedBatch::seal`]).
+    pub fn auth_key(&self) -> &HmacSha256Key {
+        &self.key
+    }
+
+    /// The client this generator signs for.
+    pub fn client(&self) -> ProcessId {
+        self.client
     }
 
     /// Generates the next element with the given size and content seed.
@@ -401,6 +431,38 @@ mod tests {
         assert!(!forged.auth_matches(&schedule));
         assert!(good.size_in_bounds());
         assert!(!Element::forged(keys.id, ElementId::new(0, 3), 0).size_in_bounds());
+    }
+
+    #[test]
+    fn pack_binds_the_full_identity() {
+        let reg = registry();
+        let keys = client_keys(&reg, 0);
+        let e = Element::new(&keys, ElementId::new(0, 5), 438, 99);
+        let packed = e.pack();
+        assert_eq!(packed.len(), Element::PACKED_LEN);
+        // Each field perturbation changes the packed bytes.
+        for tampered in [
+            Element {
+                id: ElementId::new(0, 6),
+                ..e
+            },
+            Element {
+                client: ProcessId::client(1),
+                ..e
+            },
+            Element { size: 439, ..e },
+            Element {
+                content_seed: 100,
+                ..e
+            },
+            Element {
+                auth: e.auth ^ 1,
+                ..e
+            },
+        ] {
+            assert_ne!(tampered.pack(), packed);
+        }
+        assert_eq!(e.pack(), packed, "packing is deterministic");
     }
 
     #[test]

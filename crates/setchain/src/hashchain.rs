@@ -567,6 +567,26 @@ impl Application for HashchainApp {
                     self.handle_add(e, ctx);
                 }
             }
+            SetchainMsg::BatchedAdd(batch) => {
+                // One root-cache probe / MAC check authenticates the whole
+                // batch; the per-element admission probes inside
+                // `handle_add` then hit the warmed cache.
+                let valid = self.core.verify_batched_add(&batch, ctx);
+                if from.is_server() {
+                    // Peer-forwarded envelope: verifying it warmed this
+                    // server's caches, so recovered batch contents (push
+                    // or hash reversal) validate as pure cache hits.
+                } else if valid {
+                    if self.core.byz != ServerByzMode::DropClientAdds {
+                        self.core.gossip_batched_add(&batch, ctx);
+                    }
+                    for e in batch.elements {
+                        self.handle_add(e, ctx);
+                    }
+                } else {
+                    self.core.stats.adds_rejected += batch.elements.len() as u64;
+                }
+            }
             SetchainMsg::RequestBatch { hash } => {
                 if self.core.byz == ServerByzMode::RefuseBatchService {
                     return;

@@ -57,6 +57,7 @@
 
 pub mod admission;
 pub mod app;
+pub mod batch_auth;
 pub mod byzantine;
 pub mod client;
 pub mod collector;
@@ -75,16 +76,20 @@ pub mod vanilla;
 
 pub use admission::AdmissionCache;
 pub use app::{AppFactory, SetchainApp};
+pub use batch_auth::{
+    batch_root, batch_tree, prove_element, AuthedBatch, ElementProof, BATCH_CHUNK,
+};
 pub use byzantine::ServerByzMode;
 pub use client::{verify_epoch, EpochVerification, LightClient};
 pub use collector::Collector;
 pub use compresschain::CompresschainApp;
-pub use config::{CostModel, SetchainConfig};
+pub use config::{AuthMode, CostModel, SetchainConfig};
 pub use element::{Element, ElementGenerator, ElementId};
 pub use hashchain::{HashchainApp, SharedBatchRegistry};
 pub use messages::{GetSnapshot, SetchainMsg};
 pub use proofs::{
-    epoch_hash, make_epoch_proof, make_epoch_proof_with_key, verify_epoch_proof, EpochProof,
+    epoch_hash, epoch_hash_for_root, epoch_root, make_epoch_proof, make_epoch_proof_with_key,
+    prove_epoch_inclusion, verify_epoch_proof, EpochInclusionProof, EpochProof,
 };
 pub use server::{ServerCore, ServerStats};
 pub use sortition::{round_seed, select_committee, verify_member, Candidate};

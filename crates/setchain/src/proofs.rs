@@ -8,11 +8,12 @@
 
 use serde::{Deserialize, Serialize};
 use setchain_crypto::{
-    sign, sign_with, verify, Digest512, HmacSha512Key, KeyPair, KeyRegistry, ProcessId, Sha512,
-    Signature,
+    sign, sign_with, verify, Digest256, Digest512, HmacSha512Key, KeyPair, KeyRegistry, ProcessId,
+    Sha512, Signature,
 };
 
-use crate::element::Element;
+use crate::batch_auth::{batch_root, batch_tree, prove_element, ElementProof};
+use crate::element::{Element, ElementId};
 
 /// Wire length of an epoch-proof, as reported in the paper's evaluation
 /// (139 bytes).
@@ -53,32 +54,114 @@ impl EpochProof {
     }
 }
 
-/// Canonical hash of an epoch: `Hash(i, history[i])`.
+/// The epoch's elements in the canonical order the epoch digest commits to:
+/// ascending id (epochs are deduplicated by id when they are formed, so the
+/// order is total).
+fn canonical_order(elements: &[Element]) -> Vec<Element> {
+    let mut sorted = elements.to_vec();
+    sorted.sort_by_key(|e| e.id);
+    sorted
+}
+
+/// The chunked Merkle root over the epoch's elements in canonical (ascending
+/// id) order — the commitment the epoch digest is built from, and the root
+/// element→epoch inclusion proofs verify against (see
+/// [`prove_epoch_inclusion`]).
+pub fn epoch_root(elements: &[Element]) -> Digest256 {
+    batch_root(&canonical_order(elements))
+}
+
+/// Canonical hash of an epoch: `Hash(i, history[i])`, computed as
+/// `SHA-512(domain ‖ epoch ‖ count ‖ epoch_root(history[i]))`.
 ///
-/// Elements are hashed in ascending id order so that the digest does not
-/// depend on the incidental order a server stored them in. Identity, size and
-/// content seed are bound, which (together with the client authenticator
-/// checked by `valid_element`) binds the element contents.
+/// Elements are committed in ascending id order so that the digest does not
+/// depend on the incidental order a server stored them in. Routing the
+/// element bytes through the chunked Merkle root (rather than hashing them
+/// into the SHA-512 stream directly) is what lets a light client verify a
+/// *single element's* membership against `f + 1` signed digests from the
+/// `(epoch, count, root)` triple and a logarithmic proof — it never needs
+/// the epoch's element set (see [`EpochInclusionProof`]).
 pub fn epoch_hash(epoch: u64, elements: &[Element]) -> Digest512 {
-    let mut ids: Vec<&Element> = elements.iter().collect();
-    ids.sort_by_key(|e| e.id);
+    epoch_hash_for_root(epoch, elements.len() as u64, &epoch_root(elements))
+}
+
+/// [`epoch_hash`] from the already-known commitment triple. This is the
+/// light-client side of the split: given `(epoch, count, root)` it
+/// reconstructs the exact digest the servers signed, without the elements.
+pub fn epoch_hash_for_root(epoch: u64, count: u64, root: &Digest256) -> Digest512 {
     let mut h = Sha512::new();
     h.update(b"setchain-epoch");
     h.update(&epoch.to_le_bytes());
-    h.update(&(ids.len() as u64).to_le_bytes());
-    // One packed update per element: the hasher's buffered-update
-    // bookkeeping is not free, and epoch hashing runs once per epoch per
-    // server on the commit path.
-    let mut packed = [0u8; 36];
-    for e in ids {
-        packed[..8].copy_from_slice(&e.id.0.to_le_bytes());
-        packed[8..16].copy_from_slice(&e.client.0.to_le_bytes());
-        packed[16..20].copy_from_slice(&e.size.to_le_bytes());
-        packed[20..28].copy_from_slice(&e.content_seed.to_le_bytes());
-        packed[28..36].copy_from_slice(&e.auth.to_le_bytes());
-        h.update(&packed);
-    }
+    h.update(&count.to_le_bytes());
+    h.update(root.as_bytes());
     h.finalize()
+}
+
+/// A self-contained element→epoch membership proof: the epoch's commitment
+/// triple plus the Merkle path of one element. Together with `f + 1`
+/// epoch-proofs this convinces a light client that the element is in the
+/// epoch — the epoch's element set is never shipped or inspected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EpochInclusionProof {
+    /// The epoch the element is claimed to be in.
+    pub epoch: u64,
+    /// Number of elements in that epoch (bound into the signed digest).
+    pub count: u64,
+    /// The epoch's chunked Merkle root (bound into the signed digest).
+    pub root: Digest256,
+    /// Merkle membership of the element under `root`.
+    pub element: ElementProof,
+}
+
+impl EpochInclusionProof {
+    /// Verifies the full chain `element → root → signed digest → f + 1
+    /// distinct server signatures`: the element sits under the claimed
+    /// root, and at least `f + 1` of the supplied epoch-proofs are valid
+    /// signatures by distinct servers over the digest this proof's triple
+    /// reconstructs — so at least one correct server vouches for exactly
+    /// this commitment.
+    pub fn verify(
+        &self,
+        registry: &KeyRegistry,
+        servers: usize,
+        f: usize,
+        element: &Element,
+        proofs: &[EpochProof],
+    ) -> bool {
+        if !self.element.verify(element, &self.root) {
+            return false;
+        }
+        let digest = epoch_hash_for_root(self.epoch, self.count, &self.root);
+        let mut signers = std::collections::HashSet::new();
+        for proof in proofs {
+            if proof.epoch == self.epoch
+                && verify_epoch_proof_digest(registry, servers, proof, &digest)
+            {
+                signers.insert(proof.signer);
+            }
+        }
+        signers.len() > f
+    }
+}
+
+/// Builds the element→epoch inclusion proof for the element with `id` from
+/// the epoch's full element set (the prover side: a server, or a session
+/// that fetched the epoch). Returns `None` if no element with that id is in
+/// the epoch.
+pub fn prove_epoch_inclusion(
+    epoch: u64,
+    elements: &[Element],
+    id: ElementId,
+) -> Option<EpochInclusionProof> {
+    let sorted = canonical_order(elements);
+    let index = sorted.binary_search_by_key(&id, |e| e.id).ok()?;
+    let tree = batch_tree(&sorted);
+    Some(EpochInclusionProof {
+        epoch,
+        count: sorted.len() as u64,
+        root: tree.root(),
+        element: prove_element(&tree, &sorted, index),
+    })
 }
 
 /// Creates the epoch-proof `p_v(i) = Sign_v(Hash(i, elements))`.
@@ -220,5 +303,61 @@ mod tests {
     fn empty_epoch_hash_is_well_defined() {
         assert_eq!(epoch_hash(1, &[]), epoch_hash(1, &[]));
         assert_ne!(epoch_hash(1, &[]), epoch_hash(2, &[]));
+    }
+
+    #[test]
+    fn epoch_hash_commits_to_the_root_triple() {
+        let (_, elements) = setup();
+        let root = epoch_root(&elements);
+        assert_eq!(
+            epoch_hash(5, &elements),
+            epoch_hash_for_root(5, elements.len() as u64, &root)
+        );
+        // The root is order-insensitive like the hash.
+        let mut reversed = elements.clone();
+        reversed.reverse();
+        assert_eq!(root, epoch_root(&reversed));
+        assert_ne!(
+            epoch_hash_for_root(5, elements.len() as u64, &root),
+            epoch_hash_for_root(5, elements.len() as u64 + 1, &root),
+            "count is bound into the digest"
+        );
+    }
+
+    #[test]
+    fn epoch_inclusion_proofs_verify_without_the_element_set() {
+        let (reg, elements) = setup();
+        let proofs: Vec<EpochProof> = [1usize, 2]
+            .iter()
+            .map(|&i| make_epoch_proof(&reg.lookup(ProcessId::server(i)).unwrap(), 3, &elements))
+            .collect();
+        for e in &elements {
+            let incl = prove_epoch_inclusion(3, &elements, e.id).unwrap();
+            assert_eq!(incl.epoch, 3);
+            assert_eq!(incl.count, elements.len() as u64);
+            // The verifier sees only the proof, the element and the
+            // epoch-proofs — never `elements`.
+            assert!(incl.verify(&reg, 4, 1, e, &proofs));
+            // The proof speaks only for its own element.
+            let other = &elements[(e.id.seq() as usize + 1) % elements.len()];
+            assert!(!incl.verify(&reg, 4, 1, other, &proofs));
+        }
+
+        let incl = prove_epoch_inclusion(3, &elements, elements[0].id).unwrap();
+        // Fewer than f + 1 distinct signers: rejected.
+        assert!(!incl.verify(&reg, 4, 1, &elements[0], &proofs[..1]));
+        assert!(incl.verify(&reg, 4, 0, &elements[0], &proofs[..1]));
+        // A tampered triple breaks the signed digest.
+        let mut wrong_epoch = incl.clone();
+        wrong_epoch.epoch = 4;
+        assert!(!wrong_epoch.verify(&reg, 4, 1, &elements[0], &proofs));
+        let mut wrong_count = incl.clone();
+        wrong_count.count += 1;
+        assert!(!wrong_count.verify(&reg, 4, 1, &elements[0], &proofs));
+        let mut wrong_root = incl.clone();
+        wrong_root.root = epoch_root(&elements[..4]);
+        assert!(!wrong_root.verify(&reg, 4, 1, &elements[0], &proofs));
+        // Absent ids have no proof.
+        assert!(prove_epoch_inclusion(3, &elements, ElementId::new(7, 7)).is_none());
     }
 }

@@ -243,6 +243,14 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Sets how client submissions are authenticated: per-element MACs (the
+    /// default) or one MAC over the Merkle root of each injected batch
+    /// ([`setchain::AuthMode::BatchRoot`]).
+    pub fn auth_mode(mut self, mode: setchain::AuthMode) -> Self {
+        self.scenario.auth_mode = mode;
+        self
+    }
+
     /// Records the detailed per-element trace (needed for the latency CDF).
     pub fn detailed(mut self) -> Self {
         self.scenario.detailed_trace = true;
@@ -357,7 +365,8 @@ impl DeploymentBuilder {
                 scenario.per_client_rate(),
                 injection_end,
                 trace.clone(),
-            );
+            )
+            .with_auth_mode(scenario.auth_mode);
             sim.add_process(client_id, Box::new(driver));
         }
 

@@ -4,7 +4,7 @@
 
 use std::any::Any;
 
-use setchain::{SetchainMsg, SetchainTrace, SetchainTx};
+use setchain::{AuthMode, SetchainMsg, SetchainTrace, SetchainTx};
 use setchain_crypto::ProcessId;
 use setchain_ledger::NetMsg;
 use setchain_simnet::{Context, Process, SimDuration, SimTime, TimerToken};
@@ -28,6 +28,7 @@ pub struct ClientDriver {
     carry: f64,
     trace: SetchainTrace,
     sent: u64,
+    auth: AuthMode,
 }
 
 impl ClientDriver {
@@ -50,7 +51,17 @@ impl ClientDriver {
             carry: 0.0,
             trace,
             sent: 0,
+            auth: AuthMode::default(),
         }
+    }
+
+    /// Builder: sets how submissions are authenticated. Under
+    /// [`AuthMode::BatchRoot`] each injection tick is sealed into one
+    /// [`setchain::AuthedBatch`] (one MAC over the Merkle root) instead of a
+    /// plain `AddBatch` of per-element-authenticated elements.
+    pub fn with_auth_mode(mut self, mode: AuthMode) -> Self {
+        self.auth = mode;
+        self
     }
 
     /// Number of elements sent so far.
@@ -84,7 +95,11 @@ impl Process<Msg> for ClientDriver {
             let elements = self.workload.take(count);
             self.trace.record_adds(elements.iter().map(|e| e.id), now);
             self.sent += count as u64;
-            ctx.send(self.server, NetMsg::App(SetchainMsg::AddBatch(elements)));
+            let msg = match self.auth {
+                AuthMode::BatchRoot => SetchainMsg::BatchedAdd(self.workload.seal(elements)),
+                _ => SetchainMsg::AddBatch(elements),
+            };
+            ctx.send(self.server, NetMsg::App(msg));
         }
         ctx.set_timer(self.tick, INJECT_TICK);
     }

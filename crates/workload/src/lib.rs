@@ -13,9 +13,9 @@
 //!   [`SetchainApp`](setchain::SetchainApp) trait, plus one injection client
 //!   per node (mirroring the paper's one-client-per-Docker-container setup).
 //!   Assembled with the fluent [`Deployment::builder`].
-//! * [`session`] — typed client sessions (`add`/`get`/`get_epoch` returning
-//!   [`AddReceipt`]/[`SnapshotView`]/[`VerifiedEpoch`]) replacing raw
-//!   message scripting.
+//! * [`session`] — typed client sessions (`add`/`add_batch`/`get`/`get_epoch`
+//!   returning [`AddReceipt`]/[`BatchReceipt`]/[`SnapshotView`]/
+//!   [`VerifiedEpoch`]) replacing raw message scripting.
 //! * [`driver`] — the injection client actor.
 //! * [`runner`] — runs a scenario to completion and collects a
 //!   [`runner::RunResult`].
@@ -63,5 +63,7 @@ pub use generator::ArbitrumWorkload;
 pub use metrics::{CommitTimes, Efficiency, StageLatencies, ThroughputSeries};
 pub use runner::{run_scenario, RunResult};
 pub use scenario::Scenario;
-pub use session::{AddReceipt, ClientSession, SessionOutcome, SnapshotView, VerifiedEpoch};
+pub use session::{
+    AddReceipt, BatchReceipt, ClientSession, SessionOutcome, SnapshotView, VerifiedEpoch,
+};
 pub use sweep::run_scenarios;

@@ -2,7 +2,7 @@
 //! scenario grids behind each figure.
 
 use serde::{Deserialize, Serialize};
-use setchain::{Algorithm, SetchainConfig};
+use setchain::{Algorithm, AuthMode, SetchainConfig};
 use setchain_simnet::SimDuration;
 
 /// The parameters of one experiment run (one line/bar/curve of a figure).
@@ -46,6 +46,11 @@ pub struct Scenario {
     /// instead of relying on `Request_batch`.
     #[serde(default)]
     pub push_batches: bool,
+    /// How client submissions are authenticated: per-element MACs (the
+    /// paper's scheme, the default) or one MAC over the Merkle root of each
+    /// injected batch ([`AuthMode::BatchRoot`]).
+    #[serde(default)]
+    pub auth_mode: AuthMode,
     /// Record the detailed per-element / per-transaction trace needed for the
     /// latency CDF (Fig. 4). Costs memory, so throughput runs leave it off.
     pub detailed_trace: bool,
@@ -79,6 +84,7 @@ impl Scenario {
             light: false,
             designated_signers: None,
             push_batches: false,
+            auth_mode: AuthMode::default(),
             detailed_trace: false,
             seed: 42,
         }
@@ -151,6 +157,13 @@ impl Scenario {
         self
     }
 
+    /// Builder: sets the submission authentication mode (default
+    /// [`AuthMode::PerElement`]).
+    pub fn with_auth_mode(mut self, mode: AuthMode) -> Self {
+        self.auth_mode = mode;
+        self
+    }
+
     /// Builder: enables the detailed trace.
     pub fn detailed(mut self) -> Self {
         self.detailed_trace = true;
@@ -193,6 +206,7 @@ impl Scenario {
         if self.push_batches {
             config = config.with_push_batches();
         }
+        config = config.with_auth_mode(self.auth_mode);
         if self.light {
             config = self.algorithm.light_config(config);
         }
@@ -275,13 +289,17 @@ mod tests {
             .with_servers(10)
             .with_collector(500)
             .with_designated_signers(9)
-            .with_push_batches();
+            .with_push_batches()
+            .with_auth_mode(AuthMode::BatchRoot);
         let config = s.setchain_config();
         assert_eq!(config.servers, 10);
         assert_eq!(config.collector_limit, 500);
         assert_eq!(config.designated_signers, Some(9));
         assert!(config.push_batches);
+        assert_eq!(config.auth_mode, AuthMode::BatchRoot);
         assert!(config.hash_reversal, "full mode keeps hash reversal");
+        let default_auth = Scenario::base(Algorithm::Hashchain).setchain_config();
+        assert_eq!(default_auth.auth_mode, AuthMode::PerElement);
 
         let light = Scenario::base(Algorithm::Hashchain)
             .light()

@@ -1,18 +1,22 @@
-//! Quickstart: run a 4-server Hashchain Setchain, add elements through a
-//! typed client session, and verify an epoch with `f + 1` epoch-proofs while
-//! talking to a single server.
+//! Quickstart: run a 4-server Hashchain Setchain, add a Merkle-batched set
+//! of elements (one MAC for the whole batch) through a typed client session,
+//! and verify an epoch with `f + 1` epoch-proofs while talking to a single
+//! server — including element→epoch inclusion proofs that need no element
+//! set.
 //!
 //! ```sh
 //! cargo run --release -p setchain-bench --example quickstart
 //! ```
 
-use setchain::Algorithm;
+use setchain::{Algorithm, AuthMode};
 use setchain_simnet::SimTime;
 use setchain_workload::Deployment;
 
 fn main() {
     // 1. Describe the deployment: 4 servers running Hashchain, a light
-    //    background load, small collector so epochs form quickly.
+    //    background load, small collector so epochs form quickly. The
+    //    injection clients also submit under batch-root authentication:
+    //    servers verify one MAC per batch, not one per element.
     let mut deployment = Deployment::builder(Algorithm::Hashchain)
         .label("quickstart")
         .servers(4)
@@ -20,22 +24,31 @@ fn main() {
         .collector(25)
         .injection_secs(5)
         .max_run_secs(30)
+        .auth_mode(AuthMode::BatchRoot)
         .seed(2024)
         .build();
     let n = deployment.scenario.servers;
     let f = deployment.scenario.setchain_f();
     println!(
-        "Deployment: {n} Hashchain servers, f = {f}, collector = {}",
-        deployment.scenario.collector_limit
+        "Deployment: {n} Hashchain servers, f = {f}, collector = {}, auth = {:?}",
+        deployment.scenario.collector_limit, deployment.scenario.auth_mode
     );
 
     // 2. Open a typed client session (registers our key pair in the PKI) and
-    //    script it: add three elements to server 0 early on, then ask a
-    //    *different* server (server 2) for epoch 1 and a state summary.
+    //    script it: one Merkle-batched add of three elements to server 0
+    //    early on, then ask a *different* server (server 2) for epoch 1 and
+    //    a state summary.
     let mut session = deployment.client_session(100, 777);
-    let receipts: Vec<_> = (0..3)
-        .map(|i| session.add(SimTime::from_millis(500 + i * 100), 0, 438, 1000 + i))
-        .collect();
+    let receipt = session.add_batch(
+        SimTime::from_millis(500),
+        0,
+        (0..3u64).map(|i| (438, 1000 + i)),
+    );
+    println!(
+        "sealed batch of {} elements under one MAC (root {:?})",
+        receipt.len(),
+        receipt.root
+    );
     session.get(SimTime::from_secs(20), 2);
     session.get_epochs(SimTime::from_secs(20), 2, 1..=20);
     session.install(&mut deployment);
@@ -56,7 +69,7 @@ fn main() {
         );
     }
     for epoch in &outcome.epochs {
-        let mine = receipts.iter().filter(|r| epoch.contains(r.id)).count();
+        let mine = receipt.ids.iter().filter(|id| epoch.contains(**id)).count();
         if epoch.epoch > 1 && mine == 0 {
             continue; // only narrate epoch 1 and the epochs holding our adds
         }
@@ -73,8 +86,24 @@ fn main() {
     println!(
         "elements confirmed through a single server: {} / {}",
         outcome.confirmed_ids().len(),
-        receipts.len()
+        receipt.len()
     );
+
+    // 4b. Element→epoch inclusion proofs: membership verifiable from the
+    //     epoch's (number, count, root) triple plus f+1 epoch-proofs alone —
+    //     no element set required.
+    let mut proven = 0;
+    for epoch in outcome.verified() {
+        for (i, id) in receipt.ids.iter().enumerate() {
+            if let Some(proof) = epoch.inclusion_proof(*id) {
+                let element = &receipt.elements()[i];
+                let ok = proof.verify(&deployment.registry, n, f, element, &epoch.proofs);
+                assert!(ok, "inclusion proof must verify");
+                proven += 1;
+            }
+        }
+    }
+    println!("inclusion proofs verified without the element set: {proven} / 3");
 
     // 5. Cross-check the safety properties directly on two servers.
     let s0 = deployment.server(0);

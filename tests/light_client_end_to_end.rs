@@ -66,6 +66,39 @@ fn end_to_end(algorithm: Algorithm, seed: u64) {
         "{algorithm}: all three client elements confirmed through a single server"
     );
     assert!(receipts.iter().all(|r| confirmed.contains(&r.id)));
+
+    // Element→epoch membership without the epoch's element set: the
+    // inclusion proof carries only the Merkle path plus the epoch's
+    // (number, count, root) triple, and verifies against the PKI and the
+    // shipped f+1 epoch-proofs alone.
+    let registry = deployment.registry.clone();
+    let n = deployment.scenario.servers;
+    let f = deployment.scenario.setchain_f();
+    let mut proven = 0;
+    for epoch in outcome.verified() {
+        for (i, receipt) in receipts.iter().enumerate() {
+            let Some(proof) = epoch.inclusion_proof(receipt.id) else {
+                continue;
+            };
+            assert!(
+                proof.verify(&registry, n, f, &receipt.element, &epoch.proofs),
+                "{algorithm}: inclusion proof for {:?} failed",
+                receipt.id
+            );
+            // The proof is bound to its element: substituting a different
+            // one fails the Merkle membership check.
+            let other = &receipts[(i + 1) % receipts.len()].element;
+            assert!(
+                !proof.verify(&registry, n, f, other, &epoch.proofs),
+                "{algorithm}: inclusion proof accepted a substituted element"
+            );
+            proven += 1;
+        }
+    }
+    assert_eq!(
+        proven, 3,
+        "{algorithm}: every client element proven in exactly one verified epoch"
+    );
 }
 
 #[test]
