@@ -26,8 +26,8 @@ use std::process::ExitCode;
 
 use setchain::{Algorithm, AuthMode};
 use setchain_bench::pipeline::{
-    auth_grid, compresschain_grid, grid, run_parallel_sims, run_pipeline_best_of, PipelineConfig,
-    PipelineResult,
+    auth_grid, compresschain_grid, degraded_grid, grid, run_parallel_sims, run_pipeline_best_of,
+    PipelineConfig, PipelineResult,
 };
 
 struct Args {
@@ -150,6 +150,7 @@ fn main() -> ExitCode {
         .collect();
     configs.extend(compresschain_grid(args.quick));
     configs.extend(auth_grid(args.quick, &args.auth_modes));
+    configs.extend(degraded_grid(args.quick));
 
     let mut entries: Vec<(String, PipelineResult)> = Vec::new();
     for config in &configs {

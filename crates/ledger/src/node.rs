@@ -65,7 +65,15 @@ pub struct NodeStats {
     pub round_timeouts: u64,
     /// Block-sync responses applied.
     pub synced_blocks: u64,
+    /// Future-height consensus messages buffered for replay (nonzero only
+    /// when this node fell behind and caught back up in time to vote).
+    pub future_buffered: u64,
 }
+
+/// How many heights ahead of our own a proposal or vote may be and still be
+/// buffered for replay. One height is enough to re-enter consensus after a
+/// catch-up; a few more absorb commit jitter while we sync.
+const MAX_FUTURE_HEIGHTS: u64 = 4;
 
 type M<A> = NetMsg<<A as Application>::Tx, <A as Application>::Msg>;
 
@@ -115,6 +123,14 @@ pub struct LedgerNode<A: Application> {
     committed: BTreeMap<u64, (Block<A::Tx>, Vec<Signature>)>,
     /// Highest height seen referenced by any peer (used to trigger sync).
     max_seen_height: u64,
+    /// Proposals and votes for heights we have not reached yet, replayed
+    /// when their height starts. Without this buffer a node that fell
+    /// behind (partition heal, restart) can never rejoin voting: by the
+    /// time block sync delivers height `h`, the messages for `h + 1` have
+    /// already flown past, so it trails the cluster through sync forever.
+    /// Bounded to [`MAX_FUTURE_HEIGHTS`] heights and a per-height cap;
+    /// entries are verified by the normal handlers on replay.
+    future_msgs: BTreeMap<u64, Vec<(ProcessId, M<A>)>>,
 
     stats: NodeStats,
 }
@@ -163,6 +179,7 @@ impl<A: Application> LedgerNode<A> {
             voted_precommit: HashSet::new(),
             committed: BTreeMap::new(),
             max_seen_height: 0,
+            future_msgs: BTreeMap::new(),
             stats: NodeStats::default(),
         }
     }
@@ -587,6 +604,17 @@ impl<A: Application> LedgerNode<A> {
         if !self.byz.is_silent() {
             self.schedule_start_height(self.height, ctx);
         }
+        // Replay consensus messages that arrived while this height was still
+        // in our future. A perpetually-lagging node breaks out of the
+        // sync-one-behind treadmill here: the buffered proposal and
+        // precommit quorum for the new height let it commit (or even vote)
+        // without waiting to hear about the height after it.
+        self.future_msgs.retain(|h, _| *h >= self.height);
+        if let Some(msgs) = self.future_msgs.remove(&self.height) {
+            for (from, msg) in msgs {
+                self.handle_consensus_msg(from, msg, ctx);
+            }
+        }
     }
 
     /// Tracks the highest height peers reference and requests sync when we
@@ -670,6 +698,32 @@ impl<A: Application> LedgerNode<A> {
 
     /// Dispatches one non-application message (consensus, gossip, sync).
     fn handle_consensus_msg(&mut self, from: ProcessId, msg: M<A>, ctx: &mut Context<'_, M<A>>) {
+        // Proposals and votes for a height we have not reached yet cannot be
+        // processed in place; buffer a bounded window of them for replay so
+        // a node that is catching up can vote at the first height it reaches
+        // in time. They still count as peer-height sightings, which is what
+        // triggers the catch-up sync in the first place.
+        let future_height = match &msg {
+            NetMsg::Proposal { height, .. } | NetMsg::Vote { height, .. }
+                if *height > self.height =>
+            {
+                Some(*height)
+            }
+            _ => None,
+        };
+        if let Some(h) = future_height {
+            self.note_peer_height(h, from, ctx);
+            if h <= self.height + MAX_FUTURE_HEIGHTS {
+                let slot = self.future_msgs.entry(h).or_default();
+                // Cap against a flooding peer: one proposal and two votes
+                // per validator is what a height legitimately produces.
+                if slot.len() < 4 * self.validators.len() {
+                    slot.push((from, msg));
+                    self.stats.future_buffered += 1;
+                }
+            }
+            return;
+        }
         match msg {
             NetMsg::Proposal {
                 height,
@@ -1162,6 +1216,62 @@ mod tests {
             behind.len() >= 40,
             "node 3 caught up with pre-partition traffic"
         );
+    }
+
+    #[test]
+    fn healed_node_rejoins_voting_instead_of_trailing_sync() {
+        // Sharper than `partitioned_node_catches_up_after_heal`: after the
+        // heal the node must *re-enter consensus*, not trail the cluster
+        // through block sync forever. Without the future-height message
+        // buffer, the proposal for height `h + 1` flies past while block
+        // sync delivers `h`, so every post-heal block arrives via sync and
+        // the node stays exactly one height behind at any instant.
+        let mut cluster = build_cluster(4, vec![], 13);
+        let minority = [ProcessId::server(3)];
+        let majority = [
+            ProcessId::server(0),
+            ProcessId::server(1),
+            ProcessId::server(2),
+        ];
+        cluster
+            .sim
+            .add_partition(setchain_simnet::Partition::between(minority, majority));
+        for i in 0..40u128 {
+            submit(
+                &mut cluster.sim,
+                100 + i as u64 * 50,
+                (i % 3) as usize,
+                i,
+                150,
+            );
+        }
+        cluster.sim.run_until(SimTime::from_secs(10));
+        cluster.sim.heal_all_partitions();
+        // Empty blocks keep heights advancing; no further traffic needed.
+        cluster.sim.run_until(SimTime::from_secs(40));
+        let node0: &Node = cluster.sim.process(ProcessId::server(0)).unwrap();
+        let node3: &Node = cluster.sim.process(ProcessId::server(3)).unwrap();
+        assert!(
+            node3.stats().future_buffered > 0,
+            "catch-up buffered in-flight consensus messages"
+        );
+        // Sync bridged the partition gap only; the bulk of post-heal blocks
+        // committed through ordinary voting.
+        assert!(
+            node3.stats().blocks_committed > 2 * node3.stats().synced_blocks,
+            "node 3 kept trailing through sync: {} committed, {} synced",
+            node3.stats().blocks_committed,
+            node3.stats().synced_blocks
+        );
+        assert!(
+            node3.height() + 1 >= node0.height(),
+            "node 3 rejoined the voting tip: {} vs {}",
+            node3.height(),
+            node0.height()
+        );
+        let behind = committed_sequence(&cluster, 3);
+        let reference = committed_sequence(&cluster, 0);
+        assert_eq!(behind, reference[..behind.len()].to_vec());
     }
 
     #[test]

@@ -10,10 +10,19 @@
 use std::collections::HashSet;
 
 use setchain_crypto::{KeyRegistry, ProcessId};
+use setchain_simnet::SimDuration;
 
 use crate::element::{Element, ElementId};
 use crate::messages::SetchainMsg;
 use crate::proofs::{verify_epoch_proof, EpochProof};
+
+/// Per-missing-proof wait used to compute the
+/// [`NotEnoughProofs`](EpochVerification::NotEnoughProofs) retry-after hint.
+///
+/// Each missing proof costs roughly one more gossip/block round, so the hint
+/// scales linearly: an epoch one proof short of quorum is worth re-auditing
+/// sooner than one with no proofs at all.
+pub const RETRY_AFTER_PER_MISSING_PROOF: SimDuration = SimDuration(250_000); // 250 ms
 
 /// Outcome of verifying an epoch from a single server's response.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -24,13 +33,20 @@ pub enum EpochVerification {
         /// Number of distinct valid signers found.
         valid_proofs: usize,
     },
-    /// Fewer than `f + 1` valid proofs: the client should retry later or ask
-    /// a different server (the epoch may simply not be fully proven yet).
+    /// Fewer than `f + 1` valid proofs. The epoch may simply not be fully
+    /// proven yet — proofs spread through ledger blocks — so this verdict is
+    /// *retryable*, and [`retry_after`](Self::retry_after) carries a
+    /// machine-usable wait before re-auditing the epoch (or asking a
+    /// different server). The retrying session layer
+    /// (`setchain-workload`'s `RequestClient`) consumes this hint directly.
     NotEnoughProofs {
         /// Number of distinct valid signers found.
         valid_proofs: usize,
         /// Number required (`f + 1`).
         required: usize,
+        /// Suggested wait before re-requesting this epoch:
+        /// [`RETRY_AFTER_PER_MISSING_PROOF`] per missing proof.
+        retry_after: SimDuration,
     },
 }
 
@@ -38,6 +54,15 @@ impl EpochVerification {
     /// True if the epoch verified.
     pub fn is_verified(&self) -> bool {
         matches!(self, EpochVerification::Verified { .. })
+    }
+
+    /// The suggested wait before re-auditing, for retryable verdicts
+    /// (`None` once verified — there is nothing left to retry).
+    pub fn retry_after(&self) -> Option<SimDuration> {
+        match self {
+            EpochVerification::Verified { .. } => None,
+            EpochVerification::NotEnoughProofs { retry_after, .. } => Some(*retry_after),
+        }
     }
 }
 
@@ -70,9 +95,11 @@ pub fn verify_epoch(
             valid_proofs: valid_signers.len(),
         }
     } else {
+        let missing = (required - valid_signers.len()) as u64;
         EpochVerification::NotEnoughProofs {
             valid_proofs: valid_signers.len(),
             required,
+            retry_after: RETRY_AFTER_PER_MISSING_PROOF * missing,
         }
     }
 }
@@ -212,12 +239,23 @@ mod tests {
     fn insufficient_or_duplicate_proofs_do_not_verify() {
         let (reg, elements) = setup(4);
         let one = proofs_from(&reg, &[0], 1, &elements);
+        let verdict = verify_epoch(&reg, 4, 1, 1, &elements, &one);
         assert_eq!(
-            verify_epoch(&reg, 4, 1, 1, &elements, &one),
+            verdict,
             EpochVerification::NotEnoughProofs {
                 valid_proofs: 1,
-                required: 2
+                required: 2,
+                retry_after: RETRY_AFTER_PER_MISSING_PROOF,
             }
+        );
+        // One proof short of quorum: the retry-after hint is one base unit;
+        // a proofless epoch is hinted proportionally further out.
+        assert_eq!(verdict.retry_after(), Some(RETRY_AFTER_PER_MISSING_PROOF));
+        let none = verify_epoch(&reg, 4, 1, 1, &elements, &[]);
+        assert_eq!(
+            none.retry_after(),
+            Some(RETRY_AFTER_PER_MISSING_PROOF * 2),
+            "hint scales with missing proofs"
         );
         // The same signer repeated does not count twice.
         let dup = proofs_from(&reg, &[0, 0, 0], 1, &elements);

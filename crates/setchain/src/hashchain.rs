@@ -528,6 +528,9 @@ impl Application for HashchainApp {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, '_, '_>) {
         ctx.set_app_timer(self.core.config.collector_timeout, COLLECTOR_TICK);
+        // After a restart (retained state) probe peers for missed epochs;
+        // a cold start is a no-op.
+        self.core.maybe_request_catchup(ctx);
     }
 
     fn check_tx(&self, tx: &SetchainTx) -> bool {

@@ -80,18 +80,18 @@ pub use batch_auth::{
     batch_root, batch_tree, prove_element, AuthedBatch, ElementProof, BATCH_CHUNK,
 };
 pub use byzantine::ServerByzMode;
-pub use client::{verify_epoch, EpochVerification, LightClient};
+pub use client::{verify_epoch, EpochVerification, LightClient, RETRY_AFTER_PER_MISSING_PROOF};
 pub use collector::Collector;
 pub use compresschain::CompresschainApp;
 pub use config::{AuthMode, CostModel, SetchainConfig};
 pub use element::{Element, ElementGenerator, ElementId};
 pub use hashchain::{HashchainApp, SharedBatchRegistry};
-pub use messages::{GetSnapshot, SetchainMsg};
+pub use messages::{CatchupEpoch, GetSnapshot, SetchainMsg};
 pub use proofs::{
     epoch_hash, epoch_hash_for_root, epoch_root, make_epoch_proof, make_epoch_proof_with_key,
     prove_epoch_inclusion, verify_epoch_proof, EpochInclusionProof, EpochProof,
 };
-pub use server::{ServerCore, ServerStats};
+pub use server::{ServerCore, ServerStats, CATCHUP_RETRY, MAX_CATCHUP_EPOCHS};
 pub use sortition::{round_seed, select_committee, verify_member, Candidate};
 pub use state::SetchainState;
 pub use trace::SetchainTrace;

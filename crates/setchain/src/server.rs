@@ -6,7 +6,7 @@ use setchain_crypto::{
     KeyPair, KeyRegistry, ProcessId, SigVerifier, Signature,
 };
 use setchain_ledger::AppCtx;
-use setchain_simnet::SimTime;
+use setchain_simnet::{SimDuration, SimTime};
 
 use crate::admission::AdmissionCache;
 use crate::batch_auth::AuthedBatch;
@@ -14,7 +14,7 @@ use crate::byzantine::ServerByzMode;
 use crate::config::SetchainConfig;
 use crate::element::Element;
 use crate::messages::SetchainMsg;
-use crate::proofs::{make_epoch_proof_with_key, EpochProof};
+use crate::proofs::{epoch_hash, make_epoch_proof_with_key, EpochProof};
 use crate::state::SetchainState;
 use crate::trace::SetchainTrace;
 use crate::tx::{HashBatch, SetchainTx};
@@ -67,6 +67,15 @@ pub struct ServerStats {
     /// Batch-authenticated envelopes rejected fresh (bad MAC, tampered or
     /// reordered contents, foreign/unknown owner, empty batch).
     pub batch_roots_rejected: u64,
+    /// Catch-up requests this server has issued (restart probes, gap
+    /// detections, and follow-up pages of a paged catch-up).
+    pub catchup_requests: u64,
+    /// Epochs installed from peer catch-up responses after verifying
+    /// `f + 1` epoch-proof signers.
+    pub epochs_replayed: u64,
+    /// Catch-up bundles refused: out-of-order epoch or fewer than `f + 1`
+    /// distinct valid proof signers.
+    pub catchup_rejections: u64,
 }
 
 /// State and helpers shared by `VanillaApp`, `CompresschainApp` and
@@ -109,7 +118,28 @@ pub struct ServerCore {
     pending_scratch: Vec<Element>,
     /// Worker threads for batched parallel validation (resolved once).
     threads: usize,
+    /// Epochs this server has *derived* from the ledger (one
+    /// [`Self::create_epoch`] call each). Normally equal to
+    /// `state.epoch()`; it lags behind after catch-up fast-forwards the
+    /// state, and `create_epoch` then skips re-derivation until the ledger
+    /// replay passes the catch-up frontier.
+    derived_epochs: u64,
+    /// `from_epoch` and send time of the outstanding catch-up request, if
+    /// any — a rate limit so repeated gap signals do not flood peers. The
+    /// entry *expires* after [`CATCHUP_RETRY`]: a request lost to a
+    /// partition or crash must not wedge the server behind the tip forever.
+    catchup_pending: Option<(u64, SimTime)>,
 }
+
+/// Upper bound on epochs shipped in one [`SetchainMsg::CatchupResponse`].
+/// A requester that is further behind pages: applying a full response
+/// triggers a follow-up request to the same responder.
+pub const MAX_CATCHUP_EPOCHS: usize = 64;
+
+/// How long an outstanding catch-up request suppresses new ones. After this
+/// the request is presumed lost (dropped by a partition, or the responder
+/// crashed) and the next gap signal is allowed to re-request.
+pub const CATCHUP_RETRY: SimDuration = SimDuration(2_000_000); // 2 s
 
 impl ServerCore {
     /// Creates the shared server state.
@@ -136,6 +166,8 @@ impl ServerCore {
             miss_scratch: Vec::new(),
             pending_scratch: Vec::new(),
             threads: setchain_crypto::default_threads(),
+            derived_epochs: 0,
+            catchup_pending: None,
         }
     }
 
@@ -385,8 +417,156 @@ impl ServerCore {
                 );
                 true
             }
+            SetchainMsg::CatchupRequest { from_epoch } => {
+                self.serve_catchup(from, *from_epoch, ctx);
+                true
+            }
+            SetchainMsg::CatchupResponse { epochs } => {
+                self.handle_catchup_response(from, epochs, ctx);
+                true
+            }
             _ => false,
         }
+    }
+
+    /// Answers a [`SetchainMsg::CatchupRequest`]: ships the *committed
+    /// prefix* only — consecutive epochs from `from_epoch` for which this
+    /// server already holds a full `f + 1` proof quorum — bounded at
+    /// [`MAX_CATCHUP_EPOCHS`] per response. A peer that is not ahead (or
+    /// whose newest epochs have not gathered their quorum yet) sends
+    /// nothing, so the restart probe is free in the common case.
+    fn serve_catchup(&mut self, from: ProcessId, from_epoch: u64, ctx: &mut Ctx<'_, '_, '_>) {
+        let quorum = self.config.proof_quorum();
+        let mut epochs = Vec::new();
+        let mut e = from_epoch.max(1);
+        while e <= self.state.epoch()
+            && epochs.len() < MAX_CATCHUP_EPOCHS
+            && self.state.proof_count(e) >= quorum
+        {
+            epochs.push(crate::messages::CatchupEpoch {
+                epoch: e,
+                elements: self
+                    .state
+                    .epoch_elements(e)
+                    .map(|el| el.to_vec())
+                    .unwrap_or_default(),
+                proofs: self.state.proofs_for(e).to_vec(),
+            });
+            e += 1;
+        }
+        if !epochs.is_empty() {
+            ctx.send_app(from, SetchainMsg::CatchupResponse { epochs });
+        }
+    }
+
+    /// Verifies and applies a [`SetchainMsg::CatchupResponse`]. Each bundle
+    /// is accepted only if it is the next epoch in sequence and its elements
+    /// hash to a digest that `f + 1` distinct valid signers vouch for —
+    /// the same `valid_proof` machinery as the normal commit path, so a
+    /// Byzantine responder cannot inject or reorder history. Bundles for
+    /// epochs already held (duplicate responses to a broadcast probe) are
+    /// skipped silently; the first out-of-order or under-proven bundle
+    /// stops the scan and counts one rejection.
+    fn handle_catchup_response(
+        &mut self,
+        from: ProcessId,
+        epochs: &[crate::messages::CatchupEpoch],
+        ctx: &mut Ctx<'_, '_, '_>,
+    ) {
+        self.catchup_pending = None;
+        let mut applied = 0usize;
+        for bundle in epochs {
+            let next = self.state.epoch() + 1;
+            if bundle.epoch < next {
+                continue; // already held: duplicate response
+            }
+            if bundle.epoch > next {
+                self.stats.catchup_rejections += 1;
+                break;
+            }
+            // Re-hash the shipped elements and verify the proofs against
+            // the recomputed digest — trusting the responder's digest would
+            // let it rebind valid signatures to fabricated contents.
+            let bytes: usize = bundle.elements.iter().map(|e| e.wire_size()).sum();
+            ctx.consume_cpu(self.config.costs.hash_cost(bytes));
+            let digest = epoch_hash(bundle.epoch, &bundle.elements);
+            let mut valid: Vec<EpochProof> = Vec::new();
+            for proof in &bundle.proofs {
+                ctx.consume_cpu(self.config.costs.verify_signature);
+                if proof.epoch == bundle.epoch
+                    && self.proof_valid_digest(proof, &digest)
+                    && !valid.iter().any(|p| p.signer == proof.signer)
+                {
+                    valid.push(*proof);
+                }
+            }
+            if valid.len() < self.config.proof_quorum() {
+                self.stats.catchup_rejections += 1;
+                break;
+            }
+            let installed = self
+                .state
+                .install_epoch(bundle.epoch, bundle.elements.clone());
+            debug_assert!(installed, "sequencing checked above");
+            // The quorum travels with the bundle, so the epoch lands
+            // committed; later ledger-replayed proofs only add signers
+            // beyond the quorum (and never re-report the commit).
+            for proof in valid {
+                self.state.add_proof(proof);
+            }
+            self.stats.epochs_replayed += 1;
+            applied += 1;
+        }
+        // A fully-applied response means the responder may hold more by now
+        // (a full page certainly, but even a short page can be stale by the
+        // time it arrives): page on. The responder only answers when it is
+        // ahead, so this terminates once we reach its committed tip.
+        if applied > 0 && applied == epochs.len() {
+            let from_epoch = self.state.epoch() + 1;
+            self.catchup_pending = Some((from_epoch, ctx.now()));
+            self.stats.catchup_requests += 1;
+            ctx.send_app(from, SetchainMsg::CatchupRequest { from_epoch });
+        }
+    }
+
+    /// Restart probe: a server that comes back with retained state asks
+    /// every peer for the epochs it may have missed while down. Peers that
+    /// are not ahead answer nothing; the first useful response fast-forwards
+    /// the state and duplicates de-duplicate on apply. At cold start the
+    /// epoch is 0 and this is a no-op, so fault-free schedules are
+    /// unchanged. Called from every variant's `on_start`.
+    pub fn maybe_request_catchup(&mut self, ctx: &mut Ctx<'_, '_, '_>) {
+        if self.state.epoch() == 0 {
+            return;
+        }
+        let from_epoch = self.state.epoch() + 1;
+        self.catchup_pending = Some((from_epoch, ctx.now()));
+        self.stats.catchup_requests += 1;
+        let me = self.keys.id;
+        let peers = (0..self.config.servers)
+            .map(ProcessId::server)
+            .filter(|p| *p != me);
+        ctx.broadcast_app(peers, SetchainMsg::CatchupRequest { from_epoch });
+    }
+
+    /// Gap detection on first contact: `peer` demonstrably knows about
+    /// `epoch`, which is ahead of our state — request the missing range,
+    /// unless a request covering it is already outstanding.
+    pub fn note_peer_epoch(&mut self, peer: ProcessId, epoch: u64, ctx: &mut Ctx<'_, '_, '_>) {
+        if epoch <= self.state.epoch() || peer == self.keys.id || !peer.is_server() {
+            return;
+        }
+        let from_epoch = self.state.epoch() + 1;
+        let outstanding = matches!(
+            self.catchup_pending,
+            Some((p, at)) if p >= from_epoch && ctx.now().since(at) < CATCHUP_RETRY
+        );
+        if outstanding {
+            return;
+        }
+        self.catchup_pending = Some((from_epoch, ctx.now()));
+        self.stats.catchup_requests += 1;
+        ctx.send_app(peer, SetchainMsg::CatchupRequest { from_epoch });
     }
 
     /// Validates and records an epoch-proof extracted from the ledger
@@ -399,6 +579,11 @@ impl ServerCore {
         // verifying the up-to-n proofs of an epoch re-hashes nothing.
         let Some(digest) = self.state.epoch_digest(proof.epoch).copied() else {
             self.stats.proofs_rejected += 1;
+            if proof.epoch > self.state.epoch() {
+                // A proof for an epoch we have not derived yet: the signer
+                // is ahead of us — catch up from it.
+                self.note_peer_epoch(proof.signer, proof.epoch, ctx);
+            }
             return;
         };
         if !self.proof_valid_digest(&proof, &digest) {
@@ -421,7 +606,30 @@ impl ServerCore {
         now: SimTime,
         ctx: &mut Ctx<'_, '_, '_>,
     ) -> (u64, EpochProof) {
+        self.derived_epochs += 1;
+        if self.derived_epochs <= self.state.epoch() {
+            // Catch-up already installed this epoch (verified against f+1
+            // epoch-proofs); the ledger replay is now re-deriving it, and
+            // recording it again would double-stamp its elements. Sign the
+            // stored digest instead, so peers still receive this server's
+            // proof for the epoch.
+            let epoch = self.derived_epochs;
+            ctx.consume_cpu(self.config.costs.sign);
+            let digest = self
+                .state
+                .epoch_digest(epoch)
+                .expect("epoch installed by catch-up");
+            let mut proof = make_epoch_proof_with_key(&self.own_key, self.keys.id, epoch, digest);
+            if self.byz == ServerByzMode::ForgeProofs {
+                proof.signature = Signature::forged(self.keys.id);
+            }
+            return (epoch, proof);
+        }
         let epoch = self.state.record_epoch(elements);
+        debug_assert_eq!(
+            epoch, self.derived_epochs,
+            "ledger-derived epochs are sequential"
+        );
         self.stats.epochs_created += 1;
         let stamped = self.state.epoch_elements(epoch).expect("just created");
         self.trace

@@ -97,6 +97,12 @@ impl Application for VanillaApp {
     type Tx = SetchainTx;
     type Msg = SetchainMsg;
 
+    fn on_start(&mut self, ctx: &mut Ctx<'_, '_, '_>) {
+        // No timers to arm; a *restart* (retained state) probes peers for
+        // epochs missed while down. A cold start is a no-op.
+        self.core.maybe_request_catchup(ctx);
+    }
+
     fn check_tx(&self, tx: &SetchainTx) -> bool {
         match tx {
             // Full element validation happens again at block processing time

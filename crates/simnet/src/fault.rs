@@ -1,0 +1,169 @@
+//! Deterministic, schedulable fault injection.
+//!
+//! A [`FaultPlan`] is a list of `(time, FaultEvent)` pairs installed on a
+//! [`Simulation`](crate::Simulation) before it starts. The scheduler applies
+//! each fault when simulated time reaches it — faults due at instant `T` are
+//! applied *before* any message or timer scheduled at `T` dispatches — so a
+//! chaos run is exactly as replayable as a fault-free one: same seed, same
+//! plan, same schedule, bit for bit.
+//!
+//! Faults never consume a random draw or a sequence number; they only mutate
+//! network state (partitions, loss rate) or process liveness (crash,
+//! restart). Divergence between two runs of the same plan would therefore be
+//! a scheduler bug, and `tests/determinism.rs` pins that down.
+
+use std::fmt;
+
+use setchain_crypto::ProcessId;
+
+use crate::network::Partition;
+use crate::time::SimTime;
+
+/// One scheduled fault action.
+///
+/// The enum is `#[non_exhaustive]`: future fault kinds (e.g. clock skew or
+/// threaded-runtime faults) can be added without breaking downstream
+/// matches.
+#[non_exhaustive]
+#[derive(Clone, Debug)]
+pub enum FaultEvent {
+    /// Crash a process: from this instant until a matching [`Restart`],
+    /// every delivery and timer addressed to it is dropped at dispatch time
+    /// and it runs no handlers. In-memory state is retained (crash-recovery
+    /// with state); what the process *missed* must be replayed by a
+    /// protocol-level catch-up mechanism after restart.
+    ///
+    /// [`Restart`]: FaultEvent::Restart
+    Crash(ProcessId),
+    /// Restart a previously crashed process: it becomes schedulable again
+    /// and its `on_start` hook runs once more (re-arming periodic timers).
+    /// Timers armed by the pre-crash incarnation never fire.
+    Restart(ProcessId),
+    /// Install a network partition; messages crossing it are dropped.
+    InjectPartition(Partition),
+    /// Remove every active partition.
+    HealPartitions,
+    /// Set the network loss rate to `rate` (in `[0, 1]`). Use `0.0` to heal.
+    SetLossRate(f64),
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEvent::Crash(pid) => write!(f, "crash({pid})"),
+            FaultEvent::Restart(pid) => write!(f, "restart({pid})"),
+            FaultEvent::InjectPartition(_) => write!(f, "inject-partition"),
+            FaultEvent::HealPartitions => write!(f, "heal-partitions"),
+            FaultEvent::SetLossRate(rate) => write!(f, "set-loss-rate({rate})"),
+        }
+    }
+}
+
+/// A deterministic schedule of fault injections.
+///
+/// Build one with [`FaultPlan::new`] and the fluent [`at`](FaultPlan::at)
+/// method, then hand it to
+/// [`Simulation::install_fault_plan`](crate::Simulation::install_fault_plan)
+/// before the run starts. Entries may be added in any order; they are
+/// stably sorted by time at installation, so same-instant faults apply in
+/// insertion order.
+#[non_exhaustive]
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    entries: Vec<(SimTime, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Fluent builder: schedules `event` at simulated time `at`.
+    #[must_use]
+    pub fn at(mut self, at: SimTime, event: FaultEvent) -> Self {
+        self.push(at, event);
+        self
+    }
+
+    /// Schedules `event` at simulated time `at`.
+    pub fn push(&mut self, at: SimTime, event: FaultEvent) {
+        if let FaultEvent::SetLossRate(rate) = &event {
+            assert!(
+                (0.0..=1.0).contains(rate),
+                "loss rate must be in [0,1], got {rate}"
+            );
+        }
+        self.entries.push((at, event));
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The scheduled faults, in insertion order.
+    pub fn entries(&self) -> &[(SimTime, FaultEvent)] {
+        &self.entries
+    }
+
+    /// Consumes the plan into a time-sorted event list (stable, so
+    /// same-instant entries keep insertion order).
+    pub(crate) fn into_sorted_entries(self) -> Vec<(SimTime, FaultEvent)> {
+        let mut entries = self.entries;
+        entries.sort_by_key(|(at, _)| *at);
+        entries
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FaultPlan[")?;
+        for (i, (at, event)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{event}@{at}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_builds_and_displays() {
+        let plan = FaultPlan::new()
+            .at(
+                SimTime::from_secs(2),
+                FaultEvent::Crash(ProcessId::server(1)),
+            )
+            .at(
+                SimTime::from_secs(5),
+                FaultEvent::Restart(ProcessId::server(1)),
+            )
+            .at(SimTime::from_secs(1), FaultEvent::SetLossRate(0.01));
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        let shown = format!("{plan}");
+        assert!(shown.contains("crash"), "{shown}");
+        assert!(shown.contains("set-loss-rate(0.01)"), "{shown}");
+        // Sorting is by time, stable.
+        let sorted = plan.into_sorted_entries();
+        assert_eq!(sorted[0].0, SimTime::from_secs(1));
+        assert_eq!(sorted[2].0, SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "loss rate")]
+    fn invalid_loss_rate_rejected_at_plan_time() {
+        let _ = FaultPlan::new().at(SimTime::ZERO, FaultEvent::SetLossRate(2.0));
+    }
+}

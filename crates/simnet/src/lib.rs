@@ -41,11 +41,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod network;
 pub mod process;
 pub mod sim;
 pub mod time;
 
+pub use fault::{FaultEvent, FaultPlan};
 pub use network::{NetworkConfig, Partition};
 pub use process::{Context, Process, TimerToken, Wire};
 pub use sim::{RunOutcome, Simulation, SimulationConfig};

@@ -111,6 +111,10 @@ pub struct Network {
     link_free_at: HashMap<ProcessId, SimTime>,
     /// Count of messages dropped by loss or partitions, for reporting.
     dropped: u64,
+    /// Messages dropped by random loss specifically.
+    dropped_loss: u64,
+    /// Messages dropped by an active partition specifically.
+    dropped_partition: u64,
     /// Count of messages delivered.
     delivered: u64,
     /// Total bytes handed to the network.
@@ -125,6 +129,8 @@ impl Network {
             partitions: Vec::new(),
             link_free_at: HashMap::new(),
             dropped: 0,
+            dropped_loss: 0,
+            dropped_partition: 0,
             delivered: 0,
             bytes_sent: 0,
         }
@@ -146,9 +152,26 @@ impl Network {
         self.partitions.clear();
     }
 
+    /// Changes the loss rate mid-run (fault injection). Panics unless
+    /// `rate` is in `[0, 1]`.
+    pub fn set_loss_rate(&mut self, rate: f64) {
+        assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0,1]");
+        self.config.loss_rate = rate;
+    }
+
     /// Number of messages dropped so far (loss + partitions).
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Messages dropped by random loss.
+    pub fn dropped_loss(&self) -> u64 {
+        self.dropped_loss
+    }
+
+    /// Messages dropped by an active partition.
+    pub fn dropped_partition(&self) -> u64 {
+        self.dropped_partition
     }
 
     /// Number of messages accepted for delivery so far.
@@ -178,10 +201,12 @@ impl Network {
         }
         if self.partitions.iter().any(|p| p.blocks(from, to)) {
             self.dropped += 1;
+            self.dropped_partition += 1;
             return None;
         }
         if self.config.loss_rate > 0.0 && rng.gen::<f64>() < self.config.loss_rate {
             self.dropped += 1;
+            self.dropped_loss += 1;
             return None;
         }
 
@@ -279,6 +304,27 @@ mod tests {
                 .is_none());
         }
         assert_eq!(net.dropped(), 10);
+        assert_eq!(net.dropped_loss(), 10);
+        assert_eq!(net.dropped_partition(), 0);
+    }
+
+    #[test]
+    fn loss_rate_can_be_changed_mid_run() {
+        let (a, b, _) = ids();
+        let mut net = Network::new(NetworkConfig::lan());
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(net
+            .delivery_time(&mut rng, SimTime::ZERO, a, b, 10)
+            .is_some());
+        net.set_loss_rate(1.0);
+        assert!(net
+            .delivery_time(&mut rng, SimTime::ZERO, a, b, 10)
+            .is_none());
+        net.set_loss_rate(0.0);
+        assert!(net
+            .delivery_time(&mut rng, SimTime::ZERO, a, b, 10)
+            .is_some());
+        assert_eq!(net.dropped_loss(), 1);
     }
 
     #[test]
@@ -293,6 +339,8 @@ mod tests {
         assert!(net
             .delivery_time(&mut rng, SimTime::ZERO, b, a, 10)
             .is_none());
+        assert_eq!(net.dropped_partition(), 2);
+        assert_eq!(net.dropped_loss(), 0);
         // Unrelated pair unaffected.
         assert!(net
             .delivery_time(&mut rng, SimTime::ZERO, a, c, 10)

@@ -42,6 +42,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use setchain_crypto::{FxHashMap, ProcessId};
 
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::network::{Network, NetworkConfig, Partition};
 use crate::process::{Action, Context, Process, TimerToken, Wire};
 use crate::time::{SimDuration, SimTime};
@@ -143,6 +144,14 @@ struct Slot<M: Wire> {
     process: Box<dyn Process<M>>,
     /// Node CPU is busy until this time; deliveries are deferred past it.
     busy_until: SimTime,
+    /// Crashed processes run no handlers; events addressed to them are
+    /// dropped at dispatch time (the heaps are left untouched, preserving
+    /// `(time, seq)` order for everyone else).
+    crashed: bool,
+    /// Timers with a sequence number below this barrier belong to a
+    /// pre-crash incarnation and never fire. Set to the current sequence
+    /// counter on restart, just before `on_start` re-arms fresh timers.
+    timer_barrier: u64,
 }
 
 /// Sentinel for "no process registered at this index".
@@ -173,6 +182,14 @@ pub struct Simulation<M: Wire> {
     started: bool,
     events_processed: u64,
     messages_deferred: u64,
+    /// Deliveries dropped because the recipient was crashed at dispatch
+    /// time (the crashed-recipient analogue of the network's loss and
+    /// partition drop counters).
+    dropped_crashed: u64,
+    /// Installed fault schedule, sorted by time; `next_fault` indexes the
+    /// first entry not yet applied.
+    faults: Vec<(SimTime, FaultEvent)>,
+    next_fault: usize,
     /// Reused per-handler action buffer (empty between events).
     actions_scratch: Vec<Action<M>>,
     /// Reused coalesced-delivery batch buffer (empty between events).
@@ -197,6 +214,9 @@ impl<M: Wire> Simulation<M> {
             started: false,
             events_processed: 0,
             messages_deferred: 0,
+            dropped_crashed: 0,
+            faults: Vec::new(),
+            next_fault: 0,
             actions_scratch: Vec::new(),
             batch_scratch: Vec::new(),
         }
@@ -215,6 +235,8 @@ impl<M: Wire> Simulation<M> {
             id,
             process,
             busy_until: SimTime::ZERO,
+            crashed: false,
+            timer_barrier: 0,
         });
         let index = if id.is_server() {
             id.server_index()
@@ -285,6 +307,67 @@ impl<M: Wire> Simulation<M> {
     /// Heals all network partitions.
     pub fn heal_all_partitions(&mut self) {
         self.network.heal_all_partitions()
+    }
+
+    /// Changes the network loss rate mid-run. Panics unless `rate` is in
+    /// `[0, 1]`.
+    pub fn set_loss_rate(&mut self, rate: f64) {
+        self.network.set_loss_rate(rate)
+    }
+
+    /// Deliveries dropped because the recipient was crashed.
+    pub fn dropped_crashed(&self) -> u64 {
+        self.dropped_crashed
+    }
+
+    /// Crashes a process: until [`restart`](Simulation::restart), every
+    /// delivery and timer addressed to it is dropped at dispatch time and
+    /// it runs no handlers. The slab and the event heaps stay untouched —
+    /// dropping happens at pop time, so `(time, seq)` ordering for live
+    /// processes is unaffected. Panics if the id is unknown.
+    pub fn crash(&mut self, pid: ProcessId) {
+        let slot = self.slot_index(pid).expect("crash: unknown process id");
+        self.slots[slot].crashed = true;
+    }
+
+    /// Restarts a crashed process. Its CPU backlog is cleared, timers armed
+    /// by the pre-crash incarnation are invalidated, and `on_start` runs
+    /// again (at the current simulated time) so periodic timers re-arm.
+    /// No-op if the process is not crashed; panics if the id is unknown.
+    pub fn restart(&mut self, pid: ProcessId) {
+        let slot = self.slot_index(pid).expect("restart: unknown process id");
+        if !self.slots[slot].crashed {
+            return;
+        }
+        self.slots[slot].crashed = false;
+        self.slots[slot].busy_until = self.now;
+        // Everything scheduled so far carries a sequence number below the
+        // current counter, so this fences off all pre-crash timers while
+        // letting the on_start below arm fresh ones.
+        self.slots[slot].timer_barrier = self.seq;
+        if self.started {
+            self.run_handler(slot, |process, ctx| process.on_start(ctx));
+        }
+    }
+
+    /// True if `pid` is currently crashed. Panics if the id is unknown.
+    pub fn is_crashed(&self, pid: ProcessId) -> bool {
+        let slot = self
+            .slot_index(pid)
+            .expect("is_crashed: unknown process id");
+        self.slots[slot].crashed
+    }
+
+    /// Installs a fault plan. Must be called before the simulation starts;
+    /// entries are stably sorted by time and applied by the event loop as
+    /// simulated time reaches them (before same-instant events dispatch).
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            !self.started,
+            "fault plans must be installed before the simulation starts"
+        );
+        self.faults.extend(plan.into_sorted_entries());
+        self.faults.sort_by_key(|(at, _)| *at);
     }
 
     /// Ids of all registered processes, in ascending order.
@@ -371,6 +454,56 @@ impl<M: Wire> Simulation<M> {
         }
     }
 
+    /// Time of the next pending fault, if any.
+    fn next_fault_time(&self) -> Option<SimTime> {
+        self.faults.get(self.next_fault).map(|(at, _)| *at)
+    }
+
+    /// Time of the next scheduled activity — event or fault — if any.
+    fn next_activity_time(&self) -> Option<SimTime> {
+        let event = self.next_event_key().map(|(at, _)| at);
+        match (event, self.next_fault_time()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Applies the pending faults of the earliest due fault instant, if that
+    /// instant is before (or tied with) the next queued event. A fault at
+    /// instant `T` therefore takes effect before any message or timer
+    /// scheduled at `T` dispatches. One instant per call, so callers
+    /// driving the clock toward a deadline never overshoot it. Returns
+    /// `true` if at least one fault was applied.
+    fn apply_due_faults(&mut self) -> bool {
+        let Some(first) = self.next_fault_time() else {
+            return false;
+        };
+        let event_sooner = self
+            .next_event_key()
+            .map(|(ev_at, _)| first > ev_at)
+            .unwrap_or(false);
+        if event_sooner {
+            return false;
+        }
+        if first > self.now {
+            self.now = first;
+        }
+        while self.next_fault_time() == Some(first) {
+            let (_, event) = self.faults[self.next_fault].clone();
+            self.next_fault += 1;
+            match event {
+                FaultEvent::Crash(pid) => self.crash(pid),
+                FaultEvent::Restart(pid) => self.restart(pid),
+                FaultEvent::InjectPartition(partition) => {
+                    self.network.add_partition(partition);
+                }
+                FaultEvent::HealPartitions => self.network.heal_all_partitions(),
+                FaultEvent::SetLossRate(rate) => self.network.set_loss_rate(rate),
+            }
+        }
+        true
+    }
+
     fn ensure_started(&mut self) {
         if self.started {
             return;
@@ -381,6 +514,9 @@ impl<M: Wire> Simulation<M> {
         let ids = self.ids.clone();
         for id in ids {
             if let Some(slot) = self.slot_index(id) {
+                if self.slots[slot].crashed {
+                    continue; // crashed before start: on_start runs at restart
+                }
                 self.run_handler(slot, |process, ctx| process.on_start(ctx));
             }
         }
@@ -439,8 +575,9 @@ impl<M: Wire> Simulation<M> {
     /// queues are empty.
     pub fn step(&mut self) -> bool {
         self.ensure_started();
+        let applied_fault = self.apply_due_faults();
         let Some((at, seq)) = self.next_event_key() else {
-            return false;
+            return applied_fault;
         };
         debug_assert!(at >= self.now, "time went backwards");
         self.now = at;
@@ -454,6 +591,11 @@ impl<M: Wire> Simulation<M> {
             let Some(slot) = self.slot_index(event.node) else {
                 return true; // timer for an unknown process: dropped
             };
+            if self.slots[slot].crashed || event.seq < self.slots[slot].timer_barrier {
+                // Timer for a crashed process, or armed by a pre-crash
+                // incarnation: dropped.
+                return true;
+            }
             if self.slots[slot].busy_until > self.now {
                 let deferred_at = self.slots[slot].busy_until;
                 self.messages_deferred += 1;
@@ -469,6 +611,11 @@ impl<M: Wire> Simulation<M> {
         let Some(slot) = self.slot_index(event.to) else {
             return true; // message to an unknown process: dropped
         };
+        if self.slots[slot].crashed {
+            // Message to a crashed process: dropped at dispatch time.
+            self.dropped_crashed += 1;
+            return true;
+        }
         if self.slots[slot].busy_until > self.now {
             let deferred_at = self.slots[slot].busy_until;
             self.messages_deferred += 1;
@@ -524,11 +671,11 @@ impl<M: Wire> Simulation<M> {
         true
     }
 
-    /// Runs every event scheduled at or before `deadline`, then advances the
-    /// clock to `deadline`.
+    /// Runs every event (and fault) scheduled at or before `deadline`, then
+    /// advances the clock to `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.ensure_started();
-        while let Some((at, _)) = self.next_event_key() {
+        while let Some(at) = self.next_activity_time() {
             if at > deadline {
                 break;
             }
@@ -539,13 +686,14 @@ impl<M: Wire> Simulation<M> {
         }
     }
 
-    /// Runs until the event queue drains or `limit` is reached.
+    /// Runs until the event queue drains (no events or faults pending) or
+    /// `limit` is reached.
     pub fn run_until_quiescent(&mut self, limit: SimTime) -> RunOutcome {
         self.ensure_started();
         loop {
-            match self.next_event_key() {
+            match self.next_activity_time() {
                 None => return RunOutcome::Quiescent(self.now),
-                Some((at, _)) if at > limit => {
+                Some(at) if at > limit => {
                     self.now = limit;
                     return RunOutcome::TimeLimit(limit);
                 }
@@ -1012,6 +1160,186 @@ mod tests {
         assert!(sim.process::<Sender0>(ProcessId::client(3)).is_some());
         assert!(sim.process::<Sender0>(ProcessId::client(0)).is_none());
         assert!(sim.process_mut::<Sender0>(ProcessId::client(3)).is_some());
+    }
+
+    /// Sends a ping to `peer` every 100 ms, `remaining` times, counting the
+    /// pongs that come back.
+    struct PeriodicPinger {
+        peer: ProcessId,
+        remaining: u32,
+        pongs_received: u64,
+    }
+
+    impl Process<Msg> for PeriodicPinger {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            if self.remaining > 0 {
+                ctx.set_timer(SimDuration::from_millis(100), 1);
+            }
+        }
+        fn on_message(&mut self, _from: ProcessId, msg: Msg, _: &mut Context<'_, Msg>) {
+            if let Msg::Pong(_) = msg {
+                self.pongs_received += 1;
+            }
+        }
+        fn on_timer(&mut self, _token: TimerToken, ctx: &mut Context<'_, Msg>) {
+            ctx.send(self.peer, Msg::Ping(u64::from(self.remaining)));
+            self.remaining -= 1;
+            if self.remaining > 0 {
+                ctx.set_timer(SimDuration::from_millis(100), 1);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn periodic_sim(seed: u64, pings: u32) -> Simulation<Msg> {
+        let mut sim = Simulation::new(SimulationConfig {
+            seed,
+            network: NetworkConfig::lan(),
+        });
+        sim.add_process(
+            ProcessId::server(0),
+            Box::new(PeriodicPinger {
+                peer: ProcessId::server(1),
+                remaining: pings,
+                pongs_received: 0,
+            }),
+        );
+        sim.add_process(
+            ProcessId::server(1),
+            Box::new(Ponger {
+                cpu_per_ping: SimDuration::ZERO,
+                pings_handled: 0,
+            }),
+        );
+        sim
+    }
+
+    #[test]
+    fn crashed_process_drops_deliveries_until_restart() {
+        let mut sim = periodic_sim(21, 10);
+        // Pings fire at 100..=1000 ms. Crash the ponger over [250, 650) ms:
+        // pings 3..6 (sent at 300..600 ms) are dropped at dispatch.
+        sim.run_until(SimTime::from_millis(250));
+        sim.crash(ProcessId::server(1));
+        assert!(sim.is_crashed(ProcessId::server(1)));
+        sim.run_until(SimTime::from_millis(650));
+        sim.restart(ProcessId::server(1));
+        assert!(!sim.is_crashed(ProcessId::server(1)));
+        sim.run_until_quiescent(SimTime::from_secs(5));
+        let pinger: &PeriodicPinger = sim.process(ProcessId::server(0)).unwrap();
+        assert_eq!(pinger.pongs_received, 6);
+        assert_eq!(sim.dropped_crashed(), 4);
+        // The network itself dropped nothing: the messages reached the
+        // crashed recipient's queue and died there.
+        assert_eq!(sim.network().dropped(), 0);
+    }
+
+    #[test]
+    fn restart_reruns_on_start_and_invalidates_pre_crash_timers() {
+        let mut sim: Simulation<Msg> = Simulation::new(SimulationConfig::default());
+        sim.add_process(
+            ProcessId::server(0),
+            Box::new(Ticker {
+                period: SimDuration::from_millis(100),
+                remaining: 8,
+                fired: Vec::new(),
+            }),
+        );
+        sim.install_fault_plan(
+            FaultPlan::new()
+                .at(
+                    SimTime::from_millis(250),
+                    FaultEvent::Crash(ProcessId::server(0)),
+                )
+                .at(
+                    SimTime::from_millis(400),
+                    FaultEvent::Restart(ProcessId::server(0)),
+                ),
+        );
+        sim.run_until_quiescent(SimTime::from_secs(5));
+        let ticker: &Ticker = sim.process(ProcessId::server(0)).unwrap();
+        // Fires at 100, 200 (pre-crash); the 300 ms timer dies with the
+        // crash; restart re-runs on_start at 400 ms, so the remaining six
+        // fires land at 500..=1000 ms with no duplicated timer chain.
+        assert_eq!(
+            ticker.fired,
+            vec![
+                SimTime::from_millis(100),
+                SimTime::from_millis(200),
+                SimTime::from_millis(500),
+                SimTime::from_millis(600),
+                SimTime::from_millis(700),
+                SimTime::from_millis(800),
+                SimTime::from_millis(900),
+                SimTime::from_millis(1000),
+            ]
+        );
+    }
+
+    #[test]
+    fn fault_plan_injects_and_heals_partitions_and_loss() {
+        // Partition window [250, 650) ms drops pings 3..6; the loss window
+        // [750, 850) ms drops ping 8 (sent at 800 ms).
+        let mut sim = periodic_sim(22, 10);
+        sim.install_fault_plan(
+            FaultPlan::new()
+                .at(
+                    SimTime::from_millis(250),
+                    FaultEvent::InjectPartition(Partition::between(
+                        [ProcessId::server(0)],
+                        [ProcessId::server(1)],
+                    )),
+                )
+                .at(SimTime::from_millis(650), FaultEvent::HealPartitions)
+                .at(SimTime::from_millis(750), FaultEvent::SetLossRate(1.0))
+                .at(SimTime::from_millis(850), FaultEvent::SetLossRate(0.0)),
+        );
+        sim.run_until_quiescent(SimTime::from_secs(5));
+        let pinger: &PeriodicPinger = sim.process(ProcessId::server(0)).unwrap();
+        assert_eq!(pinger.pongs_received, 5);
+        assert_eq!(sim.network().dropped_partition(), 4);
+        assert_eq!(sim.network().dropped_loss(), 1);
+        assert_eq!(sim.network().dropped(), 5);
+    }
+
+    #[test]
+    fn same_seed_chaos_runs_are_bit_identical() {
+        let run = |seed: u64| {
+            let mut sim = periodic_sim(seed, 10);
+            sim.install_fault_plan(
+                FaultPlan::new()
+                    .at(
+                        SimTime::from_millis(250),
+                        FaultEvent::Crash(ProcessId::server(1)),
+                    )
+                    .at(
+                        SimTime::from_millis(550),
+                        FaultEvent::Restart(ProcessId::server(1)),
+                    )
+                    .at(SimTime::from_millis(700), FaultEvent::SetLossRate(0.5)),
+            );
+            sim.run_until_quiescent(SimTime::from_secs(5));
+            let pinger: &PeriodicPinger = sim.process(ProcessId::server(0)).unwrap();
+            (
+                pinger.pongs_received,
+                sim.events_processed(),
+                sim.dropped_crashed(),
+                sim.network().dropped(),
+            )
+        };
+        assert_eq!(run(77), run(77));
+    }
+
+    #[test]
+    #[should_panic(expected = "crash: unknown process id")]
+    fn crashing_an_unknown_process_panics() {
+        let mut sim: Simulation<Msg> = Simulation::new(SimulationConfig::default());
+        sim.crash(ProcessId::server(9));
     }
 
     #[test]

@@ -32,7 +32,7 @@ use setchain::{
 };
 use setchain_crypto::{KeyRegistry, ProcessId};
 use setchain_ledger::{ByzMode, LedgerConfig, LedgerNode, LedgerTrace, NetMsg};
-use setchain_simnet::{NetworkConfig, SimTime, Simulation, SimulationConfig};
+use setchain_simnet::{FaultPlan, NetworkConfig, SimTime, Simulation, SimulationConfig};
 
 use crate::driver::ClientDriver;
 use crate::generator::ArbitrumWorkload;
@@ -154,6 +154,7 @@ pub struct DeploymentBuilder {
     scenario: Scenario,
     server_faults: Vec<(usize, ServerByzMode)>,
     ledger_faults: Vec<(usize, ByzMode)>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl DeploymentBuilder {
@@ -164,6 +165,7 @@ impl DeploymentBuilder {
             scenario,
             server_faults: Vec::new(),
             ledger_faults: Vec::new(),
+            fault_plan: None,
         }
     }
 
@@ -279,6 +281,32 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Installs a deterministic fault schedule (crashes, restarts,
+    /// partitions, loss-rate changes) on the built simulation — applied at
+    /// its scheduled instants during the run, before any same-instant
+    /// message or timer dispatches. Chained calls merge their entries.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        match &mut self.fault_plan {
+            Some(existing) => {
+                for (at, event) in plan.entries() {
+                    existing.push(*at, event.clone());
+                }
+            }
+            None => self.fault_plan = Some(plan),
+        }
+        self
+    }
+
+    /// Sets a uniform message loss probability in `[0, 1]` active from the
+    /// start of the run (degraded-network operation; loopback messages are
+    /// never dropped). For losses that start mid-run, schedule
+    /// [`FaultEvent::SetLossRate`](setchain_simnet::FaultEvent::SetLossRate)
+    /// in a [`fault_plan`](Self::fault_plan) instead.
+    pub fn loss_rate(mut self, rate: f64) -> Self {
+        self.scenario.loss_rate = rate;
+        self
+    }
+
     /// Builds the deployment. This is the only construction body: the
     /// all-correct and faulty paths share it, and per-server application
     /// construction goes through one [`AppFactory`].
@@ -307,11 +335,18 @@ impl DeploymentBuilder {
         let mut ledger_config = LedgerConfig::with_validators(n);
         ledger_config.max_block_bytes = scenario.block_bytes;
 
-        let network = NetworkConfig::lan().with_extra_delay_ms(scenario.network_delay_ms);
+        let network = NetworkConfig::lan()
+            .with_extra_delay_ms(scenario.network_delay_ms)
+            .with_loss_rate(scenario.loss_rate);
         let mut sim: Simulation<Msg> = Simulation::new(SimulationConfig {
             seed: scenario.seed,
             network,
         });
+        if let Some(plan) = self.fault_plan {
+            // Installed before the first run step, so faults due at T apply
+            // ahead of any message or timer scheduled at T.
+            sim.install_fault_plan(plan);
+        }
 
         for i in 0..n {
             let id = ProcessId::server(i);

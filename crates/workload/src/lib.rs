@@ -58,7 +58,7 @@ pub mod sweep;
 
 pub use analysis::{analytical_throughput, AnalysisParams};
 pub use deploy::{Deployment, DeploymentBuilder, ServerHandle, ServerNode};
-pub use driver::{ClientDriver, RequestClient};
+pub use driver::{ClientDriver, RequestClient, RetryAdd, RetryPolicy, RetryReport};
 pub use generator::ArbitrumWorkload;
 pub use metrics::{CommitTimes, Efficiency, StageLatencies, ThroughputSeries};
 pub use runner::{run_scenario, RunResult};

@@ -26,6 +26,12 @@ pub struct RunResult {
     /// The ledger-level trace (mempool/block stages; empty unless the
     /// scenario enabled the detailed trace).
     pub ledger_trace: LedgerTrace,
+    /// Messages dropped by random loss during the run.
+    pub dropped_loss: u64,
+    /// Messages dropped by an active network partition.
+    pub dropped_partition: u64,
+    /// Messages dropped because the recipient was crashed at delivery time.
+    pub dropped_crashed: u64,
     /// Wall-clock time the simulation took.
     pub wall: std::time::Duration,
 }
@@ -37,6 +43,12 @@ impl RunResult {
             return 1.0;
         }
         self.committed as f64 / self.added as f64
+    }
+
+    /// Total messages dropped for any reason (loss, partition, crashed
+    /// recipient).
+    pub fn dropped(&self) -> u64 {
+        self.dropped_loss + self.dropped_partition + self.dropped_crashed
     }
 
     /// Average committed throughput over the first `secs` seconds of the run
@@ -85,6 +97,9 @@ pub fn run_deployment(mut deployment: Deployment) -> RunResult {
         committed,
         finished_at: now,
         all_committed_at,
+        dropped_loss: deployment.sim.network().dropped_loss(),
+        dropped_partition: deployment.sim.network().dropped_partition(),
+        dropped_crashed: deployment.sim.dropped_crashed(),
         trace: deployment.trace,
         ledger_trace: deployment.ledger_trace,
         wall: start.elapsed(),

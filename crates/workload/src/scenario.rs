@@ -28,6 +28,10 @@ pub struct Scenario {
     pub collector_limit: usize,
     /// Artificial network delay in milliseconds (Table 1: 0, 30, 100).
     pub network_delay_ms: u64,
+    /// Uniform message loss probability in `[0, 1]` (degraded-network
+    /// operation; the paper's cluster runs lossless, so the default is 0).
+    #[serde(default)]
+    pub loss_rate: f64,
     /// How long clients inject elements (the paper uses 50 s).
     pub injection_secs: u64,
     /// Hard stop for the run even if elements remain uncommitted.
@@ -77,6 +81,7 @@ impl Scenario {
             sending_rate: 10_000.0,
             collector_limit: 100,
             network_delay_ms: 0,
+            loss_rate: 0.0,
             injection_secs: 50,
             max_run_secs: 300,
             block_bytes: 524_288, // 0.5 MB, as in the paper's analysis
@@ -117,6 +122,16 @@ impl Scenario {
     /// Builder: sets the artificial network delay (ms).
     pub fn with_delay_ms(mut self, ms: u64) -> Self {
         self.network_delay_ms = ms;
+        self
+    }
+
+    /// Builder: sets the uniform message loss probability (default 0).
+    pub fn with_loss_rate(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "loss rate must be in [0,1], got {rate}"
+        );
+        self.loss_rate = rate;
         self
     }
 

@@ -51,20 +51,36 @@ use setchain_crypto::{Digest256, KeyPair, ProcessId};
 use setchain_simnet::SimTime;
 
 use crate::deploy::Deployment;
-use crate::driver::RequestClient;
+use crate::driver::{RequestClient, RetryAdd, RetryPolicy};
 
 /// Receipt for one scripted `add`: which element was handed to which server,
 /// and when.
+///
+/// For retried adds ([`ClientSession::add_with_retry`]) the receipt returned
+/// at scripting time is provisional — `attempts` is still `0` and
+/// `confirmed_at` is `None`. The post-run resolution (actual attempt count,
+/// the server whose verified epoch confirmed the element, and when) is in
+/// [`SessionOutcome::retried`].
 #[derive(Clone, Copy, Debug)]
 pub struct AddReceipt {
     /// Id of the added element (use it to check inclusion later).
     pub id: ElementId,
     /// The element as signed and sent.
     pub element: Element,
-    /// Server the `add` was sent to.
+    /// Server the `add` was sent to (for retried adds: the server credited
+    /// with the add — the first target until a confirmation names another).
     pub server: ProcessId,
-    /// Simulated send time.
+    /// Simulated send time (first attempt, for retried adds).
     pub at: SimTime,
+    /// Send attempts made: `1` for plain scripted adds; for retried adds,
+    /// the actual count once resolved through [`SessionOutcome::retried`].
+    pub attempts: u32,
+    /// Simulated time a verified epoch confirmed the element, if known
+    /// (only ever `Some` on resolved retried receipts).
+    pub confirmed_at: Option<SimTime>,
+    /// True if the retry machine exhausted its attempt budget without
+    /// confirmation (never set on plain scripted adds).
+    pub gave_up: bool,
 }
 
 /// Receipt for one scripted batch-authenticated `add`
@@ -187,9 +203,20 @@ pub struct SessionOutcome {
     pub snapshots: Vec<SnapshotView>,
     /// `get_epoch` responses, in arrival order, each already verified.
     pub epochs: Vec<VerifiedEpoch>,
+    /// Resolved receipts for the retried adds
+    /// ([`ClientSession::add_with_retry`]), in submission order: actual
+    /// attempt count, the server whose verified epoch confirmed the element
+    /// (in `server`), and the confirmation time.
+    pub retried: Vec<AddReceipt>,
 }
 
 impl SessionOutcome {
+    /// True if every retried add confirmed within its attempt budget
+    /// (vacuously true without retried adds).
+    pub fn all_retries_confirmed(&self) -> bool {
+        self.retried.iter().all(|r| r.confirmed_at.is_some())
+    }
+
     /// The epochs that verified with `f + 1` proofs.
     pub fn verified(&self) -> impl Iterator<Item = &VerifiedEpoch> {
         self.epochs.iter().filter(|e| e.is_verified())
@@ -219,6 +246,13 @@ pub struct ClientSession {
     generator: setchain::ElementGenerator,
     light: LightClient,
     script: Vec<(SimTime, ProcessId, SetchainMsg)>,
+    /// Deployment size, for building failover rings.
+    servers: usize,
+    /// Adds driven by the retry/failover machine (handed to the actor at
+    /// install time).
+    retries: Vec<RetryAdd>,
+    /// Provisional receipts for the retried adds, resolved in `outcome()`.
+    retry_receipts: Vec<AddReceipt>,
     installed: bool,
 }
 
@@ -239,6 +273,9 @@ impl ClientSession {
                 deployment.scenario.setchain_f(),
             ),
             script: Vec::new(),
+            servers: deployment.scenario.servers,
+            retries: Vec::new(),
+            retry_receipts: Vec::new(),
             installed: false,
         }
     }
@@ -323,7 +360,57 @@ impl ClientSession {
             element,
             server,
             at,
+            attempts: 1,
+            confirmed_at: None,
+            gave_up: false,
         }
+    }
+
+    /// Scripts a fault-tolerant `S.add_v(e)` at `at`: the element is sent to
+    /// server `server` and driven by the deadline/retry/failover machine
+    /// ([`RetryPolicy`]) until a verified epoch confirms it — re-sent to the
+    /// next server (round-robin over the whole deployment) whenever the
+    /// doubling per-attempt deadline passes, for at most
+    /// `policy.max_attempts` attempts. Duplicate deliveries are safe: servers
+    /// dedup by element id.
+    ///
+    /// The returned receipt is provisional; read the resolved receipt
+    /// (attempt count, confirming server, confirmation time) from
+    /// [`SessionOutcome::retried`] after the run.
+    pub fn add_with_retry(
+        &mut self,
+        at: SimTime,
+        server: usize,
+        size: u32,
+        content_seed: u64,
+        policy: RetryPolicy,
+    ) -> AddReceipt {
+        self.assert_scriptable();
+        let element = self.generator.next_element(size, content_seed);
+        // Register the id with the light client (the message itself is
+        // rebuilt by the retry machine on every attempt).
+        let _ = self.light.add(element);
+        let servers = self.servers;
+        let targets: Vec<ProcessId> = (0..servers)
+            .map(|k| ProcessId::server((server + k) % servers))
+            .collect();
+        let receipt = AddReceipt {
+            id: element.id,
+            element,
+            server: ProcessId::server(server),
+            at,
+            attempts: 0,
+            confirmed_at: None,
+            gave_up: false,
+        };
+        self.retries.push(RetryAdd {
+            element,
+            first_at: at,
+            targets,
+            policy,
+        });
+        self.retry_receipts.push(receipt);
+        receipt
     }
 
     /// Scripts `S.get_v()` at `at` against server `server`.
@@ -369,9 +456,13 @@ impl ClientSession {
         assert!(!self.installed, "session already installed");
         self.installed = true;
         let script = std::mem::take(&mut self.script);
-        deployment
-            .sim
-            .add_process(self.id, Box::new(RequestClient::new(script)));
+        let mut client = RequestClient::new(script);
+        if !self.retries.is_empty() {
+            // The cloned light client already knows every retried element id,
+            // so the actor can verify confirmations on its own.
+            client = client.with_retries(std::mem::take(&mut self.retries), self.light.clone());
+        }
+        deployment.sim.add_process(self.id, Box::new(client));
     }
 
     /// Interprets every response received so far into typed results,
@@ -417,6 +508,19 @@ impl ClientSession {
                 }
                 _ => {}
             }
+        }
+        let reports = client.retry_reports();
+        for receipt in &self.retry_receipts {
+            let mut resolved = *receipt;
+            if let Some(report) = reports.iter().find(|r| r.id == receipt.id) {
+                resolved.attempts = report.attempts;
+                resolved.confirmed_at = report.confirmed_at;
+                resolved.gave_up = report.gave_up;
+                if let Some(final_server) = report.final_server {
+                    resolved.server = final_server;
+                }
+            }
+            outcome.retried.push(resolved);
         }
         outcome
     }
@@ -518,6 +622,39 @@ mod tests {
             proven, 5,
             "each batched element proven in exactly one epoch"
         );
+    }
+
+    #[test]
+    fn retried_add_confirms_without_faults() {
+        let mut deployment = Deployment::builder(Algorithm::Hashchain)
+            .servers(4)
+            .rate(200.0)
+            .collector(25)
+            .injection_secs(3)
+            .max_run_secs(30)
+            .seed(99)
+            .build();
+        let mut session = deployment.client_session(70, 555);
+        let receipt = session.add_with_retry(
+            SimTime::from_millis(500),
+            1,
+            438,
+            7000,
+            RetryPolicy::default(),
+        );
+        assert_eq!(receipt.attempts, 0, "provisional receipt: nothing sent yet");
+        assert!(receipt.confirmed_at.is_none());
+        session.install(&mut deployment);
+
+        deployment.sim.run_until(SimTime::from_secs(25));
+        let outcome = session.outcome(&deployment);
+        assert!(outcome.all_retries_confirmed());
+        let resolved = outcome.retried[0];
+        assert_eq!(resolved.id, receipt.id);
+        assert!(resolved.attempts >= 1);
+        assert!(resolved.confirmed_at.is_some());
+        assert!(!resolved.gave_up);
+        assert!(resolved.server.is_server());
     }
 
     #[test]
