@@ -5,14 +5,14 @@
 //!
 //! ```text
 //! pipeline [--quick] [--repeats N] [--out FILE] [--check-baseline FILE]
-//!          [--auth-mode MODE] [--parallel-sims N]
+//!          [--auth-mode MODE] [--parallel-sims N] [--shards N]
 //! ```
 //!
 //! * `--quick` — shorter simulated runs (CI smoke mode).
 //! * `--repeats N` — best-of-N per grid point (default 3; 1 in quick mode).
 //! * `--out FILE` — write the measured grid as JSON.
 //! * `--check-baseline FILE` — read a previously committed JSON (e.g.
-//!   `BENCH_pr6.json`) and exit non-zero if any grid point regressed more
+//!   `BENCH_pr8.json`) and exit non-zero if any grid point regressed more
 //!   than 20% versus its `after` entry.
 //! * `--auth-mode MODE` — which submission authentication modes the auth
 //!   grid runs: `both` (default), `per-element`, or `batch-root`.
@@ -21,13 +21,18 @@
 //!   (`parallel_map`): per-seed committed counts are deterministic, and the
 //!   aggregate committed/sec shows the multicore headroom a 1-core CI box
 //!   cannot (each simulation stays single-threaded and bit-reproducible).
+//! * `--shards N` — number of per-server admission shards for the shard
+//!   grid (PR 8; default 1, accepted values 1/2/4/8). The grid records the
+//!   unsharded twin next to the sharded point so the committed-count
+//!   invariant is visible in the JSON; combines with `--parallel-sims` to
+//!   sweep the sharded point across seeds.
 
 use std::process::ExitCode;
 
 use setchain::{Algorithm, AuthMode};
 use setchain_bench::pipeline::{
     auth_grid, compresschain_grid, degraded_grid, grid, run_parallel_sims, run_pipeline_best_of,
-    PipelineConfig, PipelineResult,
+    shard_grid, PipelineConfig, PipelineResult,
 };
 
 struct Args {
@@ -37,6 +42,7 @@ struct Args {
     check_baseline: Option<String>,
     auth_modes: Vec<AuthMode>,
     parallel_sims: usize,
+    shards: usize,
 }
 
 fn parse_args() -> Args {
@@ -47,6 +53,7 @@ fn parse_args() -> Args {
         check_baseline: None,
         auth_modes: vec![AuthMode::PerElement, AuthMode::BatchRoot],
         parallel_sims: 0,
+        shards: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -79,6 +86,13 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n > 0)
                     .expect("--parallel-sims takes a positive integer");
+            }
+            "--shards" => {
+                args.shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| [1usize, 2, 4, 8].contains(n))
+                    .expect("--shards takes 1, 2, 4 or 8");
             }
             other => panic!("unknown argument: {other}"),
         }
@@ -136,7 +150,8 @@ fn main() -> ExitCode {
     );
 
     // Historical grid (unchanged since PR 2) followed by the drain-mode
-    // compresschain grid (PR 3) and the authentication-mode grid (PR 6);
+    // compresschain grid (PR 3), the authentication-mode grid (PR 6), the
+    // degraded-mode grid (PR 7) and the sharded-admission grid (PR 8);
     // one flat label space in reports and JSON.
     let mut configs: Vec<PipelineConfig> = grid()
         .into_iter()
@@ -151,6 +166,7 @@ fn main() -> ExitCode {
     configs.extend(compresschain_grid(args.quick));
     configs.extend(auth_grid(args.quick, &args.auth_modes));
     configs.extend(degraded_grid(args.quick));
+    configs.extend(shard_grid(args.quick, args.shards));
 
     let mut entries: Vec<(String, PipelineResult)> = Vec::new();
     for config in &configs {
@@ -232,13 +248,16 @@ fn main() -> ExitCode {
 }
 
 /// The `--parallel-sims` mode: one grid point, many seeds, one OS thread
-/// per independent simulation.
+/// per independent simulation. `--shards` carries over, so the sweep can
+/// pair outer-loop parallelism (one simulation per thread) with the
+/// inner sharded validation fan-out each server runs.
 fn run_parallel_sweep(args: &Args) -> ExitCode {
-    let config = if args.quick {
+    let mut config = if args.quick {
         PipelineConfig::quick(Algorithm::Hashchain, 64)
     } else {
         PipelineConfig::standard(Algorithm::Hashchain, 64)
     };
+    config.shards = args.shards;
     let seeds: Vec<u64> = (0..args.parallel_sims as u64).map(|i| 7 + i * 13).collect();
     let threads = setchain_crypto::default_threads();
     println!(

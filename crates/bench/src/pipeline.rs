@@ -28,6 +28,12 @@
 //!   round timeouts, batch-request retries, epoch catch-up — costs on an
 //!   imperfect network. The paper's cluster is lossless; this grid has no
 //!   paper counterpart.
+//! * [`shard_grid`] — the Hashchain workhorse drain point with each
+//!   server's admission pipeline split across N consistent-hash shards
+//!   (PR 8), next to its unsharded twin at the same seed. Sharding is
+//!   host-side organization only, so the committed counts are identical
+//!   across shard counts; the wall-clock delta isolates the sharded
+//!   validation fan-out.
 //! * [`compresschain_grid`] — drain-mode Compresschain points added with
 //!   the PR 3 codec overhaul: larger ledger blocks lift the bandwidth cap,
 //!   injection stops four simulated seconds before the end, and every
@@ -74,6 +80,12 @@ pub struct PipelineConfig {
     /// from the network's own RNG stream, so committed counts stay a pure
     /// function of the seed.
     pub loss_rate: f64,
+    /// Number of admission shards per server (PR 8): each server routes
+    /// element validation and `the_set` membership through a consistent-hash
+    /// ring of this many shards. `1` (the default) is the exact unsharded
+    /// code path; sharding is host-side organization only, so committed
+    /// counts are identical across shard counts at the same seed.
+    pub shards: usize,
     /// Label suffix distinguishing grid families (e.g. `_drain`).
     pub tag: &'static str,
     /// RNG seed.
@@ -105,6 +117,7 @@ impl PipelineConfig {
             light: false,
             auth: AuthMode::PerElement,
             loss_rate: 0.0,
+            shards: 1,
             tag: "",
             seed: 7,
         }
@@ -145,6 +158,7 @@ impl PipelineConfig {
             light,
             auth: AuthMode::PerElement,
             loss_rate: 0.0,
+            shards: 1,
             tag: if light { "_drain_light" } else { "_drain" },
             seed: 7,
         }
@@ -181,6 +195,7 @@ impl PipelineConfig {
             light: false,
             auth,
             loss_rate: 0.0,
+            shards: 1,
             tag: match auth {
                 AuthMode::BatchRoot => "_auth_root",
                 _ => "_auth_pere",
@@ -225,6 +240,39 @@ impl PipelineConfig {
             sim_secs: 9,
             injection_secs: 3,
             ..Self::degraded(batch)
+        }
+    }
+
+    /// Sharded-admission point (PR 8): the Hashchain workhorse drain point
+    /// with each server's admission pipeline and `the_set` split across
+    /// `shards` consistent-hash shards. Drain-style so committed counts are
+    /// exact — and because sharding changes nothing the simulation sees,
+    /// the committed count is *identical* across shard counts at the same
+    /// seed (the conformance suite asserts this; the grid records it). The
+    /// wall-clock delta isolates the sharded validation fan-out.
+    ///
+    /// Supported shard counts are 1, 2, 4 and 8 (the grid's comparison
+    /// points); other values panic rather than silently mislabel a run.
+    pub fn shard_drain(batch: usize, shards: usize) -> Self {
+        PipelineConfig {
+            shards,
+            tag: match shards {
+                1 => "_shard1",
+                2 => "_shard2",
+                4 => "_shard4",
+                8 => "_shard8",
+                _ => panic!("unsupported shard grid point: {shards}"),
+            },
+            ..Self::auth_drain(batch, AuthMode::PerElement)
+        }
+    }
+
+    /// Quick (CI smoke) variant of [`Self::shard_drain`].
+    pub fn shard_drain_quick(batch: usize, shards: usize) -> Self {
+        PipelineConfig {
+            sim_secs: 7,
+            injection_secs: 3,
+            ..Self::shard_drain(batch, shards)
         }
     }
 
@@ -275,7 +323,7 @@ pub fn run_pipeline(config: &PipelineConfig) -> PipelineResult {
     if config.loss_rate > 0.0 {
         builder = builder.loss_rate(config.loss_rate);
     }
-    builder = builder.auth_mode(config.auth);
+    builder = builder.auth_mode(config.auth).shards(config.shards);
     let mut deployment = builder.build();
     let start = Instant::now();
     deployment
@@ -392,6 +440,25 @@ pub fn degraded_grid(quick: bool) -> Vec<PipelineConfig> {
     vec![point(64)]
 }
 
+/// The sharded-admission grid added with the PR 8 shard-aware admission
+/// work: the Hashchain workhorse drain point at `shards` plus its unsharded
+/// twin (see [`PipelineConfig::shard_drain`]). Recording both at the same
+/// seed makes the committed-count invariant — sharding never changes *what*
+/// commits, only how each host validates it — visible in the baseline JSON.
+/// `shards == 1` collapses to the single unsharded point.
+pub fn shard_grid(quick: bool, shards: usize) -> Vec<PipelineConfig> {
+    let point = if quick {
+        PipelineConfig::shard_drain_quick
+    } else {
+        PipelineConfig::shard_drain
+    };
+    let mut configs = vec![point(64, 1)];
+    if shards > 1 {
+        configs.push(point(64, shards));
+    }
+    configs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -426,6 +493,41 @@ mod tests {
         assert!(lossy.loss_rate > 0.0);
         assert_eq!(degraded_grid(false).len(), 1);
         assert!(degraded_grid(true)[0].sim_secs < lossy.sim_secs);
+        let sharded = PipelineConfig::shard_drain(64, 4);
+        assert_eq!(sharded.label(), "hashchain_b64_shard4");
+        assert_eq!(sharded.shards, 4);
+        assert!(sharded.sim_secs - sharded.injection_secs >= 4);
+        assert_eq!(shard_grid(false, 2).len(), 2);
+        assert_eq!(shard_grid(true, 1).len(), 1);
+        assert_eq!(shard_grid(true, 8)[1].label(), "hashchain_b64_shard8");
+        assert_eq!(shard_grid(true, 2)[0].shards, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported shard grid point")]
+    fn odd_shard_counts_are_rejected_by_the_grid() {
+        let _ = PipelineConfig::shard_drain(64, 3);
+    }
+
+    #[test]
+    fn shard_drain_commits_identically_across_shard_counts() {
+        // The invariant the shard grid records: sharding is host-side
+        // organization only, so the same seed commits the same elements no
+        // matter how many admission shards each server runs.
+        let mut results = Vec::new();
+        for shards in [1usize, 2, 4] {
+            let mut cfg = PipelineConfig::shard_drain_quick(64, shards);
+            cfg.rate = 500.0; // keep the test fast
+            let result = run_pipeline(&cfg);
+            assert!(result.added > 0);
+            assert_eq!(
+                result.committed, result.added,
+                "shard drain ({shards} shards) left elements uncommitted"
+            );
+            results.push(result);
+        }
+        assert_eq!(results[0].committed, results[1].committed);
+        assert_eq!(results[0].committed, results[2].committed);
     }
 
     #[test]

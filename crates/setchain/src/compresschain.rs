@@ -157,6 +157,10 @@ impl SetchainApp for CompresschainApp {
         self.core.stats
     }
 
+    fn shard_stats(&self) -> Vec<crate::server::ShardStats> {
+        self.core.shard_stats()
+    }
+
     fn config(&self) -> &SetchainConfig {
         &self.core.config
     }

@@ -68,6 +68,7 @@ pub mod hashchain;
 pub mod messages;
 pub mod proofs;
 pub mod server;
+pub mod shard;
 pub mod sortition;
 pub mod state;
 pub mod trace;
@@ -91,7 +92,8 @@ pub use proofs::{
     epoch_hash, epoch_hash_for_root, epoch_root, make_epoch_proof, make_epoch_proof_with_key,
     prove_epoch_inclusion, verify_epoch_proof, EpochInclusionProof, EpochProof,
 };
-pub use server::{ServerCore, ServerStats, CATCHUP_RETRY, MAX_CATCHUP_EPOCHS};
+pub use server::{ServerCore, ServerStats, ShardStats, CATCHUP_RETRY, MAX_CATCHUP_EPOCHS};
+pub use shard::{aggregate_epoch, sub_epoch_commitment, ShardRing, ShardedEpoch, SubEpoch};
 pub use sortition::{round_seed, select_committee, verify_member, Candidate};
 pub use state::SetchainState;
 pub use trace::SetchainTrace;

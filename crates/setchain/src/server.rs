@@ -2,8 +2,8 @@
 //! `get` handling, epoch-proof bookkeeping and epoch creation.
 
 use setchain_crypto::{
-    parallel_map, sign_with, Digest512, FxHashMap, FxHashSet, HmacSha256Key, HmacSha512Key,
-    KeyPair, KeyRegistry, ProcessId, SigVerifier, Signature,
+    parallel_map, parallel_map_min, sign_with, Digest512, FxHashMap, FxHashSet, HmacSha256Key,
+    HmacSha512Key, KeyPair, KeyRegistry, ProcessId, SigVerifier, Signature,
 };
 use setchain_ledger::AppCtx;
 use setchain_simnet::{SimDuration, SimTime};
@@ -15,6 +15,7 @@ use crate::config::SetchainConfig;
 use crate::element::Element;
 use crate::messages::SetchainMsg;
 use crate::proofs::{epoch_hash, make_epoch_proof_with_key, EpochProof};
+use crate::shard::ShardRing;
 use crate::state::SetchainState;
 use crate::trace::SetchainTrace;
 use crate::tx::{HashBatch, SetchainTx};
@@ -78,6 +79,27 @@ pub struct ServerStats {
     pub catchup_rejections: u64,
 }
 
+/// One admission shard's counters: the per-shard rollup behind
+/// [`ServerCore::shard_stats`]. With one shard (the default pipeline) the
+/// single entry mirrors the whole server.
+///
+/// `#[non_exhaustive]` like [`ServerStats`]: read the fields, never
+/// construct downstream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ShardStats {
+    /// The shard index on the admission ring.
+    pub shard: usize,
+    /// Memoized admission verdicts held by this shard's cache.
+    pub cached_verdicts: u64,
+    /// Admission cache hits on this shard.
+    pub admission_hits: u64,
+    /// Admission cache misses on this shard.
+    pub admission_misses: u64,
+    /// Elements of `the_set` the ring routed to this shard.
+    pub set_len: u64,
+}
+
 /// State and helpers shared by `VanillaApp`, `CompresschainApp` and
 /// `HashchainApp`.
 pub struct ServerCore {
@@ -99,14 +121,19 @@ pub struct ServerCore {
     /// client this server has validated elements from. Populated lazily;
     /// bounded by the number of clients.
     client_keys: FxHashMap<ProcessId, HmacSha256Key>,
-    /// Memoized admission verdicts: an element's authenticator digest is
-    /// checked exactly once per server, keyed on the element id and guarded
-    /// by the full `(client, size, seed, mac)` identity — see
-    /// [`AdmissionCache`]. Verdicts that depend on registry *absence*
-    /// (unknown client) are never cached, so a client registered later is
-    /// still picked up; replacing an already-registered key mid-run is not
-    /// supported by the caches.
-    admission: AdmissionCache,
+    /// Memoized admission verdicts, one cache per admission shard: an
+    /// element's authenticator digest is checked exactly once per server,
+    /// keyed on the element id and guarded by the full
+    /// `(client, size, seed, mac)` identity — see [`AdmissionCache`]. The
+    /// ring routes each element to its shard's cache; with one shard (the
+    /// default) this is exactly the old single cache. Verdicts that depend
+    /// on registry *absence* (unknown client) are never cached, so a client
+    /// registered later is still picked up; replacing an
+    /// already-registered key mid-run is not supported by the caches.
+    admission: Vec<AdmissionCache>,
+    /// The consistent-hash ring mapping element ids to admission shards
+    /// (see [`crate::shard`]). Built once from `config.shards`.
+    ring: ShardRing,
     /// This server's own HMAC key schedule: signing proofs and hash-batches
     /// does not rebuild the key pads per signature.
     own_key: HmacSha512Key,
@@ -151,16 +178,18 @@ impl ServerCore {
         byz: ServerByzMode,
     ) -> Self {
         let own_key = HmacSha512Key::new(&keys.secret.0);
+        let shards = config.shards.max(1);
         ServerCore {
             keys,
             registry,
+            state: SetchainState::with_shards(shards),
             config,
-            state: SetchainState::new(),
             trace,
             byz,
             stats: ServerStats::default(),
             client_keys: FxHashMap::default(),
-            admission: AdmissionCache::new(),
+            admission: (0..shards).map(|_| AdmissionCache::new()).collect(),
+            ring: ShardRing::new(shards),
             own_key,
             verifier: SigVerifier::new(),
             miss_scratch: Vec::new(),
@@ -171,9 +200,39 @@ impl ServerCore {
         }
     }
 
-    /// Read access to the admission cache (hit/miss counters for reports).
+    /// Read access to the first admission shard's cache (hit/miss counters
+    /// for reports). With one shard — the default — this is the whole
+    /// admission state; sharded servers expose every cache through
+    /// [`Self::admission_caches`].
     pub fn admission_cache(&self) -> &AdmissionCache {
+        &self.admission[0]
+    }
+
+    /// Read access to every admission shard's cache, ring-ordered.
+    pub fn admission_caches(&self) -> &[AdmissionCache] {
         &self.admission
+    }
+
+    /// The consistent-hash ring routing element ids to admission shards.
+    pub fn shard_ring(&self) -> &ShardRing {
+        &self.ring
+    }
+
+    /// Per-shard counters: each admission shard's cache size and hit/miss
+    /// totals plus its `the_set` partition length. The rollup across
+    /// entries covers the whole server (see [`ShardStats`]).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.admission
+            .iter()
+            .enumerate()
+            .map(|(shard, cache)| ShardStats {
+                shard,
+                cached_verdicts: cache.len() as u64,
+                admission_hits: cache.hits(),
+                admission_misses: cache.misses(),
+                set_len: self.state.shard_set_len(shard) as u64,
+            })
+            .collect()
     }
 
     /// This server's process id.
@@ -201,13 +260,14 @@ impl ServerCore {
     /// computed at most once per element per server, and the per-client HMAC
     /// key schedule is shared across elements.
     pub fn element_valid(&mut self, element: &Element) -> bool {
-        if let Some(verdict) = self.admission.lookup(element) {
+        let shard = self.ring.shard_of(element.id);
+        if let Some(verdict) = self.admission[shard].lookup(element) {
             return verdict;
         }
         let key = self.client_key(element.client);
         let (verdict, cacheable) = Self::verdict_with_key(element, key);
         if cacheable {
-            self.admission.record(element, verdict);
+            self.admission[shard].record(element, verdict);
         }
         verdict
     }
@@ -232,15 +292,19 @@ impl ServerCore {
 
     /// Validates a batch of elements, returning one verdict per element in
     /// order — the batched core of server-side validation. Memoized verdicts
-    /// are served from the cache; the misses are checked through
-    /// `parallel_map` (sequential below its `MIN_PARALLEL_LEN` threshold)
-    /// with per-client precomputed HMAC key schedules.
+    /// are served from the per-shard caches; the misses are checked through
+    /// `parallel_map` with per-client precomputed HMAC key schedules. With
+    /// one shard (the default) the misses fan out element-wise, sequential
+    /// below `MIN_PARALLEL_LEN` — the exact pre-sharding pipeline. With
+    /// more, they group by ring shard and the *shard groups* fan out, each
+    /// shard's lane running sequentially into its own cache
+    /// (`validate_misses_sharded`).
     pub fn validate_elements(&mut self, elements: &[Element]) -> Vec<bool> {
         let mut verdicts = vec![false; elements.len()];
         let mut misses = std::mem::take(&mut self.miss_scratch);
         debug_assert!(misses.is_empty());
         for (i, e) in elements.iter().enumerate() {
-            match self.admission.lookup(e) {
+            match self.admission[self.ring.shard_of(e.id)].lookup(e) {
                 Some(verdict) => verdicts[i] = verdict,
                 None => misses.push(i),
             }
@@ -255,6 +319,12 @@ impl ServerCore {
         for &i in &misses {
             let _ = self.client_key(elements[i].client);
         }
+        if self.ring.shards() > 1 {
+            self.validate_misses_sharded(elements, &misses, &mut verdicts);
+            misses.clear();
+            self.miss_scratch = misses;
+            return verdicts;
+        }
         let mut pending = std::mem::take(&mut self.pending_scratch);
         debug_assert!(pending.is_empty());
         pending.extend(misses.iter().map(|&i| elements[i]));
@@ -267,11 +337,11 @@ impl ServerCore {
         });
         // Pre-size the cache from the observed batch cardinality so the
         // bulk insertions below do not rehash the table mid-batch.
-        self.admission.reserve(misses.len());
+        self.admission[0].reserve(misses.len());
         for (&i, (e, (verdict, cacheable))) in misses.iter().zip(pending.iter().zip(checked)) {
             verdicts[i] = verdict;
             if cacheable {
-                self.admission.record(e, verdict);
+                self.admission[0].record(e, verdict);
             }
         }
         misses.clear();
@@ -279,6 +349,48 @@ impl ServerCore {
         self.miss_scratch = misses;
         self.pending_scratch = pending;
         verdicts
+    }
+
+    /// The sharded miss path of [`Self::validate_elements`]: cache misses
+    /// group by ring shard and the shard groups fan out through
+    /// `parallel_map_min` — one lane per shard, each lane checking its
+    /// elements sequentially and recording into its own cache afterwards.
+    /// `verdict_with_key` is pure, so the verdicts are position-identical
+    /// to the unsharded path for any grouping.
+    fn validate_misses_sharded(
+        &mut self,
+        elements: &[Element],
+        misses: &[usize],
+        verdicts: &mut [bool],
+    ) {
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.ring.shards()];
+        for &i in misses {
+            groups[self.ring.shard_of(elements[i].id)].push(i);
+        }
+        let keys = &self.client_keys;
+        // Shard counts are far below MIN_PARALLEL_LEN, so the fan-out uses
+        // an explicit threshold of 2 groups instead of the element-wise
+        // default.
+        let checked: Vec<Vec<(usize, bool, bool)>> =
+            parallel_map_min(&groups, self.threads, 2, |group| {
+                group
+                    .iter()
+                    .map(|&i| {
+                        let e = &elements[i];
+                        let (verdict, cacheable) = Self::verdict_with_key(e, keys.get(&e.client));
+                        (i, verdict, cacheable)
+                    })
+                    .collect()
+            });
+        for (shard, lane) in checked.iter().enumerate() {
+            self.admission[shard].reserve(lane.len());
+            for &(i, verdict, cacheable) in lane {
+                verdicts[i] = verdict;
+                if cacheable {
+                    self.admission[shard].record(&elements[i], verdict);
+                }
+            }
+        }
     }
 
     /// The paper's `add(e)` precondition: `valid_element(e) ∧ e ∉ the_set`.
@@ -317,7 +429,10 @@ impl ServerCore {
     /// Verdicts for batches claiming an unregistered client are not cached,
     /// mirroring [`Self::element_valid`]: the client may register later.
     fn batch_verdict(&mut self, batch: &AuthedBatch) -> (bool, bool) {
-        if let Some(verdict) = self.admission.lookup_root(batch) {
+        // Root verdicts are not per-element, so they live on the first
+        // shard's cache regardless of the ring; the per-element warm-up
+        // below routes each member to its own shard.
+        if let Some(verdict) = self.admission[0].lookup_root(batch) {
             return (verdict, false);
         }
         let (verdict, cacheable) = if batch.client.is_server() || batch.elements.is_empty() {
@@ -329,11 +444,13 @@ impl ServerCore {
             }
         };
         if cacheable {
-            self.admission.record_root(batch, verdict);
+            self.admission[0].record_root(batch, verdict);
             if verdict {
-                self.admission.reserve(batch.elements.len());
+                if self.ring.shards() == 1 {
+                    self.admission[0].reserve(batch.elements.len());
+                }
                 for e in &batch.elements {
-                    self.admission.record(e, true);
+                    self.admission[self.ring.shard_of(e.id)].record(e, true);
                 }
             }
         }
@@ -773,12 +890,21 @@ mod tests {
     use crate::element::ElementId;
 
     fn core_with(seed: u64, servers: usize, clients: usize) -> (ServerCore, KeyRegistry) {
+        core_with_shards(seed, servers, clients, 1)
+    }
+
+    fn core_with_shards(
+        seed: u64,
+        servers: usize,
+        clients: usize,
+        shards: usize,
+    ) -> (ServerCore, KeyRegistry) {
         let registry = KeyRegistry::bootstrap(seed, servers, clients);
         let keys = registry.lookup(ProcessId::server(0)).unwrap();
         let core = ServerCore::new(
             keys,
             registry.clone(),
-            SetchainConfig::new(servers),
+            SetchainConfig::new(servers).with_shards(shards),
             SetchainTrace::new(),
             ServerByzMode::Correct,
         );
@@ -967,6 +1093,95 @@ mod tests {
     }
 
     #[test]
+    fn sharded_cores_validate_identically_and_roll_up_stats() {
+        let clients = 5usize;
+        let elements: Vec<Element> = {
+            let registry = KeyRegistry::bootstrap(67, 4, clients);
+            (0..200)
+                .map(|i| {
+                    element_from_spec(
+                        &registry,
+                        clients,
+                        (
+                            i % (clients + 2),
+                            i as u64,
+                            100 + (i % 900) as u32,
+                            (i % 5) as u8,
+                        ),
+                    )
+                })
+                .collect()
+        };
+        let (mut oracle, _) = core_with(67, 4, clients);
+        let expected = oracle.validate_elements(&elements);
+        for shards in [2usize, 4, 8] {
+            let (mut core, _) = core_with_shards(67, 4, clients, shards);
+            core.threads = 4; // force the shard-group fan-out on 1-core hosts
+            assert_eq!(core.admission_caches().len(), shards);
+            assert_eq!(core.shard_ring().shards(), shards);
+            assert_eq!(
+                core.validate_elements(&elements),
+                expected,
+                "{shards} shards"
+            );
+            // Re-validation is served from the per-shard memos.
+            let hits_before: u64 = core.shard_stats().iter().map(|s| s.admission_hits).sum();
+            assert_eq!(core.validate_elements(&elements), expected);
+            let stats = core.shard_stats();
+            assert_eq!(stats.len(), shards);
+            assert!(
+                stats.iter().map(|s| s.admission_hits).sum::<u64>() > hits_before,
+                "re-validation hit the shard caches"
+            );
+            // The rollup covers every cached verdict exactly once: shard
+            // caches partition the id space.
+            let cacheable: u64 = expected.len() as u64
+                - elements
+                    .iter()
+                    .filter(|e| {
+                        // Unknown-client verdicts are never memoized.
+                        !e.client.is_server()
+                            && e.size_in_bounds()
+                            && oracle.registry.lookup(e.client).is_none()
+                    })
+                    .map(|e| e.id)
+                    .collect::<FxHashSet<_>>()
+                    .len() as u64;
+            let distinct: FxHashSet<_> = elements.iter().map(|e| e.id).collect();
+            let cached: u64 = stats.iter().map(|s| s.cached_verdicts).sum();
+            assert!(cached <= distinct.len() as u64);
+            assert!(cached <= cacheable);
+            assert!(cached > 0);
+        }
+    }
+
+    #[test]
+    fn sharded_batch_verdict_warms_the_right_shard_caches() {
+        let (mut core, registry) = core_with_shards(71, 4, 3, 4);
+        let batch = sealed_from(&registry, 0, 40);
+        let (verdict, fresh) = core.batch_verdict(&batch);
+        assert!(verdict && fresh);
+        // Every member validates from its shard's warmed cache: no new
+        // misses anywhere.
+        let misses_before: u64 = core.shard_stats().iter().map(|s| s.admission_misses).sum();
+        assert!(core.validate_elements(&batch.elements).iter().all(|v| *v));
+        let misses_after: u64 = core.shard_stats().iter().map(|s| s.admission_misses).sum();
+        assert_eq!(misses_before, misses_after);
+        // The warmed verdicts landed on the shard each id maps to: the
+        // per-shard cache sizes partition the batch exactly.
+        let mut expected_per_shard = [0usize; 4];
+        for e in &batch.elements {
+            expected_per_shard[core.shard_ring().shard_of(e.id)] += 1;
+        }
+        for (shard, cache) in core.admission_caches().iter().enumerate() {
+            assert_eq!(cache.len(), expected_per_shard[shard], "shard {shard}");
+        }
+        // Root verdict memoized on the first shard's cache.
+        assert_eq!(core.batch_verdict(&batch), (true, false));
+        assert_eq!(core.admission_cache().root_len(), 1);
+    }
+
+    #[test]
     fn unknown_owner_batches_are_rejected_but_not_memoized() {
         let (mut core, registry) = core_with(61, 2, 1);
         let late = KeyPair::derive(ProcessId::client(5), 909);
@@ -1018,6 +1233,48 @@ mod tests {
                 for (e, expected) in elements.iter().zip(&sequential) {
                     prop_assert_eq!(core.element_valid(e), *expected);
                 }
+            }
+
+            /// Per-shard parallel validation equals sequential `is_valid`:
+            /// the sharded miss path (shard-grouped fan-out into per-shard
+            /// caches) accepts/rejects exactly the element sets the
+            /// sequential path does, for arbitrary element mixes, thread
+            /// counts and shard counts — the sharded mirror of
+            /// `prop_batched_validation_equals_sequential`.
+            #[test]
+            fn prop_sharded_validation_equals_sequential(
+                specs in proptest::collection::vec(
+                    (0usize..8, 0u64..32, 0u32..2000, 0u8..5),
+                    0..120,
+                ),
+                threads in 1usize..8,
+                shards in 1usize..7,
+                seed in 1u64..500,
+            ) {
+                let clients = 5usize;
+                let (mut core, registry) = core_with_shards(seed, 4, clients, shards);
+                core.threads = threads;
+                let elements: Vec<Element> = specs
+                    .iter()
+                    .map(|s| element_from_spec(&registry, clients, *s))
+                    .collect();
+                let sequential: Vec<bool> =
+                    elements.iter().map(|e| e.is_valid(&registry)).collect();
+                let batched = core.validate_elements(&elements);
+                prop_assert_eq!(&batched, &sequential);
+                // Re-validation through the per-shard memos is stable.
+                prop_assert_eq!(&core.validate_elements(&elements), &sequential);
+                // The single-element memoized path agrees too.
+                for (e, expected) in elements.iter().zip(&sequential) {
+                    prop_assert_eq!(core.element_valid(e), *expected);
+                }
+                // Every memoized verdict sits on the shard its id maps to:
+                // the caches partition cleanly and the rollup is exact.
+                let stats = core.shard_stats();
+                prop_assert_eq!(stats.len(), shards);
+                let cached: u64 = stats.iter().map(|s| s.cached_verdicts).sum();
+                let distinct: FxHashSet<_> = elements.iter().map(|e| e.id).collect();
+                prop_assert!(cached <= distinct.len() as u64);
             }
 
             /// The admission cache never whitelists: after a warm-up pass

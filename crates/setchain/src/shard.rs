@@ -1,0 +1,459 @@
+//! Shard-aware admission: a deterministic consistent-hash ring that
+//! partitions the element-id space across per-shard admission pipelines,
+//! and the cross-shard epoch aggregator that merges per-shard sub-epochs
+//! back into the single signed global epoch digest.
+//!
+//! # Design
+//!
+//! Sharding here is **server-internal organization**, not a protocol
+//! change. The [`ShardRing`] maps every [`ElementId`] to exactly one shard;
+//! each shard owns its own admission cache, validation fan-out lane and
+//! `the_set` partition. Nothing on the wire changes: no message gains a
+//! shard field, no simulated CPU charge depends on the shard count, and no
+//! verdict differs from the unsharded pipeline — so a deployment run with
+//! `shards(n)` is *bit-identical* to the same run with `shards(1)`, which
+//! makes the unsharded pipeline the standing correctness oracle for every
+//! sharded configuration (`tests/shard_conformance.rs` pins this
+//! differentially).
+//!
+//! # Epoch aggregation and proof-format compatibility
+//!
+//! The global epoch digest commits to the chunked Merkle root over the
+//! epoch's elements in canonical (ascending id) order
+//! ([`crate::epoch_hash`]). The aggregator ([`aggregate_epoch`]) therefore:
+//!
+//! 1. partitions the epoch's elements by ring shard,
+//! 2. sorts each partition by id and commits it as a [`SubEpoch`] — its own
+//!    chunked Merkle sub-root plus a domain-separated commitment binding
+//!    `(shard, count, sub_root)` so a sub-root can never be confused with a
+//!    whole-epoch root,
+//! 3. k-way merges the sorted partitions back into the global canonical
+//!    order and computes the chunked root over the merged sequence.
+//!
+//! Because a merge of disjoint sorted partitions *is* the sorted whole, the
+//! merged root equals [`crate::epoch_root`] exactly, and the signed digest
+//! [`crate::epoch_hash_for_root`]`(epoch, count, root)` is byte-identical
+//! to the unsharded computation. Epoch-proofs and element→epoch inclusion
+//! proofs keep their wire formats untouched; clients and light clients
+//! cannot tell how many shards a server ran with.
+
+use setchain_crypto::{domain_hash, Digest256};
+
+use crate::batch_auth::batch_root;
+use crate::element::{Element, ElementId};
+
+/// Domain tag for per-shard sub-root commitments: separates a shard's
+/// sub-epoch commitment from every whole-epoch or batch root over the same
+/// element bytes.
+const SUB_ROOT_DOMAIN: &[u8] = b"setchain-shard-subroot";
+
+/// Virtual ring points each shard places on the consistent-hash ring.
+/// Enough that the arc lengths (and thus the element distribution) stay
+/// well within 2x of uniform for the small shard counts deployments use.
+const VNODES_PER_SHARD: usize = 128;
+
+/// SplitMix64 finalizer: a cheap bijective mixer with full avalanche, used
+/// both to place the virtual ring points and to hash element ids onto the
+/// ring. Deterministic — no RNG, no per-process state — so every server of
+/// every run agrees on the partition.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// A deterministic consistent-hash ring mapping element ids to shards.
+///
+/// Construction is a pure function of the shard count: shard `s` places
+/// `VNODES_PER_SHARD` (128) points at `mix64(s ‖ v)` and an id lands on the
+/// first point clockwise of `mix64(id)`. Two rings with the same shard
+/// count are identical, and — consistent hashing's defining property —
+/// growing the ring only moves ids *onto* the new shard, never between
+/// surviving shards.
+#[derive(Clone, Debug)]
+pub struct ShardRing {
+    shards: usize,
+    /// `(ring position, shard)` sorted by position; empty for one shard
+    /// (everything maps to shard 0 without hashing).
+    points: Vec<(u64, u32)>,
+}
+
+impl Default for ShardRing {
+    /// The unsharded ring: one shard, no ring points.
+    fn default() -> Self {
+        ShardRing::new(1)
+    }
+}
+
+impl ShardRing {
+    /// Builds the ring for `shards` shards. Deterministic: the same count
+    /// always yields the same ring.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard required");
+        let mut points = Vec::new();
+        if shards > 1 {
+            points.reserve(shards * VNODES_PER_SHARD);
+            for shard in 0..shards {
+                for vnode in 0..VNODES_PER_SHARD {
+                    let point = mix64(((shard as u64) << 32) | vnode as u64);
+                    points.push((point, shard as u32));
+                }
+            }
+            // Position ties (astronomically unlikely for a bijective mixer
+            // over distinct inputs, but cheap to pin) break by shard index,
+            // keeping the sort — and thus the map — fully deterministic.
+            points.sort_unstable();
+        }
+        ShardRing { shards, points }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `id`: total (every id maps to exactly one shard)
+    /// and deterministic (a pure function of `id` and the shard count).
+    pub fn shard_of(&self, id: ElementId) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        let h = mix64(id.0);
+        // First ring point at or clockwise of the id's position, wrapping
+        // past the top of the u64 circle to the first point.
+        let at = self.points.partition_point(|p| p.0 < h);
+        let (_, shard) = self.points[if at == self.points.len() { 0 } else { at }];
+        shard as usize
+    }
+
+    /// Partitions `elements` by owning shard, preserving the input order
+    /// within each partition. Returns one (possibly empty) bucket per
+    /// shard.
+    pub fn partition(&self, elements: &[Element]) -> Vec<Vec<Element>> {
+        let mut parts: Vec<Vec<Element>> = vec![Vec::new(); self.shards];
+        for e in elements {
+            parts[self.shard_of(e.id)].push(*e);
+        }
+        parts
+    }
+}
+
+/// One shard's contribution to an epoch: its element count, its chunked
+/// Merkle sub-root over the shard's elements in ascending id order, and the
+/// domain-separated commitment binding the triple.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SubEpoch {
+    /// The shard index on the ring.
+    pub shard: usize,
+    /// Elements this shard contributed to the epoch.
+    pub count: u64,
+    /// Chunked Merkle root ([`crate::batch_root`]) over the shard's
+    /// elements in canonical order — an internal commitment; the *global*
+    /// root the epoch digest signs is computed over the merged order.
+    pub sub_root: Digest256,
+    /// `domain_hash("setchain-shard-subroot", shard, count, sub_root)`:
+    /// the tagged form that can never collide with a whole-epoch root.
+    pub commitment: Digest256,
+}
+
+/// The domain-separated commitment for one shard's sub-epoch. Exposed so
+/// tests and diagnostics can recompute what [`aggregate_epoch`] stores.
+pub fn sub_epoch_commitment(shard: usize, count: u64, sub_root: &Digest256) -> Digest256 {
+    domain_hash(
+        SUB_ROOT_DOMAIN,
+        &[
+            &(shard as u64).to_le_bytes()[..],
+            &count.to_le_bytes(),
+            sub_root.as_bytes(),
+        ],
+    )
+}
+
+/// The cross-shard aggregation of one epoch: per-shard sub-epochs plus the
+/// merged canonical order and its global root.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct ShardedEpoch {
+    /// One sub-epoch per shard (empty shards included, with count 0).
+    pub sub_epochs: Vec<SubEpoch>,
+    /// All elements in global canonical (ascending id) order — the k-way
+    /// merge of the per-shard sorted partitions.
+    pub elements: Vec<Element>,
+    /// Chunked Merkle root over `elements`; equal to
+    /// [`crate::epoch_root`] of the input by construction.
+    pub root: Digest256,
+}
+
+/// Aggregates one epoch's elements across the ring's shards: sorts each
+/// shard's partition, commits it as a [`SubEpoch`], then k-way merges the
+/// partitions into the global canonical order and computes the global root
+/// the epoch digest signs. The merged root is *exactly*
+/// [`crate::epoch_root`]`(elements)` — disjoint sorted partitions merge to
+/// the sorted whole — which is what keeps sharded epoch digests
+/// byte-identical to unsharded ones.
+pub fn aggregate_epoch(ring: &ShardRing, elements: &[Element]) -> ShardedEpoch {
+    let mut parts = ring.partition(elements);
+    for part in &mut parts {
+        part.sort_by_key(|e| e.id);
+    }
+    let sub_epochs = parts
+        .iter()
+        .enumerate()
+        .map(|(shard, part)| {
+            let sub_root = batch_root(part);
+            SubEpoch {
+                shard,
+                count: part.len() as u64,
+                sub_root,
+                commitment: sub_epoch_commitment(shard, part.len() as u64, &sub_root),
+            }
+        })
+        .collect();
+    let elements = merge_sorted(parts);
+    let root = batch_root(&elements);
+    ShardedEpoch {
+        sub_epochs,
+        elements,
+        root,
+    }
+}
+
+/// K-way merge of per-shard partitions, each sorted ascending by id, into
+/// one globally sorted sequence. Shard counts are small, so a linear scan
+/// for the minimum head beats a heap on every realistic input.
+fn merge_sorted(parts: Vec<Vec<Element>>) -> Vec<Element> {
+    let total = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; parts.len()];
+    loop {
+        let mut next: Option<(usize, ElementId)> = None;
+        for (p, part) in parts.iter().enumerate() {
+            if let Some(e) = part.get(cursors[p]) {
+                if next.is_none_or(|(_, min)| e.id < min) {
+                    next = Some((p, e.id));
+                }
+            }
+        }
+        match next {
+            Some((p, _)) => {
+                out.push(parts[p][cursors[p]]);
+                cursors[p] += 1;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proofs::{epoch_hash, epoch_hash_for_root, epoch_root};
+    use setchain_crypto::{KeyRegistry, ProcessId};
+
+    fn sample_elements(n: u64) -> Vec<Element> {
+        let registry = KeyRegistry::bootstrap(5, 2, 4);
+        (0..n)
+            .map(|i| {
+                let client = (i % 4) as usize;
+                let keys = registry.lookup(ProcessId::client(client)).unwrap();
+                Element::new(
+                    &keys,
+                    ElementId::new(client as u32, i),
+                    200 + (i % 700) as u32,
+                    i,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_shard_maps_everything_to_shard_zero() {
+        let ring = ShardRing::default();
+        assert_eq!(ring.shards(), 1);
+        for i in 0..1000u64 {
+            assert_eq!(ring.shard_of(ElementId(i.wrapping_mul(0x9e3779b9))), 0);
+        }
+    }
+
+    #[test]
+    fn ring_is_total_deterministic_and_within_2x_of_uniform() {
+        // The satellite property spelled out: every id maps to exactly one
+        // shard, reruns agree, and a 10k-id sample lands within 2x of the
+        // uniform share for 2, 4 and 8 shards.
+        let ids: Vec<ElementId> = (0..10_000u64)
+            .map(|i| ElementId::new((i % 300) as u32, i / 300 + (i % 7) * 1000))
+            .collect();
+        for shards in [2usize, 4, 8] {
+            let ring = ShardRing::new(shards);
+            let rerun = ShardRing::new(shards);
+            let mut counts = vec![0u64; shards];
+            for id in &ids {
+                let s = ring.shard_of(*id);
+                assert!(s < shards, "total: {s} out of range for {shards} shards");
+                assert_eq!(s, rerun.shard_of(*id), "deterministic across reruns");
+                counts[s] += 1;
+            }
+            let uniform = ids.len() as f64 / shards as f64;
+            for (s, &c) in counts.iter().enumerate() {
+                assert!(
+                    (c as f64) < 2.0 * uniform && (c as f64) > uniform / 2.0,
+                    "shard {s}/{shards} holds {c} of {} ids (uniform {uniform})",
+                    ids.len(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_only_moves_ids_onto_new_shards() {
+        // Consistent hashing's defining property, over doublings.
+        let ids: Vec<ElementId> = (0..4_000u64).map(|i| ElementId::new(3, i)).collect();
+        for (small, large) in [(2usize, 4usize), (4, 8)] {
+            let a = ShardRing::new(small);
+            let b = ShardRing::new(large);
+            for id in &ids {
+                let before = a.shard_of(*id);
+                let after = b.shard_of(*id);
+                assert!(
+                    after == before || after >= small,
+                    "id {id:?} moved between surviving shards: {before} -> {after}",
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_covers_every_element_exactly_once_in_order() {
+        let elements = sample_elements(500);
+        let ring = ShardRing::new(4);
+        let parts = ring.partition(&elements);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), elements.len());
+        for (shard, part) in parts.iter().enumerate() {
+            for e in part {
+                assert_eq!(ring.shard_of(e.id), shard);
+            }
+        }
+        // Input order is preserved within each partition.
+        for part in &parts {
+            let mut last = None;
+            for e in part {
+                let pos = elements.iter().position(|x| x.id == e.id).unwrap();
+                assert!(last.is_none_or(|l| pos > l));
+                last = Some(pos);
+            }
+        }
+    }
+
+    #[test]
+    fn aggregated_root_equals_the_unsharded_epoch_root() {
+        // The compatibility argument, checked directly: for every shard
+        // count the merged root — and thus the signed digest — is
+        // byte-identical to the unsharded computation, even though the
+        // input arrives in arbitrary (non-canonical) order.
+        let mut elements = sample_elements(300);
+        elements.reverse();
+        let expected_root = epoch_root(&elements);
+        let expected_digest = epoch_hash(7, &elements);
+        for shards in [1usize, 2, 3, 4, 8] {
+            let ring = ShardRing::new(shards);
+            let agg = aggregate_epoch(&ring, &elements);
+            assert_eq!(agg.root, expected_root, "{shards} shards");
+            assert_eq!(
+                epoch_hash_for_root(7, agg.elements.len() as u64, &agg.root),
+                expected_digest,
+                "{shards} shards",
+            );
+            // The merge really is the canonical order.
+            assert!(agg.elements.windows(2).all(|w| w[0].id < w[1].id));
+            assert_eq!(agg.elements.len(), elements.len());
+            // Sub-epoch counts cover the epoch.
+            assert_eq!(
+                agg.sub_epochs.iter().map(|s| s.count).sum::<u64>(),
+                elements.len() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn sub_epoch_commitments_are_domain_separated_and_rebindable() {
+        let elements = sample_elements(64);
+        let ring = ShardRing::new(4);
+        let agg = aggregate_epoch(&ring, &elements);
+        for sub in &agg.sub_epochs {
+            // The stored commitment recomputes from the triple.
+            assert_eq!(
+                sub.commitment,
+                sub_epoch_commitment(sub.shard, sub.count, &sub.sub_root)
+            );
+            // Domain separation: a sub-root commitment never equals the raw
+            // sub-root and binds the shard index.
+            assert_ne!(sub.commitment, sub.sub_root);
+            if sub.shard > 0 {
+                assert_ne!(
+                    sub.commitment,
+                    sub_epoch_commitment(0, sub.count, &sub.sub_root)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_epoch_aggregates_cleanly() {
+        let ring = ShardRing::new(4);
+        let agg = aggregate_epoch(&ring, &[]);
+        assert!(agg.elements.is_empty());
+        assert_eq!(agg.root, epoch_root(&[]));
+        assert_eq!(agg.sub_epochs.len(), 4);
+        assert!(agg.sub_epochs.iter().all(|s| s.count == 0));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Totality + determinism over arbitrary ids and shard counts,
+            /// and stability of the partition under re-partitioning.
+            #[test]
+            fn prop_ring_is_total_and_deterministic(
+                ids in proptest::collection::vec(0u64..u64::MAX, 0..200),
+                shards in 1usize..9,
+            ) {
+                let ring = ShardRing::new(shards);
+                let rerun = ShardRing::new(shards);
+                for &raw in &ids {
+                    let id = ElementId(raw);
+                    let s = ring.shard_of(id);
+                    prop_assert!(s < shards);
+                    prop_assert_eq!(s, ring.shard_of(id));
+                    prop_assert_eq!(s, rerun.shard_of(id));
+                }
+            }
+
+            /// The aggregator reproduces the unsharded epoch digest for any
+            /// element set and shard count (duplicate-free ids, as
+            /// `record_epoch` guarantees).
+            #[test]
+            fn prop_aggregation_reproduces_epoch_root(
+                n in 0u64..150,
+                epoch in 1u64..1000,
+                shards in 1usize..9,
+            ) {
+                let elements = sample_elements(n);
+                let ring = ShardRing::new(shards);
+                let agg = aggregate_epoch(&ring, &elements);
+                prop_assert_eq!(agg.root, epoch_root(&elements));
+                prop_assert_eq!(
+                    epoch_hash_for_root(epoch, agg.elements.len() as u64, &agg.root),
+                    epoch_hash(epoch, &elements)
+                );
+            }
+        }
+    }
+}

@@ -55,11 +55,25 @@ pub struct Scenario {
     /// injected batch ([`AuthMode::BatchRoot`]).
     #[serde(default)]
     pub auth_mode: AuthMode,
+    /// Number of admission shards per server (see [`setchain::shard`]):
+    /// each server partitions its admission caches, validation fan-out and
+    /// `the_set` across this many shards. Host-side organization only —
+    /// schedules, verdicts and epoch digests are identical for every value,
+    /// so 1 (the default, the unsharded pipeline) is the correctness
+    /// oracle for every other setting.
+    #[serde(default = "default_shards")]
+    pub shards: usize,
     /// Record the detailed per-element / per-transaction trace needed for the
     /// latency CDF (Fig. 4). Costs memory, so throughput runs leave it off.
     pub detailed_trace: bool,
     /// RNG seed.
     pub seed: u64,
+}
+
+/// Serde default for [`Scenario::shards`]: pre-sharding scenarios read back
+/// unsharded, never with zero shards.
+fn default_shards() -> usize {
+    1
 }
 
 impl Default for Scenario {
@@ -90,6 +104,7 @@ impl Scenario {
             designated_signers: None,
             push_batches: false,
             auth_mode: AuthMode::default(),
+            shards: default_shards(),
             detailed_trace: false,
             seed: 42,
         }
@@ -179,6 +194,14 @@ impl Scenario {
         self
     }
 
+    /// Builder: sets the number of admission shards per server (default 1,
+    /// the unsharded pipeline).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard required");
+        self.shards = shards;
+        self
+    }
+
     /// Builder: enables the detailed trace.
     pub fn detailed(mut self) -> Self {
         self.detailed_trace = true;
@@ -221,7 +244,9 @@ impl Scenario {
         if self.push_batches {
             config = config.with_push_batches();
         }
-        config = config.with_auth_mode(self.auth_mode);
+        config = config
+            .with_auth_mode(self.auth_mode)
+            .with_shards(self.shards);
         if self.light {
             config = self.algorithm.light_config(config);
         }
@@ -305,16 +330,19 @@ mod tests {
             .with_collector(500)
             .with_designated_signers(9)
             .with_push_batches()
-            .with_auth_mode(AuthMode::BatchRoot);
+            .with_auth_mode(AuthMode::BatchRoot)
+            .with_shards(4);
         let config = s.setchain_config();
         assert_eq!(config.servers, 10);
         assert_eq!(config.collector_limit, 500);
         assert_eq!(config.designated_signers, Some(9));
         assert!(config.push_batches);
         assert_eq!(config.auth_mode, AuthMode::BatchRoot);
+        assert_eq!(config.shards, 4);
         assert!(config.hash_reversal, "full mode keeps hash reversal");
         let default_auth = Scenario::base(Algorithm::Hashchain).setchain_config();
         assert_eq!(default_auth.auth_mode, AuthMode::PerElement);
+        assert_eq!(default_auth.shards, 1, "unsharded pipeline by default");
 
         let light = Scenario::base(Algorithm::Hashchain)
             .light()

@@ -29,6 +29,15 @@ fn run_once(algorithm: Algorithm, seed: u64) -> RunFingerprint {
 }
 
 fn run_once_with_auth(algorithm: Algorithm, seed: u64, auth: AuthMode) -> RunFingerprint {
+    run_once_sharded(algorithm, seed, auth, 1)
+}
+
+fn run_once_sharded(
+    algorithm: Algorithm,
+    seed: u64,
+    auth: AuthMode,
+    shards: usize,
+) -> RunFingerprint {
     let mut deployment = Deployment::builder(algorithm)
         .servers(4)
         .rate(400.0)
@@ -36,6 +45,7 @@ fn run_once_with_auth(algorithm: Algorithm, seed: u64, auth: AuthMode) -> RunFin
         .injection_secs(3)
         .max_run_secs(12)
         .auth_mode(auth)
+        .shards(shards)
         .seed(seed)
         .build();
     deployment.sim.run_until(SimTime::from_secs(12));
@@ -101,6 +111,32 @@ fn batch_root_same_seed_reproduces_the_exact_run_for_every_variant() {
             first.committed > 0,
             "{algorithm:?}: nothing committed under BatchRoot"
         );
+    }
+}
+
+/// Sharded admission (PR 8) is host-side organization only: it repartitions
+/// each server's caches and `the_set` but charges, messages and verdicts are
+/// untouched. Two guarantees follow, both pinned here: same-seed sharded
+/// reruns are bit-identical, and the sharded fingerprint — scheduler
+/// counters included — *equals* the unsharded one, which is the strongest
+/// statement that `shards(1)` and `shards(4)` run the same simulation.
+#[test]
+fn sharded_runs_reproduce_and_match_the_unsharded_schedule() {
+    for algorithm in Algorithm::ALL {
+        let unsharded = run_once(algorithm, 71);
+        let first = run_once_sharded(algorithm, 71, AuthMode::PerElement, 4);
+        let second = run_once_sharded(algorithm, 71, AuthMode::PerElement, 4);
+        assert_eq!(
+            first, second,
+            "{algorithm:?}: same seed at 4 shards must reproduce the run \
+             bit-for-bit"
+        );
+        assert_eq!(
+            first, unsharded,
+            "{algorithm:?}: sharding leaked into the event schedule or the \
+             committed element sets"
+        );
+        assert!(first.committed > 0, "{algorithm:?}: nothing committed");
     }
 }
 

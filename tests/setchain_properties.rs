@@ -1,7 +1,9 @@
 //! Integration tests: the eight Setchain properties of Section 2, checked on
-//! end-to-end runs of all three algorithms over the simulated ledger.
+//! end-to-end runs of all three algorithms over the simulated ledger — plus
+//! a known-answer test pinning the epoch digest construction itself.
 
-use setchain::{Algorithm, ElementId};
+use setchain::{Algorithm, Element, ElementId, BATCH_CHUNK};
+use setchain_crypto::{KeyRegistry, MerkleTree, ProcessId};
 use setchain_simnet::SimTime;
 use setchain_workload::{Deployment, Scenario};
 
@@ -173,6 +175,70 @@ fn epochs_are_identical_across_servers_for_all_algorithms() {
             );
         }
     }
+}
+
+/// Known-answer test for the `(epoch, count, root)` commitment split: the
+/// digest servers sign must equal [`setchain::epoch_hash_for_root`] applied
+/// to a Merkle root built *by hand* — canonical id order, [`BATCH_CHUNK`]
+/// packed identities per leaf, [`MerkleTree::build`] straight from the
+/// crypto crate, no `batch_root`/`epoch_root` helpers involved. This is the
+/// reconstruction a light client (and PR 8's sub-epoch aggregator) depends
+/// on; a silent change to the leaf layout or the domain string fails here
+/// even if every helper-vs-helper test still agrees with itself.
+#[test]
+fn epoch_hash_for_root_matches_a_hand_built_merkle_tree() {
+    let registry = KeyRegistry::bootstrap(5, 2, 4);
+    // Enough elements for a multi-level tree (3 leaves), inserted in
+    // descending id order to prove the digest canonicalizes.
+    let mut elements: Vec<Element> = (0..20u64)
+        .rev()
+        .map(|i| {
+            let client = (i % 4) as usize;
+            let keys = registry.lookup(ProcessId::client(client)).unwrap();
+            Element::new(&keys, ElementId::new(client as u32, i), 100 + i as u32, i)
+        })
+        .collect();
+
+    let mut canonical = elements.clone();
+    canonical.sort_by_key(|e| e.id);
+    let leaves: Vec<Vec<u8>> = canonical
+        .chunks(BATCH_CHUNK)
+        .map(|chunk| {
+            let mut leaf = Vec::with_capacity(chunk.len() * Element::PACKED_LEN);
+            for e in chunk {
+                leaf.extend_from_slice(&e.pack());
+            }
+            leaf
+        })
+        .collect();
+    assert_eq!(leaves.len(), 3, "20 elements span three 8-element leaves");
+    let hand_root = MerkleTree::build(&leaves).root();
+
+    for epoch in [1u64, 7, 1_000] {
+        assert_eq!(
+            setchain::epoch_hash(epoch, &elements),
+            setchain::epoch_hash_for_root(epoch, elements.len() as u64, &hand_root),
+            "epoch {epoch}: signed digest diverged from the hand-built triple"
+        );
+    }
+    assert_eq!(setchain::epoch_root(&elements), hand_root);
+    // The triple binds epoch and count, not just the root.
+    assert_ne!(
+        setchain::epoch_hash_for_root(1, elements.len() as u64, &hand_root),
+        setchain::epoch_hash_for_root(2, elements.len() as u64, &hand_root)
+    );
+    assert_ne!(
+        setchain::epoch_hash_for_root(1, elements.len() as u64, &hand_root),
+        setchain::epoch_hash_for_root(1, elements.len() as u64 - 1, &hand_root)
+    );
+    // And the order of arrival never matters: a different permutation of
+    // the same elements commits to the same digest.
+    elements.swap(0, 19);
+    elements.swap(3, 11);
+    assert_eq!(
+        setchain::epoch_hash(7, &elements),
+        setchain::epoch_hash(7, &canonical)
+    );
 }
 
 #[test]

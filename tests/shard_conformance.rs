@@ -1,0 +1,184 @@
+//! Shard conformance: the differential oracle harness for PR 8's
+//! shard-aware admission.
+//!
+//! Sharding is *host-side organization only* — each server partitions its
+//! admission caches, validation fan-out and `the_set` across a
+//! consistent-hash ring, but nothing the simulation observes (messages,
+//! CPU charges, verdicts) changes. The executable form of that claim: the
+//! api_matrix scripted session, run at shards ∈ {1, 2, 4} across all three
+//! variants and both authentication modes, must produce
+//!
+//! * the identical committed element set,
+//! * the identical set of confirmed client adds, and
+//! * the identical signed epoch digests, epoch by epoch,
+//!
+//! as the shards = 1 oracle (the exact pre-sharding code path). The epoch
+//! digests are the strongest check: they are what servers sign and clients
+//! verify, so equality proves the sharded sub-epoch aggregation reproduces
+//! the unsharded Merkle commitment byte for byte.
+
+use std::collections::BTreeSet;
+
+use setchain::{Algorithm, AuthMode, ElementId};
+use setchain_crypto::Digest512;
+use setchain_simnet::SimTime;
+use setchain_workload::Deployment;
+
+const SIM_SECS: u64 = 30;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// What one (algorithm, auth, shards) run produced for the shared script.
+struct ShardRun {
+    /// Ids committed into epochs by server 0 (background load + session).
+    committed: BTreeSet<ElementId>,
+    /// The session's add receipts.
+    session_ids: BTreeSet<ElementId>,
+    /// The session's confirmed adds (observed through verified epochs).
+    confirmed: BTreeSet<ElementId>,
+    /// Epochs the session verified with an f+1 proof quorum.
+    verified_epochs: usize,
+    /// Server 0's signed digest for every committed epoch, in order.
+    epoch_digests: Vec<Digest512>,
+    /// Per-shard `the_set` partition sizes on server 0 (ring-ordered).
+    shard_set_lens: Vec<u64>,
+}
+
+/// Runs the api_matrix scripted session with each server's admission
+/// pipeline split across `shards` shards. Identical to the api_matrix
+/// driver except for the `.shards(..)` knob — same seed, same script, same
+/// observation points — so any divergence is attributable to sharding.
+fn drive(algorithm: Algorithm, auth: AuthMode, shards: usize) -> ShardRun {
+    let mut deployment = Deployment::builder(algorithm)
+        .label(format!("shard conformance {algorithm} x{shards}"))
+        .servers(4)
+        .rate(200.0)
+        .collector(25)
+        .injection_secs(4)
+        .max_run_secs(SIM_SECS)
+        .auth_mode(auth)
+        .shards(shards)
+        .seed(99)
+        .build();
+
+    let mut session = deployment.client_session(400, 0xAB1E);
+    let session_ids: BTreeSet<ElementId> = match auth {
+        AuthMode::BatchRoot => {
+            let receipt = session.add_batch(
+                SimTime::from_millis(700),
+                0,
+                (0..5u64).map(|i| (438, 77 + i)),
+            );
+            receipt.ids.iter().copied().collect()
+        }
+        _ => (0..5)
+            .map(|i| {
+                session
+                    .add(
+                        SimTime::from_millis(700 + i * 120),
+                        (i % 4) as usize,
+                        438,
+                        77 + i,
+                    )
+                    .id
+            })
+            .collect(),
+    };
+    session.get(SimTime::from_secs(22), 3);
+    session.get_epochs(SimTime::from_secs(23), 3, 1..=30);
+    session.install(&mut deployment);
+
+    deployment.sim.run_until(SimTime::from_secs(SIM_SECS));
+
+    let server = deployment.server(0);
+    let state = server.state();
+    let committed: BTreeSet<ElementId> = (1..=state.epoch())
+        .flat_map(|e| {
+            state
+                .epoch_elements(e)
+                .expect("epoch in range")
+                .iter()
+                .map(|el| el.id)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let epoch_digests: Vec<Digest512> = (1..=state.epoch())
+        .map(|e| *state.epoch_digest(e).expect("digest for committed epoch"))
+        .collect();
+    let shard_set_lens: Vec<u64> = server.shard_stats().iter().map(|s| s.set_len).collect();
+
+    let outcome = session.outcome(&deployment);
+    ShardRun {
+        committed,
+        session_ids,
+        confirmed: outcome.confirmed_ids().into_iter().collect(),
+        verified_epochs: outcome.verified_count(),
+        epoch_digests,
+        shard_set_lens,
+    }
+}
+
+/// One (algorithm, auth) cell of the matrix: the sharded runs against the
+/// shards = 1 oracle.
+fn check_cell(algorithm: Algorithm, auth: AuthMode) {
+    let oracle = drive(algorithm, auth, SHARD_COUNTS[0]);
+    assert!(
+        oracle.committed.len() > 500,
+        "{algorithm}/{auth:?}: oracle committed too little ({})",
+        oracle.committed.len()
+    );
+    assert!(
+        oracle.verified_epochs > 0,
+        "{algorithm}/{auth:?}: oracle verified no epochs"
+    );
+    assert_eq!(
+        oracle.confirmed, oracle.session_ids,
+        "{algorithm}/{auth:?}: oracle session adds unconfirmed"
+    );
+    assert_eq!(oracle.shard_set_lens.len(), 1, "oracle is unsharded");
+
+    for &shards in &SHARD_COUNTS[1..] {
+        let run = drive(algorithm, auth, shards);
+        assert_eq!(
+            run.committed, oracle.committed,
+            "{algorithm}/{auth:?} x{shards}: committed element set diverged"
+        );
+        assert_eq!(
+            run.confirmed, oracle.confirmed,
+            "{algorithm}/{auth:?} x{shards}: confirmed adds diverged"
+        );
+        assert_eq!(
+            run.verified_epochs, oracle.verified_epochs,
+            "{algorithm}/{auth:?} x{shards}: verified epoch count diverged"
+        );
+        assert_eq!(
+            run.epoch_digests, oracle.epoch_digests,
+            "{algorithm}/{auth:?} x{shards}: signed epoch digests diverged"
+        );
+        // The sharded server holds the same set, partitioned: the per-shard
+        // lengths cover every shard and sum to the oracle's single span.
+        assert_eq!(run.shard_set_lens.len(), shards);
+        assert_eq!(
+            run.shard_set_lens.iter().sum::<u64>(),
+            oracle.shard_set_lens[0],
+            "{algorithm}/{auth:?} x{shards}: shard partition lost elements"
+        );
+    }
+}
+
+#[test]
+fn vanilla_commits_identically_at_every_shard_count() {
+    check_cell(Algorithm::Vanilla, AuthMode::PerElement);
+    check_cell(Algorithm::Vanilla, AuthMode::BatchRoot);
+}
+
+#[test]
+fn compresschain_commits_identically_at_every_shard_count() {
+    check_cell(Algorithm::Compresschain, AuthMode::PerElement);
+    check_cell(Algorithm::Compresschain, AuthMode::BatchRoot);
+}
+
+#[test]
+fn hashchain_commits_identically_at_every_shard_count() {
+    check_cell(Algorithm::Hashchain, AuthMode::PerElement);
+    check_cell(Algorithm::Hashchain, AuthMode::BatchRoot);
+}
