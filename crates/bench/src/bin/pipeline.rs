@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! pipeline [--quick] [--repeats N] [--out FILE] [--check-baseline FILE]
-//!          [--auth-mode MODE] [--parallel-sims N] [--shards N]
+//!          [--auth-mode MODE] [--parallel-sims N] [--shards N] [--store]
 //! ```
 //!
 //! * `--quick` — shorter simulated runs (CI smoke mode).
@@ -26,13 +26,18 @@
 //!   unsharded twin next to the sharded point so the committed-count
 //!   invariant is visible in the JSON; combines with `--parallel-sims` to
 //!   sweep the sharded point across seeds.
+//! * `--store` — add the store-backed grid point (PR 9): the Hashchain
+//!   workhorse drain point persisting every committed epoch to a temporary
+//!   segment store. Off by default, so the in-memory grid labels stay
+//!   byte-comparable to their committed baselines; the `_store` label is
+//!   new, and the gate skips labels absent from the baseline.
 
 use std::process::ExitCode;
 
 use setchain::{Algorithm, AuthMode};
 use setchain_bench::pipeline::{
     auth_grid, compresschain_grid, degraded_grid, grid, run_parallel_sims, run_pipeline_best_of,
-    shard_grid, PipelineConfig, PipelineResult,
+    shard_grid, store_grid, PipelineConfig, PipelineResult,
 };
 
 struct Args {
@@ -43,6 +48,7 @@ struct Args {
     auth_modes: Vec<AuthMode>,
     parallel_sims: usize,
     shards: usize,
+    store: bool,
 }
 
 fn parse_args() -> Args {
@@ -54,6 +60,7 @@ fn parse_args() -> Args {
         auth_modes: vec![AuthMode::PerElement, AuthMode::BatchRoot],
         parallel_sims: 0,
         shards: 1,
+        store: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -94,6 +101,7 @@ fn parse_args() -> Args {
                     .filter(|n| [1usize, 2, 4, 8].contains(n))
                     .expect("--shards takes 1, 2, 4 or 8");
             }
+            "--store" => args.store = true,
             other => panic!("unknown argument: {other}"),
         }
     }
@@ -151,8 +159,9 @@ fn main() -> ExitCode {
 
     // Historical grid (unchanged since PR 2) followed by the drain-mode
     // compresschain grid (PR 3), the authentication-mode grid (PR 6), the
-    // degraded-mode grid (PR 7) and the sharded-admission grid (PR 8);
-    // one flat label space in reports and JSON.
+    // degraded-mode grid (PR 7), the sharded-admission grid (PR 8) and the
+    // opt-in store-backed grid (PR 9); one flat label space in reports and
+    // JSON.
     let mut configs: Vec<PipelineConfig> = grid()
         .into_iter()
         .map(|(algorithm, batch)| {
@@ -167,6 +176,7 @@ fn main() -> ExitCode {
     configs.extend(auth_grid(args.quick, &args.auth_modes));
     configs.extend(degraded_grid(args.quick));
     configs.extend(shard_grid(args.quick, args.shards));
+    configs.extend(store_grid(args.quick, args.store));
 
     let mut entries: Vec<(String, PipelineResult)> = Vec::new();
     for config in &configs {

@@ -34,6 +34,13 @@
 //!   host-side organization only, so the committed counts are identical
 //!   across shard counts; the wall-clock delta isolates the sharded
 //!   validation fan-out.
+//! * [`store_grid`] — the Hashchain workhorse drain point with the
+//!   persistent epoch store enabled (PR 9): every committed epoch is
+//!   appended to an on-disk segment log as it gathers its proof quorum.
+//!   Store I/O is host-side, so the committed counts equal the in-memory
+//!   twin's exactly; the wall-clock delta isolates the persistence path
+//!   (framing, checksumming, index maintenance). Off by default — the
+//!   in-memory grids stay byte-identical to their baselines.
 //! * [`compresschain_grid`] — drain-mode Compresschain points added with
 //!   the PR 3 codec overhaul: larger ledger blocks lift the bandwidth cap,
 //!   injection stops four simulated seconds before the end, and every
@@ -86,6 +93,11 @@ pub struct PipelineConfig {
     /// code path; sharding is host-side organization only, so committed
     /// counts are identical across shard counts at the same seed.
     pub shards: usize,
+    /// Persist committed epochs to an on-disk segment store (PR 9). The
+    /// harness provisions a unique temporary directory per run and removes
+    /// it afterwards; store I/O is host-side, so committed counts are
+    /// identical to the in-memory twin at the same seed.
+    pub store: bool,
     /// Label suffix distinguishing grid families (e.g. `_drain`).
     pub tag: &'static str,
     /// RNG seed.
@@ -118,6 +130,7 @@ impl PipelineConfig {
             auth: AuthMode::PerElement,
             loss_rate: 0.0,
             shards: 1,
+            store: false,
             tag: "",
             seed: 7,
         }
@@ -159,6 +172,7 @@ impl PipelineConfig {
             auth: AuthMode::PerElement,
             loss_rate: 0.0,
             shards: 1,
+            store: false,
             tag: if light { "_drain_light" } else { "_drain" },
             seed: 7,
         }
@@ -196,6 +210,7 @@ impl PipelineConfig {
             auth,
             loss_rate: 0.0,
             shards: 1,
+            store: false,
             tag: match auth {
                 AuthMode::BatchRoot => "_auth_root",
                 _ => "_auth_pere",
@@ -276,6 +291,30 @@ impl PipelineConfig {
         }
     }
 
+    /// Store-backed point (PR 9): the Hashchain workhorse drain point with
+    /// the persistent epoch store on. Drain-style so the committed count is
+    /// exact — and since store I/O happens on the host outside simulated
+    /// time, it *equals* the in-memory twin's at the same seed (the
+    /// recovery suite asserts this; the grid records it). The wall-clock
+    /// delta isolates the persistence path: per-record framing and
+    /// checksumming, segment rotation and element-index maintenance.
+    pub fn store_drain(batch: usize) -> Self {
+        PipelineConfig {
+            store: true,
+            tag: "_store",
+            ..Self::auth_drain(batch, AuthMode::PerElement)
+        }
+    }
+
+    /// Quick (CI smoke) variant of [`Self::store_drain`].
+    pub fn store_drain_quick(batch: usize) -> Self {
+        PipelineConfig {
+            sim_secs: 7,
+            injection_secs: 3,
+            ..Self::store_drain(batch)
+        }
+    }
+
     /// Label used in reports and JSON keys, e.g. `hashchain_b64` or
     /// `compresschain_b256_drain`.
     pub fn label(&self) -> String {
@@ -324,12 +363,31 @@ pub fn run_pipeline(config: &PipelineConfig) -> PipelineResult {
         builder = builder.loss_rate(config.loss_rate);
     }
     builder = builder.auth_mode(config.auth).shards(config.shards);
+    // Store-backed points get a unique temp directory per run (seed sweeps
+    // run concurrently, so the path must not collide) which is removed
+    // after the measurement — the store cost measured is pure appending,
+    // never recovery of a previous run's segments.
+    let mut store_dir = None;
+    if config.store {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "setchain-bench-store-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        builder = builder.store(setchain::StoreConfig::new(dir.to_str().unwrap()));
+        store_dir = Some(dir);
+    }
     let mut deployment = builder.build();
     let start = Instant::now();
     deployment
         .sim
         .run_until(SimTime::from_secs(config.sim_secs));
     let wall = start.elapsed();
+    if let Some(dir) = store_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
     let committed = deployment
         .trace
         .committed_count_by(SimTime::from_secs(config.sim_secs)) as u64;
@@ -459,6 +517,23 @@ pub fn shard_grid(quick: bool, shards: usize) -> Vec<PipelineConfig> {
     configs
 }
 
+/// The store-backed grid added with the PR 9 persistence work: the
+/// Hashchain workhorse drain point with the epoch store on (see
+/// [`PipelineConfig::store_drain`]). Empty unless the caller opts in with
+/// `--store` — the default grids stay in-memory, so their baselines are
+/// untouched.
+pub fn store_grid(quick: bool, store: bool) -> Vec<PipelineConfig> {
+    if !store {
+        return Vec::new();
+    }
+    let point = if quick {
+        PipelineConfig::store_drain_quick
+    } else {
+        PipelineConfig::store_drain
+    };
+    vec![point(64)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -501,6 +576,13 @@ mod tests {
         assert_eq!(shard_grid(true, 1).len(), 1);
         assert_eq!(shard_grid(true, 8)[1].label(), "hashchain_b64_shard8");
         assert_eq!(shard_grid(true, 2)[0].shards, 1);
+        let stored = PipelineConfig::store_drain(64);
+        assert_eq!(stored.label(), "hashchain_b64_store");
+        assert!(stored.store);
+        assert!(stored.sim_secs - stored.injection_secs >= 4);
+        assert!(store_grid(false, false).is_empty(), "store grid is opt-in");
+        assert_eq!(store_grid(true, true).len(), 1);
+        assert!(store_grid(true, true)[0].sim_secs < stored.sim_secs);
     }
 
     #[test]
@@ -570,6 +652,25 @@ mod tests {
             results[0].committed, results[1].committed,
             "same seed, same injected workload: committed counts must match"
         );
+    }
+
+    #[test]
+    fn store_drain_commits_identically_to_the_in_memory_twin() {
+        // The invariant the store grid records: persistence is host-side,
+        // so the same seed commits the same elements with the store on or
+        // off — the delta the grid measures is wall-clock only.
+        let mut stored = PipelineConfig::store_drain_quick(64);
+        stored.rate = 500.0; // keep the test fast
+        let mut plain = stored;
+        plain.store = false;
+        let a = run_pipeline(&stored);
+        let b = run_pipeline(&plain);
+        assert!(a.added > 0);
+        assert_eq!(
+            a.committed, a.added,
+            "store drain left elements uncommitted"
+        );
+        assert_eq!((a.added, a.committed), (b.added, b.committed));
     }
 
     #[test]

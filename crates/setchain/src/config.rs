@@ -83,6 +83,75 @@ pub enum AuthMode {
     BatchRoot,
 }
 
+/// Configuration of the persistent epoch store (see `setchain-store`).
+///
+/// When present on a [`SetchainConfig`], every server opens a
+/// [`DiskStore`](setchain_store::DiskStore) under `dir/server-<index>`,
+/// appends each epoch once it reaches its `f + 1` proof quorum, and on
+/// restart replays the log back to the exact committed set before asking
+/// peers for anything. Absent (the default), servers keep the pure in-RAM
+/// path, byte-for-byte unchanged.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StoreConfig {
+    /// Root directory of the store; each server uses `dir/server-<index>`.
+    pub dir: String,
+    /// Segment rotation budget in bytes (`#[serde(default)]`: 8 MiB).
+    #[serde(default = "default_segment_bytes")]
+    pub segment_bytes: u64,
+    /// Bounded-memory mode: keep only the most recent `k` persisted epochs'
+    /// elements resident in `the_set`/`history`, evicting older ones to the
+    /// store with on-demand readback. `None` (the default) keeps everything
+    /// in RAM alongside the log.
+    #[serde(default)]
+    pub retain_epochs: Option<u64>,
+    /// Appends between element-index checkpoints; 0 disables checkpointing
+    /// (`#[serde(default)]`: 64).
+    #[serde(default = "default_checkpoint_every")]
+    pub checkpoint_every: u64,
+}
+
+/// Serde default for [`StoreConfig::segment_bytes`].
+fn default_segment_bytes() -> u64 {
+    8 << 20
+}
+
+/// Serde default for [`StoreConfig::checkpoint_every`].
+fn default_checkpoint_every() -> u64 {
+    64
+}
+
+impl StoreConfig {
+    /// A store rooted at `dir` with default segment budget and checkpoint
+    /// cadence and no eviction.
+    pub fn new(dir: impl Into<String>) -> Self {
+        StoreConfig {
+            dir: dir.into(),
+            segment_bytes: default_segment_bytes(),
+            retain_epochs: None,
+            checkpoint_every: default_checkpoint_every(),
+        }
+    }
+
+    /// Sets the segment rotation budget.
+    pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// Enables bounded-memory mode, retaining only the `k` most recent
+    /// persisted epochs in RAM.
+    pub fn with_retain_epochs(mut self, k: u64) -> Self {
+        self.retain_epochs = Some(k);
+        self
+    }
+
+    /// Sets the index checkpoint cadence (0 disables).
+    pub fn with_checkpoint_every(mut self, appends: u64) -> Self {
+        self.checkpoint_every = appends;
+        self
+    }
+}
+
 /// Configuration of a Setchain deployment (shared by all servers of a run).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SetchainConfig {
@@ -136,6 +205,11 @@ pub struct SetchainConfig {
     /// sharding existed read back unsharded.
     #[serde(default = "default_shards")]
     pub shards: usize,
+    /// Persistent epoch storage; `None` (the default, and what
+    /// configurations written before the store existed read back as) keeps
+    /// the pure in-RAM path.
+    #[serde(default)]
+    pub store: Option<StoreConfig>,
     /// CPU cost model.
     pub costs: CostModel,
 }
@@ -165,6 +239,7 @@ impl SetchainConfig {
             push_batches: false,
             auth_mode: AuthMode::default(),
             shards: default_shards(),
+            store: None,
             costs: CostModel::default(),
         }
     }
@@ -225,6 +300,12 @@ impl SetchainConfig {
     pub fn with_shards(mut self, shards: usize) -> Self {
         assert!(shards >= 1, "at least one shard required");
         self.shards = shards;
+        self
+    }
+
+    /// Enables persistent epoch storage (default off: pure in-RAM state).
+    pub fn with_store(mut self, store: StoreConfig) -> Self {
+        self.store = Some(store);
         self
     }
 
@@ -311,6 +392,28 @@ mod tests {
         // configurations (no `shards` key) must read back as the unsharded
         // pipeline, never as zero shards.
         assert_eq!(default_shards(), 1);
+    }
+
+    #[test]
+    fn store_defaults_to_in_memory() {
+        let cfg = SetchainConfig::new(4);
+        assert!(cfg.store.is_none(), "no store unless configured");
+        let cfg = cfg.with_store(StoreConfig::new("/tmp/setchain"));
+        let store = cfg.store.expect("configured");
+        assert_eq!(store.dir, "/tmp/setchain");
+        // The serde defaults mirror the constructor, so pre-store
+        // configurations (no `store` key) and sparse store configurations
+        // both read back with working values.
+        assert_eq!(store.segment_bytes, default_segment_bytes());
+        assert_eq!(store.retain_epochs, None);
+        assert_eq!(store.checkpoint_every, default_checkpoint_every());
+        let tuned = StoreConfig::new("d")
+            .with_segment_bytes(1024)
+            .with_retain_epochs(8)
+            .with_checkpoint_every(0);
+        assert_eq!(tuned.segment_bytes, 1024);
+        assert_eq!(tuned.retain_epochs, Some(8));
+        assert_eq!(tuned.checkpoint_every, 0);
     }
 
     #[test]

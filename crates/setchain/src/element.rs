@@ -165,6 +165,21 @@ impl Element {
         buf
     }
 
+    /// Inverse of [`Element::pack`]: rebuilds the element from its fixed
+    /// 36-byte encoding. Used by the persistence layer when reading epochs
+    /// back from the segment log; the layout contract (id in the first 8
+    /// little-endian bytes) is what lets `setchain-store` index elements
+    /// without this type.
+    pub fn unpack(buf: &[u8; Self::PACKED_LEN]) -> Self {
+        Element {
+            id: ElementId(u64::from_le_bytes(buf[..8].try_into().expect("8 bytes"))),
+            client: ProcessId(u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"))),
+            size: u32::from_le_bytes(buf[16..20].try_into().expect("4 bytes")),
+            content_seed: u64::from_le_bytes(buf[20..28].try_into().expect("8 bytes")),
+            auth: u64::from_le_bytes(buf[28..36].try_into().expect("8 bytes")),
+        }
+    }
+
     /// Wire size of the element in bytes.
     pub fn wire_size(&self) -> usize {
         self.size as usize
@@ -463,6 +478,21 @@ mod tests {
             assert_ne!(tampered.pack(), packed);
         }
         assert_eq!(e.pack(), packed, "packing is deterministic");
+    }
+
+    #[test]
+    fn unpack_inverts_pack() {
+        let reg = registry();
+        let keys = client_keys(&reg, 1);
+        for (size, seed) in [(1u32, 0u64), (438, 99), (1_000_000, u64::MAX)] {
+            let e = Element::new(&keys, ElementId::new(1, seed & 0xFFFF), size, seed);
+            assert_eq!(Element::unpack(&e.pack()), e);
+        }
+        // The store-layer contract: the first 8 packed bytes are the id.
+        let e = Element::new(&keys, ElementId::new(2, 77), 438, 5);
+        let packed = e.pack();
+        assert_eq!(u64::from_le_bytes(packed[..8].try_into().unwrap()), e.id.0);
+        assert_eq!(Element::PACKED_LEN, setchain_store::ELEMENT_LEN);
     }
 
     #[test]

@@ -84,7 +84,7 @@ pub use byzantine::ServerByzMode;
 pub use client::{verify_epoch, EpochVerification, LightClient, RETRY_AFTER_PER_MISSING_PROOF};
 pub use collector::Collector;
 pub use compresschain::CompresschainApp;
-pub use config::{AuthMode, CostModel, SetchainConfig};
+pub use config::{AuthMode, CostModel, SetchainConfig, StoreConfig};
 pub use element::{Element, ElementGenerator, ElementId};
 pub use hashchain::{HashchainApp, SharedBatchRegistry};
 pub use messages::{CatchupEpoch, GetSnapshot, SetchainMsg};

@@ -200,17 +200,25 @@ pub fn aggregate_epoch(ring: &ShardRing, elements: &[Element]) -> ShardedEpoch {
     for part in &mut parts {
         part.sort_by_key(|e| e.id);
     }
+    // Per-shard sub-roots hash in parallel on multicore hosts: `batch_root`
+    // is a pure function of its partition, and `parallel_map_min` preserves
+    // item order, so the sub-epochs — and with them the merged root and the
+    // signed digest — stay byte-identical to the sequential computation.
+    // Shard counts are far below MIN_PARALLEL_LEN, so the fan-out uses an
+    // explicit threshold of 2 partitions.
+    let sub_roots =
+        setchain_crypto::parallel_map_min(&parts, setchain_crypto::default_threads(), 2, |part| {
+            batch_root(part)
+        });
     let sub_epochs = parts
         .iter()
+        .zip(sub_roots)
         .enumerate()
-        .map(|(shard, part)| {
-            let sub_root = batch_root(part);
-            SubEpoch {
-                shard,
-                count: part.len() as u64,
-                sub_root,
-                commitment: sub_epoch_commitment(shard, part.len() as u64, &sub_root),
-            }
+        .map(|(shard, (part, sub_root))| SubEpoch {
+            shard,
+            count: part.len() as u64,
+            sub_root,
+            commitment: sub_epoch_commitment(shard, part.len() as u64, &sub_root),
         })
         .collect();
     let elements = merge_sorted(parts);

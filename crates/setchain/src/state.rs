@@ -40,6 +40,15 @@ pub struct SetchainState {
     /// collection is a `Vec` so `proofs_for` can hand out a borrowed slice;
     /// signer sets are tiny (≤ n servers) so the linear dedup is cheap.
     proofs: FxHashMap<u64, Vec<EpochProof>>,
+    /// Bounded-memory mode: epochs `1..=evicted_epochs` have had their
+    /// elements evicted from `shard_sets`, `history` and `element_epoch`
+    /// (they live in the persistent store instead; digests, sub-epoch
+    /// commitments and proofs stay resident). Eviction is strictly
+    /// prefix-ordered. 0 (always, without a store) means fully resident.
+    evicted_epochs: u64,
+    /// Elements dropped by eviction, so the *logical* set and history sizes
+    /// reported to clients stay correct.
+    evicted_elements: u64,
 }
 
 impl Default for SetchainState {
@@ -68,6 +77,8 @@ impl SetchainState {
             sub_epochs: Vec::new(),
             element_epoch: FxHashMap::default(),
             proofs: FxHashMap::default(),
+            evicted_epochs: 0,
+            evicted_elements: 0,
         }
     }
 
@@ -87,9 +98,11 @@ impl SetchainState {
         self.shard_sets.get(shard).map(FxHashSet::len).unwrap_or(0)
     }
 
-    /// Number of elements in `the_set` (the rollup across all partitions).
+    /// Number of elements in `the_set` (the rollup across all partitions,
+    /// plus elements evicted to the persistent store — the *logical* size,
+    /// unchanged by eviction).
     pub fn the_set_len(&self) -> usize {
-        self.shard_sets.iter().map(FxHashSet::len).sum()
+        self.shard_sets.iter().map(FxHashSet::len).sum::<usize>() + self.evicted_elements as usize
     }
 
     /// True if `the_set` contains the element.
@@ -113,17 +126,20 @@ impl SetchainState {
         self.element_epoch.get(id).copied()
     }
 
-    /// Elements of epoch `i` (1-based), if it exists.
+    /// Elements of epoch `i` (1-based), if it exists *and is resident* —
+    /// `None` for epochs evicted to the persistent store (callers with a
+    /// store fall back to reading the segment log).
     pub fn epoch_elements(&self, epoch: u64) -> Option<&[Element]> {
-        if epoch == 0 || epoch > self.epoch {
+        if epoch <= self.evicted_epochs || epoch > self.epoch {
             return None;
         }
         Some(&self.history[(epoch - 1) as usize])
     }
 
-    /// Total number of elements across all epochs.
+    /// Total number of elements across all epochs (logical: evicted epochs
+    /// still count).
     pub fn history_elements(&self) -> u64 {
-        self.history.iter().map(|g| g.len() as u64).sum()
+        self.history.iter().map(|g| g.len() as u64).sum::<u64>() + self.evicted_elements
     }
 
     /// Creates a new epoch from `elements`, inserting them into `the_set`
@@ -197,6 +213,46 @@ impl SetchainState {
         }
         self.record_epoch(elements);
         true
+    }
+
+    /// Number of epochs whose elements have been evicted to the persistent
+    /// store (a strict prefix `1..=evicted_epochs` of the history).
+    pub fn evicted_epochs(&self) -> u64 {
+        self.evicted_epochs
+    }
+
+    /// True if the epoch's elements are resident in RAM (false for epoch 0,
+    /// unknown epochs, and evicted epochs).
+    pub fn epoch_is_resident(&self, epoch: u64) -> bool {
+        epoch > self.evicted_epochs && epoch <= self.epoch
+    }
+
+    /// Bounded-memory mode: drops epoch `epoch`'s elements from RAM —
+    /// `shard_sets`, `element_epoch` and the `history` entry — keeping the
+    /// digest, sub-epoch commitments and proofs. Returns the number of
+    /// elements evicted.
+    ///
+    /// The caller owns two obligations: the epoch must already be durable
+    /// in the persistent store (membership and readback fall back to it),
+    /// and eviction proceeds strictly in epoch order — `epoch` must be
+    /// exactly `evicted_epochs() + 1` and an existing epoch. The logical
+    /// sizes ([`Self::the_set_len`], [`Self::history_elements`]) are
+    /// unchanged by eviction.
+    pub fn evict_epoch(&mut self, epoch: u64) -> usize {
+        assert_eq!(
+            epoch,
+            self.evicted_epochs + 1,
+            "eviction is strictly prefix-ordered"
+        );
+        assert!(epoch <= self.epoch, "cannot evict an epoch not yet held");
+        let elements = std::mem::take(&mut self.history[(epoch - 1) as usize]);
+        for e in &elements {
+            self.shard_sets[self.ring.shard_of(e.id)].remove(&e.id);
+            self.element_epoch.remove(&e.id);
+        }
+        self.evicted_epochs = epoch;
+        self.evicted_elements += elements.len() as u64;
+        elements.len()
     }
 
     /// The cached digest `Hash(i, history[i])` of epoch `i` (1-based), if the
@@ -278,10 +334,14 @@ impl SetchainState {
     }
 
     /// Property 6 (Consistent-Gets) between two servers: the common prefix of
-    /// epochs must be identical (as sets).
+    /// epochs must be identical (as sets). Epochs either side has evicted
+    /// to its store are skipped — only resident history can be compared
+    /// here (differential tests of evicting runs compare epoch *digests*,
+    /// which are never evicted, instead).
     pub fn check_consistent_with(&self, other: &SetchainState) -> bool {
         let common = self.epoch.min(other.epoch);
-        for i in 1..=common {
+        let start = self.evicted_epochs.max(other.evicted_epochs) + 1;
+        for i in start..=common {
             let a: HashSet<ElementId> = self
                 .epoch_elements(i)
                 .expect("epoch in range")
@@ -483,6 +543,72 @@ mod tests {
                 assert_eq!(subs.iter().map(|s| s.count).sum::<u64>(), es1.len() as u64);
             }
         }
+    }
+
+    #[test]
+    fn eviction_preserves_logical_sizes_and_digests() {
+        for shards in [1usize, 4] {
+            let mut st = SetchainState::with_shards(shards);
+            st.record_epoch(elements(0..5));
+            st.record_epoch(elements(5..8));
+            st.record_epoch(elements(8..12));
+            let digests: Vec<_> = (1..=3).map(|e| *st.epoch_digest(e).unwrap()).collect();
+            assert_eq!(st.evicted_epochs(), 0);
+            assert!(st.epoch_is_resident(1));
+            assert_eq!(st.evict_epoch(1), 5);
+            assert_eq!(st.evict_epoch(2), 3);
+            assert_eq!(st.evicted_epochs(), 2);
+            // Logical sizes are unchanged; residency and direct lookups are.
+            assert_eq!(st.the_set_len(), 12);
+            assert_eq!(st.history_elements(), 12);
+            assert!(!st.epoch_is_resident(2));
+            assert!(st.epoch_is_resident(3));
+            assert!(st.epoch_elements(1).is_none());
+            assert!(st.epoch_elements(2).is_none());
+            assert_eq!(st.epoch_elements(3).unwrap().len(), 4);
+            let evicted = elements(0..5);
+            assert!(!st.contains(&evicted[0].id));
+            assert!(!st.in_history(&evicted[0].id));
+            // Digests (what proofs verify against) are never evicted.
+            for (i, d) in digests.iter().enumerate() {
+                assert_eq!(st.epoch_digest(i as u64 + 1), Some(d));
+            }
+            // Snapshot still reports logical sizes.
+            let snap = st.snapshot(1);
+            assert_eq!(snap.the_set_len, 12);
+            assert_eq!(snap.history_elements, 12);
+            // New epochs keep recording on top of the evicted prefix.
+            st.record_epoch(elements(12..14));
+            assert_eq!(st.epoch(), 4);
+            assert_eq!(st.the_set_len(), 14);
+            // Consistency checks skip the evicted prefix instead of
+            // panicking, and still hold on the resident suffix.
+            assert!(st.check_consistent_sets());
+            assert!(st.check_unique_epoch());
+            let mut full = SetchainState::with_shards(shards);
+            full.record_epoch(elements(0..5));
+            full.record_epoch(elements(5..8));
+            full.record_epoch(elements(8..12));
+            full.record_epoch(elements(12..14));
+            assert!(st.check_consistent_with(&full));
+            assert!(full.check_consistent_with(&st));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix-ordered")]
+    fn out_of_order_eviction_panics() {
+        let mut st = SetchainState::new();
+        st.record_epoch(elements(0..3));
+        st.record_epoch(elements(3..5));
+        let _ = st.evict_epoch(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet held")]
+    fn evicting_a_future_epoch_panics() {
+        let mut st = SetchainState::new();
+        let _ = st.evict_epoch(1);
     }
 
     #[test]

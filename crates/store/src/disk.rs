@@ -1,0 +1,649 @@
+//! The persistent [`StateStore`] backend: an append-only segment log plus a
+//! checkpointed element → epoch index.
+//!
+//! # Layout
+//!
+//! A store directory holds:
+//!
+//! - `seg-<start-epoch>.log` — segments of the epoch log. Each segment is a
+//!   concatenation of frames (see [`crate::frame`]), one per epoch, strictly
+//!   ordered; the file name records the first epoch it holds. A new segment
+//!   starts once the active one exceeds the configured byte budget.
+//! - `index.ckpt` — a periodic checkpoint of the element → epoch index
+//!   (written atomically via a temp-file rename), so recovery of a long log
+//!   can skip re-indexing the epochs the checkpoint already covers.
+//!
+//! # Recovery protocol
+//!
+//! [`DiskStore::open`] scans segments in epoch order, checksum-verifying
+//! every frame and requiring exactly sequential epoch numbers. At the first
+//! torn (incomplete) or corrupt frame it **truncates** that segment to the
+//! last valid frame and deletes every later segment — the log's validity is
+//! prefix-closed, so nothing after a bad frame can be trusted. A checkpoint
+//! that claims more epochs than the recovered log is stale (the log was
+//! truncated) and is discarded; the index is then rebuilt from the segment
+//! scan alone. Either way, open ends with `tip()` equal to the last
+//! durable, verifiable epoch, which is exactly the state a restarted
+//! Setchain server replays.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::frame::{decode_frame, encode_frame, fnv64, FrameError};
+use crate::{EpochRecord, StateStore, StoreStats};
+
+/// Checkpoint magic: `"SIX1"` little-endian.
+const CKPT_MAGIC: u32 = 0x3158_4953;
+const CKPT_NAME: &str = "index.ckpt";
+const CKPT_TMP_NAME: &str = "index.ckpt.tmp";
+
+/// Where a stored epoch's frame lives.
+#[derive(Clone, Copy, Debug)]
+struct FrameLoc {
+    /// Index into `DiskStore::segments`.
+    segment: usize,
+    /// Byte offset of the frame within its segment.
+    offset: u64,
+    /// Total frame length in bytes.
+    len: u64,
+}
+
+/// One log segment.
+#[derive(Clone, Debug)]
+struct Segment {
+    path: PathBuf,
+    /// First epoch stored in this segment.
+    start_epoch: u64,
+    /// Current byte length.
+    bytes: u64,
+}
+
+/// The persistent segment-log backend. See the module docs for the layout
+/// and recovery protocol.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    segment_bytes: u64,
+    checkpoint_every: u64,
+    segments: Vec<Segment>,
+    /// `frames[e - 1]` locates epoch `e`.
+    frames: Vec<FrameLoc>,
+    index: HashMap<u64, u64>,
+    /// Open handle to the last segment, positioned at its end.
+    active: Option<File>,
+    appends_since_checkpoint: u64,
+}
+
+impl DiskStore {
+    /// Opens (creating if necessary) the store in `dir`, running the
+    /// recovery scan described in the module docs. `segment_bytes` is the
+    /// rotation budget; `checkpoint_every` is the number of appends between
+    /// index checkpoints (0 disables checkpointing).
+    pub fn open(
+        dir: impl AsRef<Path>,
+        segment_bytes: u64,
+        checkpoint_every: u64,
+    ) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut segments = list_segments(&dir)?;
+        let checkpoint = load_checkpoint(&dir.join(CKPT_NAME));
+        let ckpt_tip = checkpoint.as_ref().map(|(tip, _)| *tip).unwrap_or(0);
+        let mut scan = scan_segments(&mut segments, ckpt_tip)?;
+        let index = match checkpoint {
+            // The checkpoint covers a prefix of the recovered log: seed the
+            // index from it, with the scan having indexed the rest.
+            Some((tip, mut map)) if tip <= scan.tip => {
+                map.extend(scan.index.drain());
+                map
+            }
+            // Stale (claims epochs the log lost): discard it and rebuild
+            // the index purely from the segments.
+            Some(_) => {
+                let _ = fs::remove_file(dir.join(CKPT_NAME));
+                scan = scan_segments(&mut segments, 0)?;
+                scan.index
+            }
+            // No checkpoint: the scan indexed everything already.
+            None => scan.index,
+        };
+        let active = match segments.last() {
+            Some(seg) => Some(OpenOptions::new().append(true).open(&seg.path)?),
+            None => None,
+        };
+        Ok(DiskStore {
+            dir,
+            segment_bytes: segment_bytes.max(1),
+            checkpoint_every,
+            segments,
+            frames: scan.frames,
+            index,
+            active,
+            appends_since_checkpoint: 0,
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn segment_path(&self, start_epoch: u64) -> PathBuf {
+        self.dir.join(format!("seg-{start_epoch:012}.log"))
+    }
+
+    /// Ensures an active segment with budget left exists for the next
+    /// epoch, rotating if necessary.
+    fn roll_segment(&mut self, next_epoch: u64) -> io::Result<()> {
+        let needs_new = match self.segments.last() {
+            Some(seg) => seg.bytes >= self.segment_bytes,
+            None => true,
+        };
+        if needs_new {
+            let path = self.segment_path(next_epoch);
+            self.active = Some(
+                OpenOptions::new()
+                    .create_new(true)
+                    .append(true)
+                    .open(&path)?,
+            );
+            self.segments.push(Segment {
+                path,
+                start_epoch: next_epoch,
+                bytes: 0,
+            });
+        }
+        Ok(())
+    }
+
+    fn write_checkpoint(&self) -> io::Result<()> {
+        let mut body = Vec::with_capacity(16 + self.index.len() * 16);
+        body.extend_from_slice(&self.tip().to_le_bytes());
+        body.extend_from_slice(&(self.index.len() as u64).to_le_bytes());
+        // Sorted for deterministic bytes (HashMap order is seeded).
+        let mut pairs: Vec<(u64, u64)> = self.index.iter().map(|(k, v)| (*k, *v)).collect();
+        pairs.sort_unstable();
+        for (id, epoch) in pairs {
+            body.extend_from_slice(&id.to_le_bytes());
+            body.extend_from_slice(&epoch.to_le_bytes());
+        }
+        let tmp = self.dir.join(CKPT_TMP_NAME);
+        let mut file = File::create(&tmp)?;
+        file.write_all(&CKPT_MAGIC.to_le_bytes())?;
+        file.write_all(&body)?;
+        file.write_all(&fnv64(&[&body]).to_le_bytes())?;
+        file.flush()?;
+        fs::rename(&tmp, self.dir.join(CKPT_NAME))
+    }
+}
+
+impl StateStore for DiskStore {
+    fn append_epoch(&mut self, record: &EpochRecord) -> io::Result<()> {
+        if record.epoch != self.tip() + 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "epoch {} out of order (tip is {})",
+                    record.epoch,
+                    self.tip()
+                ),
+            ));
+        }
+        self.roll_segment(record.epoch)?;
+        let frame = encode_frame(record);
+        let file = self.active.as_mut().expect("roll_segment opened a file");
+        file.write_all(&frame)?;
+        file.flush()?;
+        let seg_idx = self.segments.len() - 1;
+        let seg = &mut self.segments[seg_idx];
+        self.frames.push(FrameLoc {
+            segment: seg_idx,
+            offset: seg.bytes,
+            len: frame.len() as u64,
+        });
+        seg.bytes += frame.len() as u64;
+        for id in record.element_ids() {
+            self.index.insert(id, record.epoch);
+        }
+        self.appends_since_checkpoint += 1;
+        if self.checkpoint_every > 0 && self.appends_since_checkpoint >= self.checkpoint_every {
+            self.write_checkpoint()?;
+            self.appends_since_checkpoint = 0;
+        }
+        Ok(())
+    }
+
+    fn tip(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    fn load_epoch(&self, epoch: u64) -> io::Result<Option<EpochRecord>> {
+        if epoch == 0 || epoch > self.tip() {
+            return Ok(None);
+        }
+        let loc = self.frames[(epoch - 1) as usize];
+        let mut file = File::open(&self.segments[loc.segment].path)?;
+        file.seek(SeekFrom::Start(loc.offset))?;
+        let mut buf = vec![0u8; loc.len as usize];
+        file.read_exact(&mut buf)?;
+        let (record, _) = decode_frame(&buf).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("stored epoch {epoch} unreadable: {e}"),
+            )
+        })?;
+        if record.epoch != epoch {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("stored frame claims epoch {}, wanted {epoch}", record.epoch),
+            ));
+        }
+        Ok(Some(record))
+    }
+
+    fn epoch_of(&self, element_id: u64) -> Option<u64> {
+        self.index.get(&element_id).copied()
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            epochs: self.tip(),
+            bytes: self.segments.iter().map(|s| s.bytes).sum(),
+            segments: self.segments.len() as u64,
+            indexed_elements: self.index.len() as u64,
+        }
+    }
+}
+
+/// What a recovery scan of the segments produced.
+struct ScanResult {
+    tip: u64,
+    frames: Vec<FrameLoc>,
+    /// Element index for the epochs the scan indexed (those above the
+    /// checkpoint tip it was given).
+    index: HashMap<u64, u64>,
+}
+
+/// Lists `seg-*.log` files sorted by their start epoch.
+fn list_segments(dir: &Path) -> io::Result<Vec<Segment>> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(start) = name
+            .strip_prefix("seg-")
+            .and_then(|rest| rest.strip_suffix(".log"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        segments.push(Segment {
+            path: entry.path(),
+            start_epoch: start,
+            bytes: entry.metadata()?.len(),
+        });
+    }
+    segments.sort_by_key(|s| s.start_epoch);
+    Ok(segments)
+}
+
+/// Scans segments in order, truncating at the first torn or corrupt frame
+/// and deleting everything after it. Epochs at or below `skip_index_below`
+/// are not element-indexed (a checkpoint is assumed to cover them).
+fn scan_segments(segments: &mut Vec<Segment>, skip_index_below: u64) -> io::Result<ScanResult> {
+    let mut frames = Vec::new();
+    let mut index = HashMap::new();
+    let mut expect: u64 = 1;
+    let mut keep = segments.len();
+    for (seg_idx, seg) in segments.iter_mut().enumerate() {
+        // A segment whose name disagrees with the next expected epoch means
+        // a gap (lost file) — nothing after it can be sequenced.
+        if seg.start_epoch != expect {
+            keep = seg_idx;
+            break;
+        }
+        let data = fs::read(&seg.path)?;
+        let mut offset = 0usize;
+        let mut valid_until = 0usize;
+        let mut clean = true;
+        while offset < data.len() {
+            match decode_frame(&data[offset..]) {
+                Ok((record, len)) if record.epoch == expect => {
+                    frames.push(FrameLoc {
+                        segment: seg_idx,
+                        offset: offset as u64,
+                        len: len as u64,
+                    });
+                    if record.epoch > skip_index_below {
+                        for id in record.element_ids() {
+                            index.insert(id, record.epoch);
+                        }
+                    }
+                    expect += 1;
+                    offset += len;
+                    valid_until = offset;
+                }
+                // Out-of-sequence epoch, torn tail, or corruption: the
+                // valid prefix ends here.
+                Ok(_) | Err(FrameError::Incomplete) | Err(FrameError::Corrupt(_)) => {
+                    clean = false;
+                    break;
+                }
+            }
+        }
+        if !clean {
+            if valid_until == 0 {
+                // No valid frame in this segment at all: drop the file.
+                fs::remove_file(&seg.path)?;
+                keep = seg_idx;
+            } else {
+                let file = OpenOptions::new().write(true).open(&seg.path)?;
+                file.set_len(valid_until as u64)?;
+                seg.bytes = valid_until as u64;
+                keep = seg_idx + 1;
+            }
+            break;
+        }
+        seg.bytes = data.len() as u64;
+    }
+    for seg in segments.drain(keep..) {
+        let _ = fs::remove_file(&seg.path);
+    }
+    Ok(ScanResult {
+        tip: expect - 1,
+        frames,
+        index,
+    })
+}
+
+/// Reads the index checkpoint, returning its tip and element map. Any
+/// structural or checksum problem reads as "no checkpoint".
+fn load_checkpoint(path: &Path) -> Option<(u64, HashMap<u64, u64>)> {
+    let data = fs::read(path).ok()?;
+    if data.len() < 4 + 16 + 8 {
+        return None;
+    }
+    if u32::from_le_bytes(data[..4].try_into().ok()?) != CKPT_MAGIC {
+        return None;
+    }
+    let body = &data[4..data.len() - 8];
+    let stored = u64::from_le_bytes(data[data.len() - 8..].try_into().ok()?);
+    if fnv64(&[body]) != stored {
+        return None;
+    }
+    let tip = u64::from_le_bytes(body[..8].try_into().ok()?);
+    let count = u64::from_le_bytes(body[8..16].try_into().ok()?) as usize;
+    let pairs = &body[16..];
+    if pairs.len() != count.checked_mul(16)? {
+        return None;
+    }
+    let mut map = HashMap::with_capacity(count);
+    for pair in pairs.chunks_exact(16) {
+        let id = u64::from_le_bytes(pair[..8].try_into().ok()?);
+        let epoch = u64::from_le_bytes(pair[8..].try_into().ok()?);
+        map.insert(id, epoch);
+    }
+    Some((tip, map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{element_id, record};
+    use crate::MemStore;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(label: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let base = option_env!("CARGO_TARGET_TMPDIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(std::env::temp_dir);
+        base.join(format!(
+            "setchain-store-{label}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    struct TempDir(PathBuf);
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn open(dir: &Path) -> DiskStore {
+        DiskStore::open(dir, 1 << 20, 0).expect("open store")
+    }
+
+    #[test]
+    fn reopen_recovers_everything() {
+        let tmp = TempDir(temp_dir("reopen"));
+        {
+            let mut store = open(&tmp.0);
+            for e in 1..=10u64 {
+                store.append_epoch(&record(e, 5, 3)).unwrap();
+            }
+            assert_eq!(store.tip(), 10);
+        }
+        let store = open(&tmp.0);
+        assert_eq!(store.tip(), 10);
+        for e in 1..=10u64 {
+            assert_eq!(store.load_epoch(e).unwrap(), Some(record(e, 5, 3)));
+            assert_eq!(store.epoch_of(element_id(e, 4)), Some(e));
+        }
+        assert_eq!(store.load_epoch(11).unwrap(), None);
+        assert_eq!(store.epoch_of(42), None);
+        assert_eq!(store.stats().indexed_elements, 50);
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_survives_reopen() {
+        let tmp = TempDir(temp_dir("rotate"));
+        {
+            // Tiny budget: every epoch rotates into its own segment.
+            let mut store = DiskStore::open(&tmp.0, 1, 0).unwrap();
+            for e in 1..=6u64 {
+                store.append_epoch(&record(e, 2, 2)).unwrap();
+            }
+            assert_eq!(store.stats().segments, 6);
+        }
+        let store = DiskStore::open(&tmp.0, 1, 0).unwrap();
+        assert_eq!(store.tip(), 6);
+        assert_eq!(store.stats().segments, 6);
+        for e in 1..=6u64 {
+            assert_eq!(store.load_epoch(e).unwrap(), Some(record(e, 2, 2)));
+        }
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_the_valid_prefix() {
+        let tmp = TempDir(temp_dir("torn"));
+        let seg_path;
+        {
+            let mut store = open(&tmp.0);
+            for e in 1..=4u64 {
+                store.append_epoch(&record(e, 3, 2)).unwrap();
+            }
+            seg_path = store.segments[0].path.clone();
+        }
+        // Simulate a crash mid-append: half a frame at the tail.
+        let half: Vec<u8> = encode_frame(&record(5, 3, 2))[..20].to_vec();
+        OpenOptions::new()
+            .append(true)
+            .open(&seg_path)
+            .unwrap()
+            .write_all(&half)
+            .unwrap();
+        let mut store = open(&tmp.0);
+        assert_eq!(store.tip(), 4, "torn tail dropped, prefix kept");
+        for e in 1..=4u64 {
+            assert_eq!(store.load_epoch(e).unwrap(), Some(record(e, 3, 2)));
+        }
+        // The store keeps appending cleanly after recovery.
+        store.append_epoch(&record(5, 1, 2)).unwrap();
+        assert_eq!(store.tip(), 5);
+        drop(store);
+        assert_eq!(open(&tmp.0).tip(), 5);
+    }
+
+    #[test]
+    fn corrupt_byte_cuts_the_log_there() {
+        let tmp = TempDir(temp_dir("corrupt"));
+        let (seg_path, second_offset);
+        {
+            let mut store = open(&tmp.0);
+            for e in 1..=5u64 {
+                store.append_epoch(&record(e, 3, 2)).unwrap();
+            }
+            seg_path = store.segments[0].path.clone();
+            second_offset = store.frames[1].offset;
+        }
+        // Flip a byte inside epoch 2's frame: epochs 2..=5 become
+        // untrustworthy, epoch 1 survives.
+        let mut data = fs::read(&seg_path).unwrap();
+        data[second_offset as usize + 30] ^= 0xFF;
+        fs::write(&seg_path, &data).unwrap();
+        let store = open(&tmp.0);
+        assert_eq!(store.tip(), 1);
+        assert_eq!(store.load_epoch(1).unwrap(), Some(record(1, 3, 2)));
+        assert_eq!(store.epoch_of(element_id(2, 0)), None);
+    }
+
+    #[test]
+    fn fully_corrupt_first_segment_recovers_empty() {
+        let tmp = TempDir(temp_dir("allbad"));
+        {
+            let mut store = open(&tmp.0);
+            store.append_epoch(&record(1, 2, 2)).unwrap();
+        }
+        let seg = tmp.0.join("seg-000000000001.log");
+        fs::write(&seg, b"garbage that is not a frame").unwrap();
+        let mut store = open(&tmp.0);
+        assert_eq!(store.tip(), 0);
+        assert!(!seg.exists(), "unusable segment removed");
+        store.append_epoch(&record(1, 2, 2)).unwrap();
+        assert_eq!(store.tip(), 1);
+    }
+
+    #[test]
+    fn missing_middle_segment_drops_later_ones() {
+        let tmp = TempDir(temp_dir("gap"));
+        {
+            let mut store = DiskStore::open(&tmp.0, 1, 0).unwrap();
+            for e in 1..=4u64 {
+                store.append_epoch(&record(e, 2, 2)).unwrap();
+            }
+        }
+        fs::remove_file(tmp.0.join("seg-000000000002.log")).unwrap();
+        let store = DiskStore::open(&tmp.0, 1, 0).unwrap();
+        assert_eq!(store.tip(), 1, "epochs after the gap are unreachable");
+        assert_eq!(store.stats().segments, 1);
+    }
+
+    #[test]
+    fn checkpoint_accelerated_reopen_matches_full_rebuild() {
+        let tmp = TempDir(temp_dir("ckpt"));
+        {
+            let mut store = DiskStore::open(&tmp.0, 1 << 20, 4).unwrap();
+            for e in 1..=10u64 {
+                store.append_epoch(&record(e, 3, 2)).unwrap();
+            }
+        }
+        assert!(
+            tmp.0.join(CKPT_NAME).exists(),
+            "periodic checkpoint written"
+        );
+        let with_ckpt = DiskStore::open(&tmp.0, 1 << 20, 4).unwrap();
+        let no_ckpt = {
+            fs::remove_file(tmp.0.join(CKPT_NAME)).unwrap();
+            DiskStore::open(&tmp.0, 1 << 20, 0).unwrap()
+        };
+        assert_eq!(with_ckpt.tip(), no_ckpt.tip());
+        for e in 1..=10u64 {
+            for i in 0..3usize {
+                assert_eq!(
+                    with_ckpt.epoch_of(element_id(e, i)),
+                    Some(e),
+                    "checkpointed index agrees"
+                );
+                assert_eq!(no_ckpt.epoch_of(element_id(e, i)), Some(e));
+            }
+        }
+    }
+
+    #[test]
+    fn stale_checkpoint_is_discarded() {
+        let tmp = TempDir(temp_dir("stale"));
+        {
+            let mut store = DiskStore::open(&tmp.0, 1 << 20, 2).unwrap();
+            for e in 1..=8u64 {
+                store.append_epoch(&record(e, 3, 2)).unwrap();
+            }
+        }
+        // Truncate the log to epoch 1 while the checkpoint claims 8.
+        let seg = tmp.0.join("seg-000000000001.log");
+        let first_len = {
+            let data = fs::read(&seg).unwrap();
+            decode_frame(&data).unwrap().1
+        };
+        OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(first_len as u64)
+            .unwrap();
+        let store = DiskStore::open(&tmp.0, 1 << 20, 2).unwrap();
+        assert_eq!(store.tip(), 1);
+        assert_eq!(store.epoch_of(element_id(1, 0)), Some(1));
+        assert_eq!(
+            store.epoch_of(element_id(5, 0)),
+            None,
+            "stale checkpoint entries gone"
+        );
+        assert!(!tmp.0.join(CKPT_NAME).exists(), "stale checkpoint removed");
+    }
+
+    #[test]
+    fn garbage_checkpoint_is_ignored() {
+        let tmp = TempDir(temp_dir("badckpt"));
+        {
+            let mut store = open(&tmp.0);
+            for e in 1..=3u64 {
+                store.append_epoch(&record(e, 2, 2)).unwrap();
+            }
+        }
+        fs::write(tmp.0.join(CKPT_NAME), b"not a checkpoint").unwrap();
+        let store = open(&tmp.0);
+        assert_eq!(store.tip(), 3);
+        assert_eq!(store.epoch_of(element_id(3, 1)), Some(3));
+    }
+
+    #[test]
+    fn disk_matches_the_mem_oracle() {
+        let tmp = TempDir(temp_dir("diff"));
+        let mut disk = DiskStore::open(&tmp.0, 256, 3).unwrap();
+        let mut mem = MemStore::new();
+        for e in 1..=20u64 {
+            let rec = record(e, (e % 7) as usize, 2 + (e % 2) as usize);
+            disk.append_epoch(&rec).unwrap();
+            mem.append_epoch(&rec).unwrap();
+        }
+        assert_eq!(disk.tip(), mem.tip());
+        assert_eq!(disk.stats().indexed_elements, mem.stats().indexed_elements);
+        for e in 0..=21u64 {
+            assert_eq!(disk.load_epoch(e).unwrap(), mem.load_epoch(e).unwrap());
+        }
+        for e in 1..=20u64 {
+            for i in 0..7usize {
+                assert_eq!(
+                    disk.epoch_of(element_id(e, i)),
+                    mem.epoch_of(element_id(e, i))
+                );
+            }
+        }
+    }
+}

@@ -267,6 +267,16 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Enables persistent epoch storage: every server opens a segment store
+    /// under `{dir}/server-{index}`, appends each committed epoch, and on a
+    /// later deployment over the same directories recovers its committed
+    /// prefix locally before asking any peer. Default is in-memory (the
+    /// exact pre-store pipeline).
+    pub fn store(mut self, config: setchain::StoreConfig) -> Self {
+        self.scenario = self.scenario.with_store(config);
+        self
+    }
+
     /// Records the detailed per-element trace (needed for the latency CDF).
     pub fn detailed(mut self) -> Self {
         self.scenario.detailed_trace = true;

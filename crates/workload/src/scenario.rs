@@ -2,7 +2,7 @@
 //! scenario grids behind each figure.
 
 use serde::{Deserialize, Serialize};
-use setchain::{Algorithm, AuthMode, SetchainConfig};
+use setchain::{Algorithm, AuthMode, SetchainConfig, StoreConfig};
 use setchain_simnet::SimDuration;
 
 /// The parameters of one experiment run (one line/bar/curve of a figure).
@@ -63,6 +63,14 @@ pub struct Scenario {
     /// oracle for every other setting.
     #[serde(default = "default_shards")]
     pub shards: usize,
+    /// Persistent epoch storage (see [`setchain_store`](setchain::StoreConfig)):
+    /// each server opens a segment store under `{dir}/server-{index}`,
+    /// appends every committed epoch and recovers from it on restart.
+    /// `None` (the default) is the exact in-memory pre-store pipeline.
+    /// Store I/O is host-side, so schedules and digests are identical
+    /// either way.
+    #[serde(default)]
+    pub store: Option<StoreConfig>,
     /// Record the detailed per-element / per-transaction trace needed for the
     /// latency CDF (Fig. 4). Costs memory, so throughput runs leave it off.
     pub detailed_trace: bool,
@@ -105,6 +113,7 @@ impl Scenario {
             push_batches: false,
             auth_mode: AuthMode::default(),
             shards: default_shards(),
+            store: None,
             detailed_trace: false,
             seed: 42,
         }
@@ -202,6 +211,12 @@ impl Scenario {
         self
     }
 
+    /// Builder: enables persistent epoch storage (default in-memory).
+    pub fn with_store(mut self, store: StoreConfig) -> Self {
+        self.store = Some(store);
+        self
+    }
+
     /// Builder: enables the detailed trace.
     pub fn detailed(mut self) -> Self {
         self.detailed_trace = true;
@@ -247,6 +262,9 @@ impl Scenario {
         config = config
             .with_auth_mode(self.auth_mode)
             .with_shards(self.shards);
+        if let Some(store) = &self.store {
+            config = config.with_store(store.clone());
+        }
         if self.light {
             config = self.algorithm.light_config(config);
         }
@@ -331,7 +349,8 @@ mod tests {
             .with_designated_signers(9)
             .with_push_batches()
             .with_auth_mode(AuthMode::BatchRoot)
-            .with_shards(4);
+            .with_shards(4)
+            .with_store(StoreConfig::new("/tmp/setchain-knob-test"));
         let config = s.setchain_config();
         assert_eq!(config.servers, 10);
         assert_eq!(config.collector_limit, 500);
@@ -339,10 +358,15 @@ mod tests {
         assert!(config.push_batches);
         assert_eq!(config.auth_mode, AuthMode::BatchRoot);
         assert_eq!(config.shards, 4);
+        assert_eq!(
+            config.store.as_ref().map(|s| s.dir.as_str()),
+            Some("/tmp/setchain-knob-test")
+        );
         assert!(config.hash_reversal, "full mode keeps hash reversal");
         let default_auth = Scenario::base(Algorithm::Hashchain).setchain_config();
         assert_eq!(default_auth.auth_mode, AuthMode::PerElement);
         assert_eq!(default_auth.shards, 1, "unsharded pipeline by default");
+        assert!(default_auth.store.is_none(), "in-memory by default");
 
         let light = Scenario::base(Algorithm::Hashchain)
             .light()
