@@ -31,14 +31,22 @@
 //!   segment store. Off by default, so the in-memory grid labels stay
 //!   byte-comparable to their committed baselines; the `_store` label is
 //!   new, and the gate skips labels absent from the baseline.
+//! * `--adversary PRESET` — add the adversarial grid (PR 10): the Hashchain
+//!   workhorse drain point with per-client quotas on under `flood`,
+//!   `replay`, `hotkey` or `churn`, next to its attack-free twin at the
+//!   same seed. The attack client never records into the experiment trace,
+//!   so the attacked point's committed/sec is honest goodput. Off by
+//!   default; the `_adv_*` labels are new, and the gate skips labels
+//!   absent from the baseline.
 
 use std::process::ExitCode;
 
 use setchain::{Algorithm, AuthMode};
 use setchain_bench::pipeline::{
-    auth_grid, compresschain_grid, degraded_grid, grid, run_parallel_sims, run_pipeline_best_of,
-    shard_grid, store_grid, PipelineConfig, PipelineResult,
+    adversary_grid, auth_grid, compresschain_grid, degraded_grid, grid, run_parallel_sims,
+    run_pipeline_best_of, shard_grid, store_grid, PipelineConfig, PipelineResult,
 };
+use setchain_workload::Adversary;
 
 struct Args {
     quick: bool,
@@ -49,6 +57,7 @@ struct Args {
     parallel_sims: usize,
     shards: usize,
     store: bool,
+    adversary: Option<Adversary>,
 }
 
 fn parse_args() -> Args {
@@ -61,6 +70,7 @@ fn parse_args() -> Args {
         parallel_sims: 0,
         shards: 1,
         store: false,
+        adversary: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -102,6 +112,13 @@ fn parse_args() -> Args {
                     .expect("--shards takes 1, 2, 4 or 8");
             }
             "--store" => args.store = true,
+            "--adversary" => {
+                let preset = it.next().expect("--adversary takes a preset");
+                args.adversary = Some(
+                    Adversary::parse(&preset)
+                        .unwrap_or_else(|| panic!("unknown adversary preset: {preset}")),
+                );
+            }
             other => panic!("unknown argument: {other}"),
         }
     }
@@ -153,15 +170,22 @@ fn main() -> ExitCode {
         args.repeats
     );
     println!(
-        "{:<30} {:>9} {:>9} {:>9} {:>14}",
-        "grid point", "added", "committed", "wall(s)", "adds/sec (wall)"
+        "{:<30} {:>9} {:>9} {:>9} {:>14} {:>15} {:>11} {:>6}",
+        "grid point",
+        "added",
+        "committed",
+        "wall(s)",
+        "adds/sec (wall)",
+        "cache hit/miss",
+        "roots ok/no",
+        "shed"
     );
 
     // Historical grid (unchanged since PR 2) followed by the drain-mode
     // compresschain grid (PR 3), the authentication-mode grid (PR 6), the
-    // degraded-mode grid (PR 7), the sharded-admission grid (PR 8) and the
-    // opt-in store-backed grid (PR 9); one flat label space in reports and
-    // JSON.
+    // degraded-mode grid (PR 7), the sharded-admission grid (PR 8), the
+    // opt-in store-backed grid (PR 9) and the opt-in adversarial grid
+    // (PR 10); one flat label space in reports and JSON.
     let mut configs: Vec<PipelineConfig> = grid()
         .into_iter()
         .map(|(algorithm, batch)| {
@@ -177,17 +201,24 @@ fn main() -> ExitCode {
     configs.extend(degraded_grid(args.quick));
     configs.extend(shard_grid(args.quick, args.shards));
     configs.extend(store_grid(args.quick, args.store));
+    configs.extend(adversary_grid(args.quick, args.adversary));
 
     let mut entries: Vec<(String, PipelineResult)> = Vec::new();
     for config in &configs {
         let result = run_pipeline_best_of(config, args.repeats);
         println!(
-            "{:<30} {:>9} {:>9} {:>9.2} {:>14.0}",
+            "{:<30} {:>9} {:>9} {:>9.2} {:>14.0} {:>15} {:>11} {:>6}",
             config.label(),
             result.added,
             result.committed,
             result.wall.as_secs_f64(),
-            result.adds_per_sec
+            result.adds_per_sec,
+            format!("{}/{}", result.cache_hits, result.cache_misses),
+            format!(
+                "{}/{}",
+                result.batch_roots_verified, result.batch_roots_rejected
+            ),
+            result.quota_shed
         );
         entries.push((config.label(), result));
     }

@@ -41,6 +41,13 @@
 //!   twin's exactly; the wall-clock delta isolates the persistence path
 //!   (framing, checksumming, index maintenance). Off by default — the
 //!   in-memory grids stay byte-identical to their baselines.
+//! * [`adversary_grid`] — the Hashchain workhorse drain point with
+//!   per-client admission quotas on, under one adversarial preset, next to
+//!   its attack-free twin (PR 10). The attack client never records into the
+//!   experiment trace, so `committed / wall` is *honest goodput* — the
+//!   number the overload-protection acceptance envelope is stated over.
+//!   Off by default (`--adversary`); quotas off keeps every historical
+//!   grid byte-identical.
 //! * [`compresschain_grid`] — drain-mode Compresschain points added with
 //!   the PR 3 codec overhaul: larger ledger blocks lift the bandwidth cap,
 //!   injection stops four simulated seconds before the end, and every
@@ -55,7 +62,7 @@ use std::time::{Duration, Instant};
 
 use setchain::{Algorithm, AuthMode};
 use setchain_simnet::SimTime;
-use setchain_workload::Deployment;
+use setchain_workload::{Adversary, Deployment};
 
 /// Parameters of one pipeline measurement.
 #[derive(Clone, Copy, Debug)]
@@ -98,6 +105,14 @@ pub struct PipelineConfig {
     /// it afterwards; store I/O is host-side, so committed counts are
     /// identical to the in-memory twin at the same seed.
     pub store: bool,
+    /// Enable per-client admission quotas at their default sizing (PR 10).
+    /// Off for every historical grid — quotas off is the exact pre-quota
+    /// pipeline, so the existing baselines stay byte-identical.
+    pub quota: bool,
+    /// Adversarial preset attacking server 0 (PR 10), `None` for the
+    /// attack-free twin. Attack traffic never enters the experiment trace,
+    /// so `committed` keeps measuring honest goodput only.
+    pub adversary: Option<Adversary>,
     /// Label suffix distinguishing grid families (e.g. `_drain`).
     pub tag: &'static str,
     /// RNG seed.
@@ -131,6 +146,8 @@ impl PipelineConfig {
             loss_rate: 0.0,
             shards: 1,
             store: false,
+            quota: false,
+            adversary: None,
             tag: "",
             seed: 7,
         }
@@ -173,6 +190,8 @@ impl PipelineConfig {
             loss_rate: 0.0,
             shards: 1,
             store: false,
+            quota: false,
+            adversary: None,
             tag: if light { "_drain_light" } else { "_drain" },
             seed: 7,
         }
@@ -211,6 +230,8 @@ impl PipelineConfig {
             loss_rate: 0.0,
             shards: 1,
             store: false,
+            quota: false,
+            adversary: None,
             tag: match auth {
                 AuthMode::BatchRoot => "_auth_root",
                 _ => "_auth_pere",
@@ -315,6 +336,37 @@ impl PipelineConfig {
         }
     }
 
+    /// Adversarial point (PR 10): the Hashchain workhorse drain point with
+    /// per-client quotas on and, for `Some(preset)`, one attack client
+    /// hammering server 0. `None` is the attack-free twin at the same seed
+    /// and quota sizing — the reference its goodput-under-attack envelope
+    /// is measured against. The trace records honest traffic only, so
+    /// `committed` is honest goodput in both cases.
+    pub fn adversary_drain(preset: Option<Adversary>) -> Self {
+        PipelineConfig {
+            quota: true,
+            adversary: preset,
+            tag: match preset {
+                None => "_adv_none",
+                Some(Adversary::FloodClient) => "_adv_flood",
+                Some(Adversary::ReplayStorm) => "_adv_replay",
+                Some(Adversary::HotKeySkew) => "_adv_hotkey",
+                Some(Adversary::ChurnStorm) => "_adv_churn",
+                Some(other) => panic!("unsupported adversary grid point: {other}"),
+            },
+            ..Self::auth_drain(64, AuthMode::PerElement)
+        }
+    }
+
+    /// Quick (CI smoke) variant of [`Self::adversary_drain`].
+    pub fn adversary_drain_quick(preset: Option<Adversary>) -> Self {
+        PipelineConfig {
+            sim_secs: 7,
+            injection_secs: 3,
+            ..Self::adversary_drain(preset)
+        }
+    }
+
     /// Label used in reports and JSON keys, e.g. `hashchain_b64` or
     /// `compresschain_b256_drain`.
     pub fn label(&self) -> String {
@@ -338,6 +390,19 @@ pub struct PipelineResult {
     pub wall: Duration,
     /// Committed elements per wall-clock second — the headline metric.
     pub adds_per_sec: f64,
+    /// Admission-cache hits summed over every server's shards: probes the
+    /// warmed cache answered without a fresh authenticator check.
+    pub cache_hits: u64,
+    /// Admission-cache misses summed over every server's shards.
+    pub cache_misses: u64,
+    /// Batch Merkle roots whose MAC verified, summed over servers (PR 6
+    /// batch-root authentication; 0 under per-element MACs).
+    pub batch_roots_verified: u64,
+    /// Batch Merkle roots whose MAC failed, summed over servers.
+    pub batch_roots_rejected: u64,
+    /// Elements shed by per-client admission quotas, summed over servers
+    /// (PR 10; always 0 with quotas off).
+    pub quota_shed: u64,
 }
 
 /// Runs one deployment to completion and measures wall-clock adds/sec.
@@ -363,6 +428,12 @@ pub fn run_pipeline(config: &PipelineConfig) -> PipelineResult {
         builder = builder.loss_rate(config.loss_rate);
     }
     builder = builder.auth_mode(config.auth).shards(config.shards);
+    if config.quota {
+        builder = builder.quota(setchain::QuotaConfig::new());
+    }
+    if let Some(preset) = config.adversary {
+        builder = builder.adversary(preset);
+    }
     // Store-backed points get a unique temp directory per run (seed sweeps
     // run concurrently, so the path must not collide) which is removed
     // after the measurement — the store cost measured is pure appending,
@@ -388,15 +459,43 @@ pub fn run_pipeline(config: &PipelineConfig) -> PipelineResult {
     if let Some(dir) = store_dir {
         let _ = std::fs::remove_dir_all(dir);
     }
+    // Honest-goodput counting: only trace-recorded (honest-client) elements
+    // count as committed. Identical to the raw count on every attack-free
+    // grid; under an adversary it keeps the attacker's admitted traffic out
+    // of the headline metric.
     let committed = deployment
         .trace
-        .committed_count_by(SimTime::from_secs(config.sim_secs)) as u64;
+        .honest_committed_count_by(SimTime::from_secs(config.sim_secs)) as u64;
     let added = deployment.trace.added_count() as u64;
+    // Admission-path counters (satellite of PR 10): summed over servers
+    // before the deployment drops. Cache hit/miss live on the per-shard
+    // admission caches; root and quota counters on the server stats.
+    let mut cache_hits = 0;
+    let mut cache_misses = 0;
+    let mut batch_roots_verified = 0;
+    let mut batch_roots_rejected = 0;
+    let mut quota_shed = 0;
+    for i in 0..config.servers {
+        let server = deployment.server(i);
+        for cache in server.core().admission_caches() {
+            cache_hits += cache.hits();
+            cache_misses += cache.misses();
+        }
+        let stats = server.stats();
+        batch_roots_verified += stats.batch_roots_verified;
+        batch_roots_rejected += stats.batch_roots_rejected;
+        quota_shed += stats.adds_rejected_quota;
+    }
     PipelineResult {
         added,
         committed,
         wall,
         adds_per_sec: committed as f64 / wall.as_secs_f64().max(1e-9),
+        cache_hits,
+        cache_misses,
+        batch_roots_verified,
+        batch_roots_rejected,
+        quota_shed,
     }
 }
 
@@ -534,6 +633,26 @@ pub fn store_grid(quick: bool, store: bool) -> Vec<PipelineConfig> {
     vec![point(64)]
 }
 
+/// The adversarial grid added with the PR 10 overload-protection work: the
+/// Hashchain workhorse drain point with quotas on under `preset`, next to
+/// its attack-free twin at the same seed and quota sizing (see
+/// [`PipelineConfig::adversary_drain`]). Recording both makes goodput under
+/// attack directly comparable: the trace holds honest traffic only, so the
+/// attacked point's `committed / wall` *is* honest goodput. Empty unless
+/// the caller opts in with `--adversary` — the default grids and their
+/// baselines are untouched.
+pub fn adversary_grid(quick: bool, preset: Option<Adversary>) -> Vec<PipelineConfig> {
+    let Some(preset) = preset else {
+        return Vec::new();
+    };
+    let point = if quick {
+        PipelineConfig::adversary_drain_quick
+    } else {
+        PipelineConfig::adversary_drain
+    };
+    vec![point(None), point(Some(preset))]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -583,6 +702,21 @@ mod tests {
         assert!(store_grid(false, false).is_empty(), "store grid is opt-in");
         assert_eq!(store_grid(true, true).len(), 1);
         assert!(store_grid(true, true)[0].sim_secs < stored.sim_secs);
+        let twin = PipelineConfig::adversary_drain(None);
+        assert_eq!(twin.label(), "hashchain_b64_adv_none");
+        assert!(twin.quota && twin.adversary.is_none());
+        let flood = PipelineConfig::adversary_drain(Some(Adversary::FloodClient));
+        assert_eq!(flood.label(), "hashchain_b64_adv_flood");
+        assert!(flood.sim_secs - flood.injection_secs >= 4);
+        assert!(
+            adversary_grid(false, None).is_empty(),
+            "adversary grid is opt-in"
+        );
+        let adv = adversary_grid(true, Some(Adversary::ReplayStorm));
+        assert_eq!(adv.len(), 2, "attack-free twin plus the attacked point");
+        assert!(adv[0].adversary.is_none() && adv[0].quota);
+        assert_eq!(adv[1].label(), "hashchain_b64_adv_replay");
+        assert!(adv[1].sim_secs < flood.sim_secs);
     }
 
     #[test]
@@ -671,6 +805,34 @@ mod tests {
             "store drain left elements uncommitted"
         );
         assert_eq!((a.added, a.committed), (b.added, b.committed));
+    }
+
+    #[test]
+    fn adversary_point_keeps_honest_traffic_committing() {
+        // The property the adversary grid records: with per-client quotas
+        // on, a flooding attacker sheds against its own bucket while every
+        // honest (trace-recorded) element still commits, and the shed
+        // traffic shows up attributed in the quota counter.
+        let mut cfg = PipelineConfig::adversary_drain_quick(Some(Adversary::FloodClient));
+        cfg.rate = 500.0; // keep the test fast
+        let result = run_pipeline(&cfg);
+        assert!(result.added > 0);
+        assert_eq!(
+            result.committed, result.added,
+            "attack run left honest elements uncommitted"
+        );
+        assert!(
+            result.quota_shed > 0,
+            "flood preset should trip the attacker's quota"
+        );
+        let mut twin = cfg;
+        twin.adversary = None;
+        let calm = run_pipeline(&twin);
+        assert_eq!(calm.quota_shed, 0, "honest-only run must shed nothing");
+        assert_eq!(
+            calm.committed, calm.added,
+            "attack-free twin left elements uncommitted"
+        );
     }
 
     #[test]

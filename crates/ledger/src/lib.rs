@@ -39,8 +39,8 @@ pub mod types;
 
 pub use app::{AppCtx, Application};
 pub use byzantine::ByzMode;
-pub use mempool::Mempool;
+pub use mempool::{Mempool, MempoolRejection};
 pub use messages::NetMsg;
-pub use node::{LedgerNode, APP_TIMER_BASE};
+pub use node::{LedgerNode, NodeStats, APP_TIMER_BASE};
 pub use trace::{BlockSummary, LedgerTrace};
 pub use types::{Block, BlockId, LedgerConfig, TxData, TxId};

@@ -59,6 +59,14 @@ pub struct NodeStats {
     pub txs_committed: u64,
     /// Transactions rejected by the application's `check_tx`.
     pub txs_rejected: u64,
+    /// Transactions the mempool refused because their id was already pending
+    /// or committed.
+    pub mempool_rejected_duplicate: u64,
+    /// Transactions shed because the mempool held `mempool_max_txs` entries.
+    /// Reject-newest: the arriving transaction is dropped, queued ones stay.
+    pub mempool_rejected_full_count: u64,
+    /// Transactions shed because the mempool held `mempool_max_bytes` bytes.
+    pub mempool_rejected_full_bytes: u64,
     /// Proposals this node created.
     pub proposals_made: u64,
     /// Round timeouts experienced.
@@ -68,6 +76,17 @@ pub struct NodeStats {
     /// Future-height consensus messages buffered for replay (nonzero only
     /// when this node fell behind and caught back up in time to vote).
     pub future_buffered: u64,
+}
+
+impl NodeStats {
+    /// Total transactions the mempool refused, across all causes. Every
+    /// shed transaction is attributed to exactly one of the per-cause
+    /// counters; nothing is dropped silently.
+    pub fn mempool_rejected(&self) -> u64 {
+        self.mempool_rejected_duplicate
+            + self.mempool_rejected_full_count
+            + self.mempool_rejected_full_bytes
+    }
 }
 
 /// How many heights ahead of our own a proposal or vote may be and still be
@@ -261,11 +280,27 @@ impl<A: Application> LedgerNode<A> {
             return;
         }
         let id = tx.tx_id();
-        if self.mempool.push(tx.clone()).is_ok() {
-            self.trace.record_mempool_arrival(id, self.id, ctx.now());
-            if !self.byz.is_silent() {
-                self.pending_gossip.push(tx);
+        match self.mempool.push(tx.clone()) {
+            Ok(()) => {
+                self.trace.record_mempool_arrival(id, self.id, ctx.now());
+                if !self.byz.is_silent() {
+                    self.pending_gossip.push(tx);
+                }
             }
+            Err(cause) => self.note_mempool_rejection(cause),
+        }
+    }
+
+    /// Attributes a mempool rejection to its per-cause counter. Shedding is
+    /// reject-newest and never silent: duplicates are the dedup working as
+    /// intended, the `full_*` causes mean the node is overloaded and the
+    /// arriving transaction was dropped before consensus ever saw it.
+    fn note_mempool_rejection(&mut self, cause: crate::mempool::MempoolRejection) {
+        use crate::mempool::MempoolRejection;
+        match cause {
+            MempoolRejection::Duplicate => self.stats.mempool_rejected_duplicate += 1,
+            MempoolRejection::FullByCount => self.stats.mempool_rejected_full_count += 1,
+            MempoolRejection::FullByBytes => self.stats.mempool_rejected_full_bytes += 1,
         }
     }
 
@@ -746,8 +781,9 @@ impl<A: Application> LedgerNode<A> {
                         continue;
                     }
                     let id = tx.tx_id();
-                    if self.mempool.push(tx).is_ok() {
-                        self.trace.record_mempool_arrival(id, self.id, ctx.now());
+                    match self.mempool.push(tx) {
+                        Ok(()) => self.trace.record_mempool_arrival(id, self.id, ctx.now()),
+                        Err(cause) => self.note_mempool_rejection(cause),
                     }
                 }
             }

@@ -78,6 +78,11 @@ pub trait SetchainApp: Application<Tx = SetchainTx, Msg = SetchainMsg> {
     /// The deployment configuration this server runs with.
     fn config(&self) -> &SetchainConfig;
 
+    /// The algorithm-agnostic server core: admission caches, quota state,
+    /// epoch machinery — shared by all three variants. Read-only inspection
+    /// hook for deployments, benches and tests.
+    fn core(&self) -> &crate::server::ServerCore;
+
     /// Epoch-proofs held for `epoch`, borrowed from the state.
     fn proofs_for(&self, epoch: u64) -> &[EpochProof] {
         self.state().proofs_for(epoch)

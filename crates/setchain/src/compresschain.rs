@@ -165,6 +165,10 @@ impl SetchainApp for CompresschainApp {
         &self.core.config
     }
 
+    fn core(&self) -> &ServerCore {
+        &self.core
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -252,13 +256,27 @@ impl Application for CompresschainApp {
 
     fn on_message(&mut self, from: ProcessId, msg: SetchainMsg, ctx: &mut Ctx<'_, '_, '_>) {
         match msg {
-            SetchainMsg::Add(e) => self.handle_add(e, ctx),
-            SetchainMsg::AddBatch(es) => {
-                for e in es {
+            SetchainMsg::Add(e) => {
+                if self.core.admit_source(from, 1, ctx) {
                     self.handle_add(e, ctx);
                 }
             }
+            SetchainMsg::AddBatch(es) => {
+                if self.core.admit_source(from, es.len() as u64, ctx) {
+                    for e in es {
+                        self.handle_add(e, ctx);
+                    }
+                }
+            }
             SetchainMsg::BatchedAdd(batch) => {
+                // The quota gate runs first: a shed batch costs zero root
+                // verification.
+                if !self
+                    .core
+                    .admit_source(from, batch.elements.len() as u64, ctx)
+                {
+                    return;
+                }
                 // One root-cache probe / MAC check authenticates the whole
                 // batch; the per-element admission probes inside
                 // `handle_add` then hit the warmed cache.
@@ -276,7 +294,7 @@ impl Application for CompresschainApp {
                         self.handle_add(e, ctx);
                     }
                 } else {
-                    self.core.stats.adds_rejected += batch.elements.len() as u64;
+                    self.core.stats.adds_rejected_invalid += batch.elements.len() as u64;
                 }
             }
             other => {

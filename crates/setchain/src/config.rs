@@ -152,6 +152,85 @@ impl StoreConfig {
     }
 }
 
+/// Per-client admission quotas (see [`crate::quota`]).
+///
+/// When present on a [`SetchainConfig`], every server runs a deterministic
+/// token bucket per client in front of the whole admission path: elements
+/// arriving from a client beyond its sustained `rate_per_sec` (with `burst`
+/// of headroom) or while the client already has `max_pending` elements
+/// awaiting an epoch are shed *before* any authenticator or batch-root
+/// verification, and the client is told to back off with a
+/// [`Rejected`](crate::SetchainMsg::Rejected) reply carrying a `retry_after`
+/// hint. Absent (the default), admission is unmetered and the pipeline is
+/// byte-for-byte the pre-quota path.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct QuotaConfig {
+    /// Sustained admission rate per client, elements/second
+    /// (`#[serde(default)]`: 2 000).
+    #[serde(default = "default_rate_per_sec")]
+    pub rate_per_sec: u64,
+    /// Bucket capacity: how many elements a client may submit in one burst
+    /// above the sustained rate (`#[serde(default)]`: 4 000).
+    #[serde(default = "default_burst")]
+    pub burst: u64,
+    /// Maximum elements a client may have admitted but not yet stamped into
+    /// an epoch; 0 disables the pending cap (`#[serde(default)]`: 50 000).
+    #[serde(default = "default_max_pending")]
+    pub max_pending: u64,
+}
+
+/// Serde default for [`QuotaConfig::rate_per_sec`].
+fn default_rate_per_sec() -> u64 {
+    2_000
+}
+
+/// Serde default for [`QuotaConfig::burst`].
+fn default_burst() -> u64 {
+    4_000
+}
+
+/// Serde default for [`QuotaConfig::max_pending`].
+fn default_max_pending() -> u64 {
+    50_000
+}
+
+impl Default for QuotaConfig {
+    fn default() -> Self {
+        QuotaConfig {
+            rate_per_sec: default_rate_per_sec(),
+            burst: default_burst(),
+            max_pending: default_max_pending(),
+        }
+    }
+}
+
+impl QuotaConfig {
+    /// A quota with the default rate, burst and pending cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the sustained per-client admission rate (elements/second).
+    pub fn with_rate(mut self, per_sec: u64) -> Self {
+        assert!(per_sec >= 1, "quota rate must be positive");
+        self.rate_per_sec = per_sec;
+        self
+    }
+
+    /// Sets the burst capacity (elements above the sustained rate).
+    pub fn with_burst(mut self, burst: u64) -> Self {
+        assert!(burst >= 1, "quota burst must be positive");
+        self.burst = burst;
+        self
+    }
+
+    /// Sets the per-client pending-element cap (0 disables it).
+    pub fn with_max_pending(mut self, max_pending: u64) -> Self {
+        self.max_pending = max_pending;
+        self
+    }
+}
+
 /// Configuration of a Setchain deployment (shared by all servers of a run).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SetchainConfig {
@@ -210,6 +289,11 @@ pub struct SetchainConfig {
     /// the pure in-RAM path.
     #[serde(default)]
     pub store: Option<StoreConfig>,
+    /// Per-client admission quotas; `None` (the default, and what
+    /// configurations written before overload protection existed read back
+    /// as) leaves admission unmetered — the exact pre-quota path.
+    #[serde(default)]
+    pub quota: Option<QuotaConfig>,
     /// CPU cost model.
     pub costs: CostModel,
 }
@@ -240,6 +324,7 @@ impl SetchainConfig {
             auth_mode: AuthMode::default(),
             shards: default_shards(),
             store: None,
+            quota: None,
             costs: CostModel::default(),
         }
     }
@@ -306,6 +391,13 @@ impl SetchainConfig {
     /// Enables persistent epoch storage (default off: pure in-RAM state).
     pub fn with_store(mut self, store: StoreConfig) -> Self {
         self.store = Some(store);
+        self
+    }
+
+    /// Enables per-client admission quotas (default off: unmetered
+    /// admission, the exact pre-quota path).
+    pub fn with_quota(mut self, quota: QuotaConfig) -> Self {
+        self.quota = Some(quota);
         self
     }
 
@@ -414,6 +506,33 @@ mod tests {
         assert_eq!(tuned.segment_bytes, 1024);
         assert_eq!(tuned.retain_epochs, Some(8));
         assert_eq!(tuned.checkpoint_every, 0);
+    }
+
+    #[test]
+    fn quota_defaults_to_unmetered_admission() {
+        let cfg = SetchainConfig::new(4);
+        assert!(cfg.quota.is_none(), "no quota unless configured");
+        let cfg = cfg.with_quota(QuotaConfig::new());
+        let quota = cfg.quota.expect("configured");
+        // The serde defaults mirror the constructor, so pre-quota
+        // configurations (no `quota` key) and sparse quota configurations
+        // both read back with working values.
+        assert_eq!(quota.rate_per_sec, default_rate_per_sec());
+        assert_eq!(quota.burst, default_burst());
+        assert_eq!(quota.max_pending, default_max_pending());
+        let tuned = QuotaConfig::new()
+            .with_rate(100)
+            .with_burst(10)
+            .with_max_pending(0);
+        assert_eq!(tuned.rate_per_sec, 100);
+        assert_eq!(tuned.burst, 10);
+        assert_eq!(tuned.max_pending, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quota rate must be positive")]
+    fn zero_quota_rate_panics() {
+        let _ = QuotaConfig::new().with_rate(0);
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub mod element;
 pub mod hashchain;
 pub mod messages;
 pub mod proofs;
+pub mod quota;
 pub mod server;
 pub mod shard;
 pub mod sortition;
@@ -84,7 +85,7 @@ pub use byzantine::ServerByzMode;
 pub use client::{verify_epoch, EpochVerification, LightClient, RETRY_AFTER_PER_MISSING_PROOF};
 pub use collector::Collector;
 pub use compresschain::CompresschainApp;
-pub use config::{AuthMode, CostModel, SetchainConfig, StoreConfig};
+pub use config::{AuthMode, CostModel, QuotaConfig, SetchainConfig, StoreConfig};
 pub use element::{Element, ElementGenerator, ElementId};
 pub use hashchain::{HashchainApp, SharedBatchRegistry};
 pub use messages::{CatchupEpoch, GetSnapshot, SetchainMsg};
@@ -92,6 +93,7 @@ pub use proofs::{
     epoch_hash, epoch_hash_for_root, epoch_root, make_epoch_proof, make_epoch_proof_with_key,
     prove_epoch_inclusion, verify_epoch_proof, EpochInclusionProof, EpochProof,
 };
+pub use quota::{QuotaState, QuotaVerdict, PENDING_RETRY};
 pub use server::{ServerCore, ServerStats, ShardStats, CATCHUP_RETRY, MAX_CATCHUP_EPOCHS};
 pub use shard::{aggregate_epoch, sub_epoch_commitment, ShardRing, ShardedEpoch, SubEpoch};
 pub use sortition::{round_seed, select_committee, verify_member, Candidate};

@@ -99,6 +99,16 @@ pub enum SetchainMsg {
         /// Epoch-proofs of the batch.
         proofs: Vec<EpochProof>,
     },
+    /// Overload shed (see [`crate::quota`]): the server refused an
+    /// `Add`/`AddBatch`/`BatchedAdd` submission because the sender is over
+    /// its admission quota, *before* spending any verification CPU on it. A
+    /// well-behaved client backs off for at least `retry_after` (the same
+    /// hint shape the epoch-retry machinery uses); a flooding client that
+    /// ignores the hint keeps being shed for free.
+    Rejected {
+        /// Earliest delay after which a retry could be admitted.
+        retry_after: setchain_simnet::SimDuration,
+    },
     /// Server-to-server state catch-up: a restarted (or otherwise lagging)
     /// server asks a peer for the committed epochs it is missing. Peers
     /// that are not ahead of `from_epoch` simply do not answer.
@@ -158,6 +168,7 @@ impl Wire for SetchainMsg {
                     + proofs.len() * EPOCH_PROOF_WIRE_LEN
             }
             SetchainMsg::RequestBatch { .. } => MSG_HEADER + 64,
+            SetchainMsg::Rejected { .. } => MSG_HEADER + 8,
             SetchainMsg::CatchupRequest { .. } => MSG_HEADER + 8,
             SetchainMsg::CatchupResponse { epochs } => {
                 MSG_HEADER + epochs.iter().map(|b| b.wire_size()).sum::<usize>()
@@ -211,6 +222,13 @@ mod tests {
         assert_eq!(
             SetchainMsg::RequestBatch { hash: sha512(b"h") }.wire_size(),
             96
+        );
+        assert_eq!(
+            SetchainMsg::Rejected {
+                retry_after: setchain_simnet::SimDuration::from_millis(5)
+            }
+            .wire_size(),
+            40
         );
         // A batch response carrying the real batch contents is what makes
         // hash reversal expensive on the wire.

@@ -37,8 +37,16 @@ pub type Ctx<'a, 'b, 'c> = AppCtx<'a, 'b, 'c, SetchainTx, SetchainMsg>;
 pub struct ServerStats {
     /// Client `add` requests accepted (valid, not previously seen).
     pub adds_accepted: u64,
-    /// Client `add` requests rejected (invalid or duplicate).
-    pub adds_rejected: u64,
+    /// Client `add` requests rejected because the element failed validation
+    /// (bad authenticator, unknown or server claimant, degenerate size —
+    /// also counts adds swallowed by a Byzantine `DropClientAdds` server).
+    pub adds_rejected_invalid: u64,
+    /// Client `add` requests rejected because the element was already in
+    /// `the_set` or stamped into an epoch.
+    pub adds_rejected_duplicate: u64,
+    /// Elements shed by the admission quota (see [`crate::quota`]) before
+    /// any validation CPU was spent on them; 0 unless a quota is configured.
+    pub adds_rejected_quota: u64,
     /// Epochs this server has created/consolidated.
     pub epochs_created: u64,
     /// Valid epoch-proofs received from the ledger.
@@ -89,6 +97,14 @@ pub struct ServerStats {
     /// Total bytes across this server's store segments (recovered bytes
     /// included), refreshed on every append.
     pub store_bytes: u64,
+}
+
+impl ServerStats {
+    /// Total rejected client adds across every cause (the pre-split
+    /// `adds_rejected` rollup).
+    pub fn adds_rejected(&self) -> u64 {
+        self.adds_rejected_invalid + self.adds_rejected_duplicate + self.adds_rejected_quota
+    }
 }
 
 /// One admission shard's counters: the per-shard rollup behind
@@ -178,6 +194,10 @@ pub struct ServerCore {
     /// [`Self::persist_committed`] strictly in epoch order, so quorums that
     /// land out of order are flushed as soon as the gap before them closes.
     persisted: u64,
+    /// Per-client admission quotas, when `config.quota` is set. Probed by
+    /// [`Self::admit_source`] ahead of every client-facing admission path;
+    /// `None` is the exact pre-quota pipeline (no probe, no reply, no CPU).
+    quota: Option<crate::quota::QuotaState>,
 }
 
 /// Upper bound on epochs shipped in one [`SetchainMsg::CatchupResponse`].
@@ -221,7 +241,11 @@ impl ServerCore {
             catchup_pending: None,
             store: None,
             persisted: 0,
+            quota: None,
         };
+        if let Some(quota_cfg) = core.config.quota {
+            core.quota = Some(crate::quota::QuotaState::new(quota_cfg));
+        }
         if let Some(store_cfg) = core.config.store.clone() {
             core.open_store(&store_cfg);
         }
@@ -597,24 +621,81 @@ impl ServerCore {
         }
     }
 
+    /// Overload gate for client-facing submissions, called by every variant
+    /// *before* any authenticator or batch-root verification: with a quota
+    /// configured, probes `from`'s token bucket and pending cap for
+    /// `elements` more elements. On a shed the whole submission is refused
+    /// with zero validation CPU spent, the drop is attributed to
+    /// [`adds_rejected_quota`](ServerStats::adds_rejected_quota), and the
+    /// sender is told to back off via [`SetchainMsg::Rejected`].
+    ///
+    /// Messages from peer servers are never quota-checked: gossip and
+    /// recovery traffic is committed-path and must not be shed. With no
+    /// quota configured this returns `true` without touching the context —
+    /// the exact pre-quota schedule.
+    pub fn admit_source(
+        &mut self,
+        from: ProcessId,
+        elements: u64,
+        ctx: &mut Ctx<'_, '_, '_>,
+    ) -> bool {
+        let Some(quota) = self.quota.as_mut() else {
+            return true;
+        };
+        if from.is_server() {
+            return true;
+        }
+        match quota.admit(from, elements, ctx.now()) {
+            crate::quota::QuotaVerdict::Admit => true,
+            crate::quota::QuotaVerdict::Shed { retry_after } => {
+                self.stats.adds_rejected_quota += elements;
+                ctx.send_app(from, SetchainMsg::Rejected { retry_after });
+                false
+            }
+        }
+    }
+
+    /// Read access to the quota state (shed counters and per-client pending
+    /// levels for reports); `None` when admission is unmetered.
+    pub fn quota(&self) -> Option<&crate::quota::QuotaState> {
+        self.quota.as_ref()
+    }
+
+    /// Releases pending-cap capacity for elements just stamped into an
+    /// epoch (no-op without a quota). Over-release for elements that were
+    /// never counted — gossip arrivals stamped here, or elements admitted
+    /// before a restart — saturates at zero per client, so mixed routing
+    /// can transiently under-count pending but never wedge a client.
+    fn quota_note_stamped(&mut self, elements: &[Element]) {
+        if let Some(quota) = self.quota.as_mut() {
+            for e in elements {
+                quota.note_stamped(e.client, 1);
+            }
+        }
+    }
+
     /// The paper's `add(e)` precondition: `valid_element(e) ∧ e ∉ the_set`.
     /// On success the element is inserted into `the_set` and `true` is
     /// returned; the caller routes it (ledger append or collector).
     pub fn accept_add(&mut self, element: &Element, ctx: &mut Ctx<'_, '_, '_>) -> bool {
         if self.byz == ServerByzMode::DropClientAdds {
-            self.stats.adds_rejected += 1;
+            self.stats.adds_rejected_invalid += 1;
             return false;
         }
         ctx.consume_cpu(self.config.costs.validate_element);
-        if !self.element_valid(element)
-            || self.state.contains(&element.id)
-            || self.stamped_in_store(element.id)
-        {
-            self.stats.adds_rejected += 1;
+        if !self.element_valid(element) {
+            self.stats.adds_rejected_invalid += 1;
+            return false;
+        }
+        if self.state.contains(&element.id) || self.stamped_in_store(element.id) {
+            self.stats.adds_rejected_duplicate += 1;
             return false;
         }
         self.state.insert(element.id);
         self.stats.adds_accepted += 1;
+        if let Some(quota) = self.quota.as_mut() {
+            quota.note_admitted(element.client, 1);
+        }
         true
     }
 
@@ -824,6 +905,7 @@ impl ServerCore {
                 .state
                 .install_epoch(bundle.epoch, bundle.elements.clone());
             debug_assert!(installed, "sequencing checked above");
+            self.quota_note_stamped(&bundle.elements);
             // The quorum travels with the bundle, so the epoch lands
             // committed; later ledger-replayed proofs only add signers
             // beyond the quorum (and never re-report the commit).
@@ -878,16 +960,25 @@ impl ServerCore {
             return;
         }
         let from_epoch = self.state.epoch() + 1;
-        let outstanding = matches!(
-            self.catchup_pending,
-            Some((p, at)) if p >= from_epoch && ctx.now().since(at) < CATCHUP_RETRY
-        );
-        if outstanding {
+        if self.catchup_suppressed(from_epoch, ctx.now()) {
             return;
         }
         self.catchup_pending = Some((from_epoch, ctx.now()));
         self.stats.catchup_requests += 1;
         ctx.send_app(peer, SetchainMsg::CatchupRequest { from_epoch });
+    }
+
+    /// The catch-up rate limiter: whether an outstanding request suppresses
+    /// a new one covering `from_epoch` at `now`. Suppression *expires* after
+    /// [`CATCHUP_RETRY`] — a request lost to a partition, crash or total
+    /// loss must not wedge the server behind the tip forever — and a gap
+    /// signal for a range past the outstanding request's start is never
+    /// suppressed.
+    fn catchup_suppressed(&self, from_epoch: u64, now: SimTime) -> bool {
+        matches!(
+            self.catchup_pending,
+            Some((p, at)) if p >= from_epoch && now.since(at) < CATCHUP_RETRY
+        )
     }
 
     /// Validates and records an epoch-proof extracted from the ledger
@@ -956,6 +1047,11 @@ impl ServerCore {
         let stamped = self.state.epoch_elements(epoch).expect("just created");
         self.trace
             .record_epoch_assignments(stamped.iter().map(|e| e.id), epoch, now);
+        if let Some(quota) = self.quota.as_mut() {
+            for e in stamped {
+                quota.note_stamped(e.client, 1);
+            }
+        }
         // Hash + sign cost for the epoch-proof.
         let bytes: usize = stamped.iter().map(|e| e.wire_size()).sum();
         ctx.consume_cpu(self.config.costs.hash_cost(bytes));
@@ -1216,6 +1312,35 @@ mod tests {
             }
             core.persist_committed();
         }
+    }
+
+    #[test]
+    fn catchup_limiter_expires_after_retry_window() {
+        // Regression test for the PR 7 catch-up rate limiter: an
+        // outstanding request suppresses duplicates only within
+        // `CATCHUP_RETRY`. A request lost to 100% loss on the catch-up leg
+        // must stop suppressing once the window elapses, or the server
+        // wedges behind the tip forever.
+        let (mut core, _registry) = core_with(91, 4, 2);
+        let sent_at = SimTime::from_secs(5);
+        core.catchup_pending = Some((3, sent_at));
+
+        // Within the window: same or earlier range suppressed, a range
+        // starting past the outstanding request never is.
+        let within = sent_at + SimDuration(CATCHUP_RETRY.0 - 1);
+        assert!(core.catchup_suppressed(3, within));
+        assert!(core.catchup_suppressed(2, within));
+        assert!(!core.catchup_suppressed(4, within));
+
+        // At exactly the window boundary the entry is presumed lost and a
+        // re-request is allowed again.
+        let expired = sent_at + CATCHUP_RETRY;
+        assert!(!core.catchup_suppressed(3, expired));
+        assert!(!core.catchup_suppressed(2, expired));
+
+        // No outstanding request: never suppressed.
+        core.catchup_pending = None;
+        assert!(!core.catchup_suppressed(1, within));
     }
 
     #[test]

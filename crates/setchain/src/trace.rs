@@ -186,6 +186,30 @@ impl SetchainTrace {
             .count()
     }
 
+    /// Number of *trace-recorded* elements — those with a [`Self::record_add`]
+    /// entry — whose epoch reached the quorum no later than `t`.
+    ///
+    /// Differs from [`Self::committed_count_by`] only when servers stamp
+    /// elements the trace never saw added: an adversarial client's admitted
+    /// traffic (deliberately kept out of the trace) or a scripted client
+    /// session's elements. Under attack this is *honest goodput* — the
+    /// committed count of the instrumented honest workload alone.
+    pub fn honest_committed_count_by(&self, t: SimTime) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .added
+            .keys()
+            .filter(|id| {
+                inner
+                    .element_epoch
+                    .get(id)
+                    .and_then(|epoch| inner.epoch_committed.get(epoch))
+                    .map(|&ct| ct <= t)
+                    .unwrap_or(false)
+            })
+            .count()
+    }
+
     /// Number of elements added no later than `t`.
     pub fn added_count_by(&self, t: SimTime) -> usize {
         self.inner
@@ -228,6 +252,7 @@ mod tests {
         assert_eq!(trace.added_count_by(t(250)), 2);
         assert_eq!(trace.committed_count_by(t(2999)), 0);
         assert_eq!(trace.committed_count_by(t(3000)), 2);
+        assert_eq!(trace.honest_committed_count_by(t(3000)), 2);
 
         let records = trace.element_records();
         assert_eq!(records.len(), 3);
@@ -249,6 +274,21 @@ mod tests {
         assert_eq!(rec.added_at, t(100));
         assert_eq!(rec.epoch, Some(1));
         assert_eq!(rec.committed_at, Some(t(2000)));
+    }
+
+    #[test]
+    fn honest_count_excludes_unrecorded_elements() {
+        // An adversarial client's admitted traffic is stamped and committed
+        // by the servers but never `record_add`-ed; the honest count must
+        // leave it out while the raw count includes it.
+        let trace = SetchainTrace::new();
+        trace.record_add(id(1), t(100));
+        trace.record_epoch_assignment(id(1), 1, t(1000));
+        trace.record_epoch_assignment(id(2), 1, t(1000)); // attack element
+        trace.record_epoch_commit(1, t(2000));
+        assert_eq!(trace.committed_count_by(t(2000)), 2);
+        assert_eq!(trace.honest_committed_count_by(t(2000)), 1);
+        assert_eq!(trace.honest_committed_count_by(t(1999)), 0);
     }
 
     #[test]

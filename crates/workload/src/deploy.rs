@@ -34,6 +34,7 @@ use setchain_crypto::{KeyRegistry, ProcessId};
 use setchain_ledger::{ByzMode, LedgerConfig, LedgerNode, LedgerTrace, NetMsg};
 use setchain_simnet::{FaultPlan, NetworkConfig, SimTime, Simulation, SimulationConfig};
 
+use crate::adversary::{Adversary, AdversaryDriver};
 use crate::driver::ClientDriver;
 use crate::generator::ArbitrumWorkload;
 use crate::scenario::Scenario;
@@ -117,6 +118,17 @@ impl<'a> ServerHandle<'a> {
     /// entry for the default unsharded pipeline.
     pub fn shard_stats(&self) -> Vec<setchain::ShardStats> {
         self.app().shard_stats()
+    }
+
+    /// The algorithm-agnostic server core: admission caches, quota state,
+    /// catch-up machinery — read-only inspection across all variants.
+    pub fn core(&self) -> &'a setchain::ServerCore {
+        self.app().core()
+    }
+
+    /// The server's per-client quota state, if quotas are enabled.
+    pub fn quota(&self) -> Option<&'a setchain::QuotaState> {
+        self.core().quota()
     }
 
     /// The underlying ledger node (consensus-side inspection).
@@ -277,6 +289,25 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Enables per-client admission quotas on every server: a deterministic
+    /// token bucket plus a pending-element cap, enforced before any
+    /// authentication work, with shed clients sent a
+    /// `Rejected { retry_after }` hint. Default is unmetered (the exact
+    /// pre-quota pipeline — schedules are byte-identical with quotas off).
+    pub fn quota(mut self, config: setchain::QuotaConfig) -> Self {
+        self.scenario = self.scenario.with_quota(config);
+        self
+    }
+
+    /// Adds one adversarial client running `preset` against server 0,
+    /// occupying client index `servers` (the first index above the honest
+    /// injection clients). Its traffic never enters the shared experiment
+    /// trace, so added/committed totals keep measuring honest goodput only.
+    pub fn adversary(mut self, preset: Adversary) -> Self {
+        self.scenario = self.scenario.with_adversary(preset);
+        self
+    }
+
     /// Records the detailed per-element trace (needed for the latency CDF).
     pub fn detailed(mut self) -> Self {
         self.scenario.detailed_trace = true;
@@ -429,6 +460,26 @@ impl DeploymentBuilder {
             sim.add_process(client_id, Box::new(driver));
         }
 
+        // The adversarial client, if any: one extra registered identity at
+        // the first index above the injection clients, attacking server 0.
+        // It shares the honest clients' tick cadence but never the shared
+        // trace — attack traffic is not goodput.
+        if let Some(preset) = scenario.adversary {
+            let adv_id = ProcessId::client(n);
+            let keys = setchain_crypto::KeyPair::derive(adv_id, scenario.seed ^ 0xAD);
+            registry.register(keys);
+            let driver = AdversaryDriver::new(
+                preset,
+                ProcessId::server(0),
+                registry.clone(),
+                keys,
+                preset.default_rate(scenario.per_client_rate()),
+                injection_end,
+                scenario.seed,
+            );
+            sim.add_process(adv_id, Box::new(driver));
+        }
+
         Deployment {
             sim,
             scenario,
@@ -497,7 +548,29 @@ impl Deployment {
             client_index >= self.scenario.servers,
             "client indices below the server count belong to the injection clients"
         );
+        assert!(
+            self.scenario.adversary.is_none() || client_index != self.scenario.servers,
+            "client index {client_index} belongs to the adversarial client"
+        );
         ClientSession::open(self, client_index, key_seed)
+    }
+
+    /// The adversarial client actor, if the deployment has one.
+    pub fn adversary(&self) -> Option<&AdversaryDriver> {
+        self.scenario.adversary?;
+        self.sim
+            .process::<AdversaryDriver>(ProcessId::client(self.scenario.servers))
+    }
+
+    /// Number of `Rejected` replies the honest injection clients received
+    /// (each paused that client's injection until the server's retry hint
+    /// elapsed). Zero whenever quotas are off or honest rates fit their
+    /// buckets.
+    pub fn honest_rejections(&self) -> u64 {
+        (0..self.scenario.servers)
+            .filter_map(|i| self.sim.process::<ClientDriver>(ProcessId::client(i)))
+            .map(|d| d.rejections())
+            .sum()
     }
 
     /// Number of elements sent by all injection clients so far.

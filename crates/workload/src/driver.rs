@@ -30,6 +30,11 @@ pub struct ClientDriver {
     trace: SetchainTrace,
     sent: u64,
     auth: AuthMode,
+    /// Injection is paused until this instant after the server sheds a
+    /// submission with `Rejected { retry_after }` — the polite-client
+    /// response to overload protection. `ZERO` when not backing off.
+    backoff_until: SimTime,
+    rejections: u64,
 }
 
 impl ClientDriver {
@@ -53,6 +58,8 @@ impl ClientDriver {
             trace,
             sent: 0,
             auth: AuthMode::default(),
+            backoff_until: SimTime::ZERO,
+            rejections: 0,
         }
     }
 
@@ -69,6 +76,12 @@ impl ClientDriver {
     pub fn sent(&self) -> u64 {
         self.sent
     }
+
+    /// Number of `Rejected { retry_after }` replies received — each paused
+    /// injection until the server's hint elapsed.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
 }
 
 impl Process<Msg> for ClientDriver {
@@ -76,9 +89,13 @@ impl Process<Msg> for ClientDriver {
         ctx.set_timer(self.tick, INJECT_TICK);
     }
 
-    fn on_message(&mut self, _from: ProcessId, _msg: Msg, _ctx: &mut Context<'_, Msg>) {
+    fn on_message(&mut self, _from: ProcessId, msg: Msg, ctx: &mut Context<'_, Msg>) {
         // Responses to get() requests are handled by example binaries; the
-        // throughput driver ignores them.
+        // throughput driver only reacts to overload sheds.
+        if let NetMsg::App(SetchainMsg::Rejected { retry_after }) = msg {
+            self.rejections += 1;
+            self.backoff_until = self.backoff_until.max(ctx.now() + retry_after);
+        }
     }
 
     fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, Msg>) {
@@ -88,6 +105,13 @@ impl Process<Msg> for ClientDriver {
         let now = ctx.now();
         if now > self.injection_end {
             return; // stop injecting; do not re-arm
+        }
+        if now < self.backoff_until {
+            // Shed by the server: stay quiet until the retry hint elapses.
+            // The skipped ticks' elements are simply not generated — the
+            // driver offers a lower rate rather than bursting on resume.
+            ctx.set_timer(self.tick, INJECT_TICK);
+            return;
         }
         let due = self.rate * self.tick.as_secs_f64() + self.carry;
         let count = due.floor() as usize;
@@ -374,6 +398,20 @@ impl RequestClient {
                     if burst >= MAX_AUDIT_BURST {
                         break;
                     }
+                }
+            }
+            SetchainMsg::Rejected { retry_after } => {
+                // The server shed our submission under overload protection.
+                // Re-fire the attempt machine for the retry whose current
+                // target shed us as soon as the hint elapses — the next
+                // attempt fails over to the next server in the ring — instead
+                // of waiting out the full (doubling) attempt deadline.
+                let rejected = self
+                    .retries
+                    .iter()
+                    .position(|r| !r.resolved() && r.attempts > 0 && r.current_target() == from);
+                if let Some(i) = rejected {
+                    ctx.set_timer(*retry_after, ATTEMPT_BASE + i as TimerToken);
                 }
             }
             SetchainMsg::EpochResponse {

@@ -17,6 +17,9 @@
 //!   returning [`AddReceipt`]/[`BatchReceipt`]/[`SnapshotView`]/
 //!   [`VerifiedEpoch`]) replacing raw message scripting.
 //! * [`driver`] — the injection client actor.
+//! * [`adversary`] — adversarial workload presets (flood, replay storm,
+//!   hot-key skew, churn storm) driving one misbehaving client against the
+//!   overload-protection path.
 //! * [`runner`] — runs a scenario to completion and collects a
 //!   [`runner::RunResult`].
 //! * [`metrics`] — throughput-over-time series, efficiency, commit-time
@@ -46,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod analysis;
 pub mod deploy;
 pub mod driver;
@@ -56,6 +60,7 @@ pub mod scenario;
 pub mod session;
 pub mod sweep;
 
+pub use adversary::{Adversary, AdversaryDriver};
 pub use analysis::{analytical_throughput, AnalysisParams};
 pub use deploy::{Deployment, DeploymentBuilder, ServerHandle, ServerNode};
 pub use driver::{ClientDriver, RequestClient, RetryAdd, RetryPolicy, RetryReport};

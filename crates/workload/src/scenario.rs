@@ -2,8 +2,10 @@
 //! scenario grids behind each figure.
 
 use serde::{Deserialize, Serialize};
-use setchain::{Algorithm, AuthMode, SetchainConfig, StoreConfig};
+use setchain::{Algorithm, AuthMode, QuotaConfig, SetchainConfig, StoreConfig};
 use setchain_simnet::SimDuration;
+
+use crate::adversary::Adversary;
 
 /// The parameters of one experiment run (one line/bar/curve of a figure).
 ///
@@ -71,6 +73,18 @@ pub struct Scenario {
     /// either way.
     #[serde(default)]
     pub store: Option<StoreConfig>,
+    /// Per-client admission quotas (see [`setchain::quota`]): a deterministic
+    /// token bucket plus a pending-element cap, enforced before any
+    /// authentication work, with excess sent a `Rejected { retry_after }`
+    /// hint. `None` (the default) is the exact unmetered pre-quota pipeline —
+    /// schedules are byte-identical with quotas off.
+    #[serde(default)]
+    pub quota: Option<QuotaConfig>,
+    /// Adversarial workload preset (see [`crate::adversary`]): one extra
+    /// misbehaving client attacking server 0 alongside the honest injection
+    /// clients. `None` (the default) runs attack-free.
+    #[serde(default)]
+    pub adversary: Option<Adversary>,
     /// Record the detailed per-element / per-transaction trace needed for the
     /// latency CDF (Fig. 4). Costs memory, so throughput runs leave it off.
     pub detailed_trace: bool,
@@ -114,6 +128,8 @@ impl Scenario {
             auth_mode: AuthMode::default(),
             shards: default_shards(),
             store: None,
+            quota: None,
+            adversary: None,
             detailed_trace: false,
             seed: 42,
         }
@@ -217,6 +233,19 @@ impl Scenario {
         self
     }
 
+    /// Builder: enables per-client admission quotas (default unmetered).
+    pub fn with_quota(mut self, quota: QuotaConfig) -> Self {
+        self.quota = Some(quota);
+        self
+    }
+
+    /// Builder: adds an adversarial client running `preset` (default
+    /// attack-free).
+    pub fn with_adversary(mut self, preset: Adversary) -> Self {
+        self.adversary = Some(preset);
+        self
+    }
+
     /// Builder: enables the detailed trace.
     pub fn detailed(mut self) -> Self {
         self.detailed_trace = true;
@@ -264,6 +293,9 @@ impl Scenario {
             .with_shards(self.shards);
         if let Some(store) = &self.store {
             config = config.with_store(store.clone());
+        }
+        if let Some(quota) = self.quota {
+            config = config.with_quota(quota);
         }
         if self.light {
             config = self.algorithm.light_config(config);
@@ -350,7 +382,9 @@ mod tests {
             .with_push_batches()
             .with_auth_mode(AuthMode::BatchRoot)
             .with_shards(4)
-            .with_store(StoreConfig::new("/tmp/setchain-knob-test"));
+            .with_store(StoreConfig::new("/tmp/setchain-knob-test"))
+            .with_quota(QuotaConfig::new().with_rate(500))
+            .with_adversary(Adversary::FloodClient);
         let config = s.setchain_config();
         assert_eq!(config.servers, 10);
         assert_eq!(config.collector_limit, 500);
@@ -363,10 +397,13 @@ mod tests {
             Some("/tmp/setchain-knob-test")
         );
         assert!(config.hash_reversal, "full mode keeps hash reversal");
+        assert_eq!(config.quota.map(|q| q.rate_per_sec), Some(500));
+        assert_eq!(s.adversary, Some(Adversary::FloodClient));
         let default_auth = Scenario::base(Algorithm::Hashchain).setchain_config();
         assert_eq!(default_auth.auth_mode, AuthMode::PerElement);
         assert_eq!(default_auth.shards, 1, "unsharded pipeline by default");
         assert!(default_auth.store.is_none(), "in-memory by default");
+        assert!(default_auth.quota.is_none(), "unmetered by default");
 
         let light = Scenario::base(Algorithm::Hashchain)
             .light()

@@ -200,6 +200,61 @@ fn crashed_server_catches_up_under_sharded_admission() {
 }
 
 #[test]
+fn lost_catchup_request_does_not_wedge_the_restarted_server() {
+    // Regression test for the catch-up rate limiter (PR 7): the
+    // `catchup_pending` entry suppresses duplicate requests while one is
+    // outstanding, but must *expire* after `CATCHUP_RETRY` — otherwise a
+    // request lost to the network could wedge the server behind the tip
+    // forever. Server 2 restarts into a window of 100% message loss, so
+    // its restart probe's `CatchupRequest` is guaranteed lost; the loss
+    // only heals after more than `CATCHUP_RETRY` of simulated time, so
+    // the expired entry leaves every recovery path free to re-request.
+    // (End to end, ledger block sync replays the missed heights in order
+    // once traffic flows again, so the limiter is never the only path
+    // back to the tip — its expiry semantics are pinned directly by
+    // `catchup_limiter_expires_after_retry_window` in the setchain crate.
+    // What must hold here is the outcome: the server fully heals.)
+    let plan = FaultPlan::new()
+        .at(
+            SimTime::from_secs(3),
+            FaultEvent::Crash(ProcessId::server(2)),
+        )
+        .at(SimTime::from_secs(9), FaultEvent::SetLossRate(1.0))
+        .at(
+            SimTime::from_secs(10),
+            FaultEvent::Restart(ProcessId::server(2)),
+        )
+        // 4 s of total loss spans the restart — double the 2 s
+        // `CATCHUP_RETRY` window, so the pending entry is expired by the
+        // time traffic flows again.
+        .at(SimTime::from_secs(13), FaultEvent::SetLossRate(0.0));
+    let mut deployment = chaos_deployment(Algorithm::Hashchain, 4026, plan);
+    deployment.sim.run_until(SimTime::from_secs(40));
+
+    assert!(
+        deployment.sim.network().dropped_loss() > 0,
+        "the loss window dropped traffic"
+    );
+    let s0 = deployment.server(0);
+    let s2 = deployment.server(2);
+    assert!(s0.state().epoch() > 0, "the healthy majority kept going");
+    assert!(
+        s2.stats().catchup_requests >= 1,
+        "the restarted server never probed for catch-up"
+    );
+    assert!(
+        s0.state().check_consistent_with(s2.state()),
+        "server 2 diverged from the committed prefix after recovery"
+    );
+    assert!(
+        s2.state().epoch() + 1 >= s0.state().epoch(),
+        "server 2 stayed wedged behind the tip: {} vs {}",
+        s2.state().epoch(),
+        s0.state().epoch()
+    );
+}
+
+#[test]
 fn client_add_during_crash_confirms_via_retry_and_failover() {
     // The client's target server is down when the add is issued. The retry
     // machine must fail over to an alternate server and confirm the element
